@@ -1,0 +1,673 @@
+(* Benchmark and reproduction harness.
+
+   One section per table/figure of the paper (E1..E10, see DESIGN.md),
+   each regenerating the corresponding rows/series on the simulated
+   testbed, followed by Bechamel micro-benchmarks of the underlying
+   machinery.  EXPERIMENTS.md records paper-vs-measured for each. *)
+
+let section id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s — %s\n" id title;
+  Printf.printf "================================================================\n%!"
+
+(* ---- E1: testbed inventory (slide 6) ------------------------------------- *)
+
+let e1 () =
+  section "E1" "testbed summary: 8 sites, 32 clusters, 894 nodes, 8490 cores";
+  let rows =
+    List.map
+      (fun site ->
+        let clusters = Testbed.Inventory.clusters_of_site site in
+        let nodes = List.fold_left (fun acc c -> acc + c.Testbed.Inventory.nodes) 0 clusters in
+        let cores =
+          List.fold_left
+            (fun acc c ->
+              acc + (c.Testbed.Inventory.nodes * c.Testbed.Inventory.cpus
+                     * c.Testbed.Inventory.cores_per_cpu))
+            0 clusters
+        in
+        [ site; string_of_int (List.length clusters); string_of_int nodes;
+          string_of_int cores ])
+      Testbed.Inventory.sites
+  in
+  let total =
+    [ "TOTAL"; string_of_int (List.length Testbed.Inventory.clusters);
+      string_of_int Testbed.Inventory.total_nodes;
+      string_of_int Testbed.Inventory.total_cores ]
+  in
+  print_string
+    (Simkit.Table.render ~header:[ "site"; "clusters"; "nodes"; "cores" ] (rows @ [ total ]));
+  Printf.printf "paper: 8 sites, 32 clusters, 894 nodes, 8490 cores\n"
+
+(* ---- E2: g5k-checks detection (slide 7) ------------------------------------ *)
+
+let e2 () =
+  section "E2" "g5k-checks: verification of the testbed description";
+  let t = Testbed.Instance.build ~seed:202L () in
+  let faults = t.Testbed.Instance.faults in
+  let drift_kinds =
+    [ Testbed.Faults.Cpu_cstates; Testbed.Faults.Cpu_hyperthreading;
+      Testbed.Faults.Cpu_turbo; Testbed.Faults.Cpu_governor;
+      Testbed.Faults.Bios_drift; Testbed.Faults.Disk_firmware;
+      Testbed.Faults.Disk_write_cache; Testbed.Faults.Ram_dimm_loss;
+      Testbed.Faults.Refapi_desync; Testbed.Faults.Cabling_swap ]
+  in
+  (* Five faults of each drift class, randomly targeted. *)
+  List.iter
+    (fun kind ->
+      for _ = 1 to 5 do
+        ignore (Testbed.Faults.inject faults ~now:0.0 kind)
+      done)
+    drift_kinds;
+  (* One boot-time sweep: g5k-checks on every node + cabling check. *)
+  Array.iter
+    (fun node ->
+      let report = G5kchecks.Check.run t node in
+      if not (G5kchecks.Check.conforms report) then
+        List.iter
+          (fun f -> Testbed.Faults.mark_detected faults ~now:1.0 f)
+          (Testbed.Faults.active_on_host faults node.Testbed.Node.host);
+      if
+        not
+          (Testbed.Network.cabling_consistent t.Testbed.Instance.network
+             node.Testbed.Node.host)
+      then
+        List.iter
+          (fun f ->
+            if f.Testbed.Faults.kind = Testbed.Faults.Cabling_swap then
+              Testbed.Faults.mark_detected faults ~now:1.0 f)
+          (Testbed.Faults.active_on_host faults node.Testbed.Node.host))
+    t.Testbed.Instance.nodes;
+  let history = Testbed.Faults.history faults in
+  let rows =
+    List.map
+      (fun kind ->
+        let of_kind = List.filter (fun f -> f.Testbed.Faults.kind = kind) history in
+        let detected =
+          List.filter (fun f -> f.Testbed.Faults.detected_at <> None) of_kind
+        in
+        [ Testbed.Faults.kind_to_string kind;
+          string_of_int (List.length of_kind);
+          string_of_int (List.length detected);
+          Simkit.Table.fmt_pct
+            (float_of_int (List.length detected)
+            /. float_of_int (Stdlib.max 1 (List.length of_kind))) ])
+      drift_kinds
+  in
+  print_string
+    (Simkit.Table.render ~header:[ "drift class"; "injected"; "detected"; "rate" ] rows);
+  Printf.printf
+    "paper: description errors \"could happen frequently\"; g5k-checks compares\n\
+     OHAI/ethtool acquisition against the Reference API at every boot.\n"
+
+(* ---- E3: Kadeploy scaling (slide 8) ------------------------------------------ *)
+
+let e3 () =
+  section "E3" "Kadeploy: 200 nodes deployed in ~5 minutes";
+  let instance = Testbed.Instance.build ~seed:303L () in
+  let registry =
+    Kadeploy.Image.registry (Testbed.Faults.context instance.Testbed.Instance.faults)
+  in
+  let pool =
+    Testbed.Instance.nodes_of_cluster instance "graphene"
+    @ Testbed.Instance.nodes_of_cluster instance "griffon"
+    @ Testbed.Instance.nodes_of_cluster instance "grisou"
+    @ Testbed.Instance.nodes_of_cluster instance "paravance"
+    @ Testbed.Instance.nodes_of_cluster instance "sagittaire"
+  in
+  let deploy nodes =
+    let result = ref None in
+    Kadeploy.Deploy.run instance ~registry ~image:"debian8-x64-std" ~nodes
+      ~on_done:(fun r -> result := Some r);
+    Simkit.Engine.run_until instance.Testbed.Instance.engine
+      (Simkit.Engine.now instance.Testbed.Instance.engine +. 7200.0);
+    Option.get !result
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let nodes = List.filteri (fun i _ -> i < n) pool in
+        (* Mean of three repetitions. *)
+        let times =
+          List.init 3 (fun _ ->
+              let r = deploy nodes in
+              r.Kadeploy.Deploy.finished_at -. r.Kadeploy.Deploy.started_at)
+        in
+        let mean = List.fold_left ( +. ) 0.0 times /. 3.0 in
+        let model =
+          Kadeploy.Deploy.expected_duration ~nodes:n
+            ~image_mb:Kadeploy.Image.std_env.Kadeploy.Image.size_mb
+        in
+        [ string_of_int n; Printf.sprintf "%.0f s" mean; Printf.sprintf "%.0f s" model ])
+      [ 1; 2; 4; 8; 16; 32; 64; 128; 200; 256 ]
+  in
+  print_string (Simkit.Table.render ~header:[ "nodes"; "measured (mean of 3)"; "model" ] rows);
+  Printf.printf "paper: \"200 nodes deployed in ~5 minutes\" (chain broadcast => flat).\n"
+
+(* ---- E4: monitoring at 1 Hz (slide 9) ------------------------------------------ *)
+
+let e4 () =
+  section "E4" "experiment monitoring: infrastructure probes at ~1 Hz";
+  let instance = Testbed.Instance.build ~seed:404L () in
+  let collector = Monitoring.Collector.create instance in
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 120.0;
+  let host = "taurus-1.lyon" in
+  let rows =
+    List.map
+      (fun metric ->
+        let series =
+          Monitoring.Collector.sample_window collector ~host metric ~lo:60.0 ~hi:119.0
+        in
+        let hz = Monitoring.Collector.achieved_frequency_hz series ~lo:60.0 ~hi:119.0 in
+        let mean = Simkit.Timeseries.mean_between series ~lo:60.0 ~hi:119.0 in
+        [ Monitoring.Collector.metric_to_string metric;
+          Printf.sprintf "%.2f Hz" hz;
+          Simkit.Table.fmt_float mean;
+          Simkit.Timeseries.sparkline series ~lo:60.0 ~hi:119.0 ~width:30 ])
+      [ Monitoring.Collector.Cpu_load; Monitoring.Collector.Mem_used_gb;
+        Monitoring.Collector.Net_rx_mbps; Monitoring.Collector.Power_w ]
+  in
+  print_string
+    (Simkit.Table.render ~header:[ "metric"; "frequency"; "mean"; "live view (60 s)" ] rows);
+  Printf.printf "paper: probes \"captured at high frequency (~1 Hz)\" with live\n\
+                 visualisation, REST API and long-term storage.\n"
+
+(* ---- E5: matrix jobs (slide 15) -------------------------------------------------- *)
+
+let e5 () =
+  section "E5" "Jenkins matrix: 14 images x 32 clusters = 448 configurations";
+  let rows =
+    List.map
+      (fun family ->
+        let axes = Framework.Testdef.matrix_axes family in
+        [ "test_" ^ Framework.Testdef.family_to_string family;
+          String.concat " x "
+            (List.map (fun (a, vs) -> Printf.sprintf "%s(%d)" a (List.length vs)) axes);
+          string_of_int (List.length (Framework.Testdef.expand family)) ])
+      Framework.Testdef.all_families
+  in
+  print_string (Simkit.Table.render ~header:[ "job"; "axes"; "combinations" ] rows);
+  (* Matrix Reloaded scenario: corrupt one image, run the matrix, retry
+     only the failed subset. *)
+  let env = Framework.Env.create ~seed:505L ~executors:16 () in
+  Framework.Jobs.define_all env ~on_evidence:(fun _ -> ());
+  let img = Kadeploy.Image.std_env in
+  let fault =
+    Option.get
+      (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+         Testbed.Faults.Env_image_corrupt
+         (Testbed.Faults.Global (Printf.sprintf "env_corrupt:%d" img.Kadeploy.Image.index)))
+  in
+  ignore (Ci.Server.trigger env.Framework.Env.ci "test_environments");
+  Framework.Env.run_until env (6.0 *. Simkit.Calendar.day);
+  let count result =
+    List.length
+      (List.filter
+         (fun b -> b.Ci.Build.result = Some result)
+         (Ci.Server.builds env.Framework.Env.ci "test_environments"))
+  in
+  Printf.printf "full matrix run : %d SUCCESS, %d FAILURE (image %s corrupt)\n"
+    (count Ci.Build.Success) (count Ci.Build.Failure) img.Kadeploy.Image.name;
+  Testbed.Faults.repair (Framework.Env.faults env) ~now:(Framework.Env.now env) fault;
+  (match Ci.Server.retry_failed env.Framework.Env.ci "test_environments" with
+   | Ci.Server.Queued builds ->
+     Printf.printf "matrix reloaded : re-ran %d failed combination(s) after the fix\n"
+       (List.length builds)
+   | _ -> ());
+  Framework.Env.run_until env (Framework.Env.now env +. (2.0 *. Simkit.Calendar.day));
+  let still_failing =
+    Ci.Jobdef.combinations (Framework.Testdef.matrix_axes Framework.Testdef.Environments)
+    |> List.filter (fun axes ->
+           match Ci.Server.last_of_axes env.Framework.Env.ci "test_environments" ~axes with
+           | Some b -> b.Ci.Build.result <> Some Ci.Build.Success
+           | None -> true)
+  in
+  Printf.printf "after retry     : %d combination(s) still failing\n"
+    (List.length still_failing)
+
+(* ---- E6: job scheduling policies (slides 16-17) ------------------------------------ *)
+
+let e6 () =
+  section "E6" "external scheduler vs naive time-based triggering";
+  let run policy =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with
+        Framework.Campaign.months = 1;
+        seed = 606L;
+        policy;
+      }
+  in
+  let report_row name report =
+    match report.Framework.Campaign.scheduler_stats with
+    | None -> [ name; "-"; "-"; "-"; "-"; "-"; "-" ]
+    | Some s ->
+      let completed =
+        s.Framework.Scheduler.completed_success + s.Framework.Scheduler.completed_failure
+        + s.Framework.Scheduler.completed_unstable
+      in
+      [ name;
+        string_of_int s.Framework.Scheduler.triggered;
+        Simkit.Table.fmt_pct
+          (float_of_int s.Framework.Scheduler.completed_success
+          /. float_of_int (Stdlib.max 1 completed));
+        string_of_int s.Framework.Scheduler.completed_unstable;
+        Simkit.Table.fmt_pct
+          (float_of_int s.Framework.Scheduler.completed_unstable
+          /. float_of_int (Stdlib.max 1 completed));
+        string_of_int s.Framework.Scheduler.skipped_no_resources;
+        string_of_int s.Framework.Scheduler.skipped_peak ]
+  in
+  let smart = run Framework.Scheduler.smart_policy in
+  let naive = run Framework.Scheduler.naive_policy in
+  print_string
+    (Simkit.Table.render
+       ~header:
+         [ "policy"; "triggered"; "success"; "unstable"; "unstable%";
+           "skips(no-res)"; "skips(peak)" ]
+       [ report_row "smart (paper)" smart; report_row "naive (baseline)" naive ]);
+  (* Peak-hour pollution: builds that consumed testbed nodes during user
+     working hours. *)
+  let peak_violations report =
+    ignore report;
+    0
+  in
+  ignore peak_violations;
+  Printf.printf
+    "paper: the external tool submits only when resources are available, with\n\
+     exponential backoff, peak-hours avoidance and same-site anti-affinity;\n\
+     jobs not schedulable immediately are cancelled => build marked UNSTABLE.\n"
+
+(* ---- E7: status page (slides 18-19) -------------------------------------------------- *)
+
+let e7 () =
+  section "E7" "status page: per-test / per-cluster / historical views";
+  let report =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with Framework.Campaign.months = 1; seed = 707L }
+  in
+  print_string report.Framework.Campaign.statuspage
+
+(* ---- E8: coverage (slide 21) ---------------------------------------------------------- *)
+
+let e8 () =
+  section "E8" "test coverage: 751 configurations";
+  let rows =
+    List.map
+      (fun family ->
+        [ Framework.Testdef.family_to_string family;
+          Framework.Testdef.category family;
+          (if Framework.Testdef.is_hardware_centric family then "hardware-centric"
+           else "software-centric");
+          string_of_int (List.length (Framework.Testdef.expand family)) ])
+      Framework.Testdef.all_families
+  in
+  print_string
+    (Simkit.Table.render ~header:[ "test"; "category"; "kind"; "configurations" ]
+       (rows
+       @ [ [ "TOTAL"; ""; ""; string_of_int (Framework.Jobs.total_configurations ()) ] ]));
+  Printf.printf "paper: \"Coverage (total of 751 test configurations)\".\n"
+
+(* ---- E9: bugs filed/fixed (slide 22) --------------------------------------------------- *)
+
+let e9 () =
+  section "E9" "results: bugs filed and fixed over a 6-month campaign";
+  let report =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with Framework.Campaign.months = 6; seed = 42L }
+  in
+  print_string
+    (Simkit.Table.render ~header:[ "category"; "filed"; "fixed" ]
+       (List.map
+          (fun (category, filed, fixed) ->
+            [ category; string_of_int filed; string_of_int fixed ])
+          report.Framework.Campaign.bugs_by_category
+       @ [ [ "TOTAL"; string_of_int report.Framework.Campaign.bugs_filed;
+             string_of_int report.Framework.Campaign.bugs_fixed ] ]));
+  Printf.printf "paper: 118 bugs filed, 84 already fixed at submission time.\n";
+  Printf.printf
+    "ground truth: %d faults injected, %d detected by tests, %d repaired.\n"
+    report.Framework.Campaign.faults_injected report.Framework.Campaign.faults_detected
+    report.Framework.Campaign.faults_repaired
+
+(* ---- E10: reliability trend (slide 23) --------------------------------------------------- *)
+
+let e10 () =
+  section "E10" "reliability: success rate improves while tests are added";
+  let report =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with Framework.Campaign.months = 12; seed = 42L }
+  in
+  print_string
+    (Simkit.Table.render
+       ~header:[ "month"; "builds"; "success"; "configs enabled"; "active faults" ]
+       (List.map
+          (fun m ->
+            [ string_of_int m.Framework.Campaign.month;
+              string_of_int m.Framework.Campaign.builds;
+              Simkit.Table.fmt_pct m.Framework.Campaign.success_ratio;
+              string_of_int m.Framework.Campaign.enabled_configs;
+              string_of_int m.Framework.Campaign.active_faults ])
+          report.Framework.Campaign.monthly));
+  Printf.printf
+    "paper: \"85%% of tests successful in February => 93%% today, despite the\n\
+     addition of new tests\" (disk+kavlan added month 2; kwapi+mpigraph month 4).\n"
+
+(* ---- Ablations: the design choices DESIGN.md calls out ---------------------------------- *)
+
+(* A1: the paper's open question — whole-cluster vs per-node scheduling of
+   hardware-centric tests. *)
+let a1 () =
+  section "A1" "ablation: whole-cluster vs per-node scheduling (open question)";
+  let run strategy =
+    let instance = Testbed.Instance.build ~seed:111L () in
+    let oar = Oar.Manager.create instance in
+    let env =
+      { Framework.Env.instance; oar;
+        registry =
+          Kadeploy.Image.registry (Testbed.Faults.context instance.Testbed.Instance.faults);
+        collector = Monitoring.Collector.create instance;
+        ci = Ci.Server.create instance.Testbed.Instance.engine;
+        trace = Simkit.Tracelog.create () }
+    in
+    let engine = instance.Testbed.Instance.engine in
+    let rng = Simkit.Prng.split (Simkit.Engine.rng engine) in
+    (* A dedicated heavy stream of small jobs on genepi keeps the cluster
+       ~full with staggered reservations — the paper's "waiting for all
+       nodes of a given cluster to be available can take weeks" regime. *)
+    let in_flight = ref 0 in
+    Oar.Manager.on_job_end oar (fun _ -> decr in_flight);
+    Simkit.Engine.every engine ~period:300.0 (fun _ ->
+        if !in_flight < 60 then begin
+          let nodes = `N (Simkit.Prng.int_in rng 1 6) in
+          let walltime =
+            Float.min (12.0 *. 3600.0)
+              (Simkit.Dist.sample rng (Simkit.Dist.Lognormal (8.8, 0.8)))
+          in
+          match
+            Oar.Manager.submit oar ~user:"heavy-user"
+              ~duration:(walltime *. (0.6 +. (0.4 *. Simkit.Prng.float rng)))
+              (Oar.Request.nodes ~filter:"cluster='genepi'" nodes ~walltime)
+          with
+          | Ok _ -> incr in_flight
+          | Error _ -> ()
+        end;
+        true);
+    let tracker =
+      Framework.Pernode.create ~walltime:900.0 env ~strategy ~cluster:"genepi"
+    in
+    Framework.Pernode.start tracker ~period:600.0;
+    Simkit.Engine.run_until engine (30.0 *. Simkit.Calendar.day);
+    tracker
+  in
+  let whole = run Framework.Pernode.Whole_cluster in
+  let per_node = run Framework.Pernode.Per_node in
+  let row name tracker =
+    let sweeps = Framework.Pernode.completed_sweeps tracker in
+    [ name;
+      (match Framework.Pernode.time_to_coverage tracker with
+       | Some d -> Printf.sprintf "%.1f days" (d /. Simkit.Calendar.day)
+       | None -> "never (30-day horizon)");
+      string_of_int (List.length sweeps);
+      (match sweeps with
+       | [] -> "-"
+       | _ ->
+         let runs =
+           List.fold_left
+             (fun acc s -> acc + s.Framework.Pernode.partial_runs)
+             0 sweeps
+         in
+         Printf.sprintf "%.1f" (float_of_int runs /. float_of_int (List.length sweeps))) ]
+  in
+  print_string
+    (Simkit.Table.render
+       ~header:
+         [ "strategy"; "first full coverage"; "sweeps in 30 days"; "reservations/sweep" ]
+       [ row "whole-cluster (paper)" whole; row "per-node (proposed)" per_node ]);
+  Printf.printf
+    "paper: \"requiring the availability of all nodes of a cluster is not very\n\
+     realistic. Move to per-node scheduling?\" — per-node coverage completes even\n\
+     when the cluster is never simultaneously free.\n"
+
+(* A2/A3: scheduler policy knobs, one at a time. *)
+let a2_a3 () =
+  section "A2/A3" "ablation: exponential backoff and peak-hours avoidance";
+  let run policy seed =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with
+        Framework.Campaign.months = 1;
+        seed;
+        policy;
+      }
+  in
+  let base = Framework.Scheduler.smart_policy in
+  let variants =
+    [ ("smart (all policies)", base);
+      ("no backoff", { base with Framework.Scheduler.use_backoff = false });
+      ("no peak avoidance", { base with Framework.Scheduler.avoid_peak_hours = false });
+      ("no site anti-affinity", { base with Framework.Scheduler.one_job_per_site = false }) ]
+  in
+  let peak_builds report =
+    ignore report;
+    ()
+  in
+  ignore peak_builds;
+  let rows =
+    List.map
+      (fun (name, policy) ->
+        let report = run policy 222L in
+        match report.Framework.Campaign.scheduler_stats with
+        | None -> [ name; "-"; "-"; "-"; "-" ]
+        | Some s ->
+          let completed =
+            s.Framework.Scheduler.completed_success
+            + s.Framework.Scheduler.completed_failure
+            + s.Framework.Scheduler.completed_unstable
+          in
+          [ name;
+            string_of_int s.Framework.Scheduler.triggered;
+            Simkit.Table.fmt_pct
+              (float_of_int s.Framework.Scheduler.completed_success
+              /. float_of_int (Stdlib.max 1 completed));
+            string_of_int s.Framework.Scheduler.completed_unstable;
+            string_of_int s.Framework.Scheduler.skipped_no_resources ])
+      variants
+  in
+  print_string
+    (Simkit.Table.render
+       ~header:[ "policy variant"; "triggered"; "success"; "unstable"; "skips(no-res)" ]
+       rows)
+
+(* A4: operator capacity sensitivity — how fast do bugs need fixing for the
+   93% regime? *)
+let a4 () =
+  section "A4" "ablation: operator fix capacity vs reliability";
+  let rows =
+    List.map
+      (fun capacity ->
+        let report =
+          Framework.Campaign.run
+            { Framework.Campaign.default_config with
+              Framework.Campaign.months = 2;
+              seed = 333L;
+              operator =
+                { Framework.Operator.default_config with
+                  Framework.Operator.fix_capacity_per_day = capacity;
+                };
+            }
+        in
+        let last_month =
+          List.nth report.Framework.Campaign.monthly
+            (List.length report.Framework.Campaign.monthly - 1)
+        in
+        [ Printf.sprintf "%.2f bugs/day" capacity;
+          string_of_int report.Framework.Campaign.bugs_filed;
+          string_of_int report.Framework.Campaign.bugs_fixed;
+          Simkit.Table.fmt_pct last_month.Framework.Campaign.success_ratio;
+          string_of_int last_month.Framework.Campaign.active_faults ])
+      [ 0.15; 0.35; 0.72; 1.5; 3.0 ]
+  in
+  print_string
+    (Simkit.Table.render
+       ~header:[ "fix capacity"; "filed"; "fixed"; "success (month 2)"; "active faults" ]
+       rows);
+  Printf.printf "the \"test-driven operations\" regime needs fixing to keep up with arrivals.\n"
+
+(* A5: detection latency per fault category. *)
+let a5 () =
+  section "A5" "detection latency by fault category (ground truth)";
+  let report =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with Framework.Campaign.months = 2; seed = 42L }
+  in
+  print_string
+    (Simkit.Table.render ~header:[ "fault category"; "mean detection latency"; "detections" ]
+       (List.map
+          (fun (category, days, n) ->
+            [ category; Printf.sprintf "%.1f days" days; string_of_int n ])
+          report.Framework.Campaign.detection_latency_days));
+  Printf.printf
+    "description drift is caught within a day (refapi runs daily); whole-cluster\n\
+     hardware tests take longer — they wait for the resources (E6, A1).\n"
+
+(* A6: user-experiment regression tests (future work made real). *)
+let a6 () =
+  section "A6" "extension: user experiments as regression tests";
+  let env = Framework.Env.create ~seed:444L () in
+  let tracker = Framework.Bugtracker.create () in
+  Framework.Regression.define_jobs env ~on_evidence:(fun evidence ->
+      ignore (Framework.Bugtracker.file tracker ~now:(Framework.Env.now env) evidence));
+  (* Break things a user would notice — on every candidate target, so the
+     experiments' reservations cannot dodge the faults. *)
+  List.iter
+    (fun spec ->
+      if spec.Testbed.Inventory.has_ib then
+        ignore
+          (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+             Testbed.Faults.Ofed_flaky
+             (Testbed.Faults.Cluster spec.Testbed.Inventory.cluster)))
+    Testbed.Inventory.clusters;
+  List.iter
+    (fun cluster ->
+      let rec swap_pairs = function
+        | a :: b :: rest ->
+          ignore
+            (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+               Testbed.Faults.Cabling_swap
+               (Testbed.Faults.Host_pair (a.Testbed.Node.host, b.Testbed.Node.host)));
+          swap_pairs rest
+        | _ -> ()
+      in
+      swap_pairs (Testbed.Instance.nodes_of_cluster env.Framework.Env.instance cluster))
+    [ "grisou"; "graphene"; "griffon"; "graphite"; "grimoire"; "graoully"; "grele";
+      "grimani" ];
+  (* Several rounds: the OFED failure is probabilistic. *)
+  for _ = 1 to 4 do
+    List.iter
+      (fun experiment ->
+        ignore
+          (Ci.Server.trigger env.Framework.Env.ci
+             ("regression_" ^ Framework.Regression.name experiment)))
+      Framework.Regression.all;
+    Framework.Env.run_until env (Framework.Env.now env +. (6.0 *. Simkit.Calendar.hour))
+  done;
+  List.iter
+    (fun experiment ->
+      let job = "regression_" ^ Framework.Regression.name experiment in
+      let completed =
+        List.filter Ci.Build.is_finished (Ci.Server.builds env.Framework.Env.ci job)
+      in
+      let failures =
+        List.length
+          (List.filter (fun b -> b.Ci.Build.result = Some Ci.Build.Failure) completed)
+      in
+      Printf.printf "  %-28s %d run(s), %d failure(s)\n" job (List.length completed)
+        failures)
+    Framework.Regression.all;
+  let filed, _ = Framework.Bugtracker.counts tracker in
+  Printf.printf "bugs filed by regression experiments: %d\n" filed;
+  Printf.printf "paper: \"adding real user experiments as regression tests?\" — done.\n"
+
+(* ---- Bechamel micro-benchmarks --------------------------------------------------------- *)
+
+let microbenchmarks () =
+  section "MICRO" "Bechamel micro-benchmarks of the core machinery";
+  let open Bechamel in
+  (* Staged state shared by the closures. *)
+  let rng = Simkit.Prng.create 1L in
+  let instance = Testbed.Instance.build ~seed:808L () in
+  let oar = Oar.Manager.create instance in
+  let node = Testbed.Instance.node instance "grisou-1.nancy" in
+  let doc_text =
+    Simkit.Json.to_string
+      (Option.get (Testbed.Refapi.get instance.Testbed.Instance.refapi "grisou-1.nancy"))
+  in
+  let doc = Simkit.Json.of_string_exn doc_text in
+  let request = Oar.Request.nodes ~filter:"cluster='grisou'" (`N 4) ~walltime:3600.0 in
+  let expr_source = "cluster='grisou' and gpu='NO' and cores>=8" in
+  let tests =
+    [ Test.make ~name:"prng.next_int64" (Staged.stage (fun () -> Simkit.Prng.next_int64 rng));
+      Test.make ~name:"dist.normal"
+        (Staged.stage (fun () -> Simkit.Dist.normal rng ~mu:0.0 ~sigma:1.0));
+      Test.make ~name:"engine.1000-events"
+        (Staged.stage (fun () ->
+             let e = Simkit.Engine.create () in
+             for i = 1 to 1000 do
+               ignore (Simkit.Engine.schedule e ~delay:(float_of_int i) (fun _ -> ()))
+             done;
+             Simkit.Engine.run e));
+      Test.make ~name:"json.parse-refapi-doc"
+        (Staged.stage (fun () -> Simkit.Json.of_string_exn doc_text));
+      Test.make ~name:"json.diff-identical" (Staged.stage (fun () -> Simkit.Json.diff doc doc));
+      Test.make ~name:"expr.parse" (Staged.stage (fun () -> Oar.Expr.parse_exn expr_source));
+      Test.make ~name:"oar.estimate-start"
+        (Staged.stage (fun () -> Oar.Manager.estimate_start oar request));
+      Test.make ~name:"g5kchecks.node-check"
+        (Staged.stage (fun () -> G5kchecks.Check.run instance node));
+      Test.make ~name:"matrix.expand-448"
+        (Staged.stage (fun () ->
+             Ci.Jobdef.combinations
+               (Framework.Testdef.matrix_axes Framework.Testdef.Environments)));
+      Test.make ~name:"kadeploy.expected-duration"
+        (Staged.stage (fun () -> Kadeploy.Deploy.expected_duration ~nodes:200 ~image_mb:1200))
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+    let raw = Benchmark.all cfg instances test in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ ns ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name ns
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  a1 ();
+  a2_a3 ();
+  a4 ();
+  a5 ();
+  a6 ();
+  microbenchmarks ();
+  Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,266 @@
+(* g5ktest: command-line front-end to the testbed testing framework.
+
+   Subcommands:
+     inventory  - print the simulated testbed inventory
+     coverage   - print the test catalog (751 configurations)
+     campaign   - run a closed-loop campaign and print the report
+     hunt       - inject one fault per class and report detections
+     status     - run a short campaign and print the status page *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Master PRNG seed; every run is deterministic for a given seed." in
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* ---- inventory ----------------------------------------------------------- *)
+
+let inventory_cmd =
+  let run () =
+    print_string
+      (Simkit.Table.render
+         ~header:[ "cluster"; "site"; "vendor"; "nodes"; "cores/node"; "year"; "ib"; "gpu" ]
+         (List.map
+            (fun c ->
+              [ c.Testbed.Inventory.cluster; c.Testbed.Inventory.site;
+                Testbed.Hardware.vendor_to_string c.Testbed.Inventory.vendor;
+                string_of_int c.Testbed.Inventory.nodes;
+                string_of_int (c.Testbed.Inventory.cpus * c.Testbed.Inventory.cores_per_cpu);
+                string_of_int c.Testbed.Inventory.year;
+                (if c.Testbed.Inventory.has_ib then "yes" else "-");
+                (if c.Testbed.Inventory.has_gpu then "yes" else "-") ])
+            Testbed.Inventory.clusters));
+    Printf.printf "total: %d sites, %d clusters, %d nodes, %d cores\n"
+      (List.length Testbed.Inventory.sites)
+      (List.length Testbed.Inventory.clusters)
+      Testbed.Inventory.total_nodes Testbed.Inventory.total_cores
+  in
+  Cmd.v
+    (Cmd.info "inventory" ~doc:"Print the simulated Grid'5000-2017 inventory")
+    Term.(const run $ const ())
+
+(* ---- coverage ------------------------------------------------------------- *)
+
+let coverage_cmd =
+  let run () =
+    let rows =
+      List.map
+        (fun family ->
+          let configs = Framework.Testdef.expand family in
+          [ Framework.Testdef.family_to_string family;
+            Framework.Testdef.category family;
+            (match Framework.Testdef.need family with
+             | Framework.Testdef.No_nodes -> "api only"
+             | Framework.Testdef.One_node -> "1 node"
+             | Framework.Testdef.Two_nodes -> "2 nodes"
+             | Framework.Testdef.Site_spread -> "1 node/cluster of site"
+             | Framework.Testdef.Whole_cluster -> "ALL nodes of cluster");
+            string_of_int (List.length configs) ])
+        Framework.Testdef.all_families
+    in
+    print_string
+      (Simkit.Table.render ~header:[ "test"; "category"; "resources"; "configurations" ]
+         rows);
+    Printf.printf "total configurations: %d (paper: 751)\n"
+      (Framework.Jobs.total_configurations ())
+  in
+  Cmd.v
+    (Cmd.info "coverage" ~doc:"Print the test catalog and its 751 configurations")
+    Term.(const run $ const ())
+
+(* ---- campaign -------------------------------------------------------------- *)
+
+let months_arg =
+  Arg.(value & opt int 6 & info [ "months" ] ~docv:"N" ~doc:"Campaign length in 30-day months.")
+
+let no_testing_arg =
+  Arg.(value & flag & info [ "no-testing" ] ~doc:"Ablation: run without the testing framework.")
+
+let naive_arg =
+  Arg.(value & flag & info [ "naive" ] ~doc:"Use the naive (time-based) scheduling policy.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the machine-readable JSON report.")
+
+let campaign_cmd =
+  let run months seed no_testing naive json =
+    let cfg =
+      { Framework.Campaign.default_config with
+        Framework.Campaign.months;
+        seed;
+        enable_testing = not no_testing;
+        policy =
+          (if naive then Framework.Scheduler.naive_policy
+           else Framework.Scheduler.smart_policy);
+      }
+    in
+    let report = Framework.Campaign.run cfg in
+    if json then print_endline (Framework.Report.to_string report)
+    else begin
+    Format.printf "%a" Framework.Campaign.pp_report report;
+    Format.printf "@.bugs by category:@.";
+    List.iter
+      (fun (category, filed, fixed) ->
+        Format.printf "  %-15s filed %3d, fixed %3d@." category filed fixed)
+      report.Framework.Campaign.bugs_by_category;
+    match report.Framework.Campaign.scheduler_stats with
+    | Some s ->
+      Format.printf
+        "@.scheduler: %d polls, %d triggered; skipped %d (peak) %d (site busy) %d (no resources)@."
+        s.Framework.Scheduler.polls s.Framework.Scheduler.triggered
+        s.Framework.Scheduler.skipped_peak s.Framework.Scheduler.skipped_site_busy
+        s.Framework.Scheduler.skipped_no_resources
+    | None -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run the closed-loop testing campaign")
+    Term.(const run $ months_arg $ seed_arg $ no_testing_arg $ naive_arg $ json_arg)
+
+(* ---- hunt ------------------------------------------------------------------- *)
+
+let hunt_cmd =
+  let run seed days =
+    let env = Framework.Env.create ~seed () in
+    let faults = Framework.Env.faults env in
+    let tracker = Framework.Bugtracker.create () in
+    Framework.Jobs.define_all env ~on_evidence:(fun evidence ->
+        ignore (Framework.Bugtracker.file tracker ~now:(Framework.Env.now env) evidence));
+    let injected =
+      List.filter_map
+        (fun kind -> Testbed.Faults.inject faults ~now:0.0 kind)
+        Testbed.Faults.all_kinds
+    in
+    Oar.Manager.refresh_properties env.Framework.Env.oar;
+    let scheduler = Framework.Scheduler.create env in
+    List.iter (Framework.Scheduler.enable_family scheduler) Framework.Testdef.all_families;
+    Framework.Scheduler.start scheduler;
+    Framework.Env.run_until env (float_of_int days *. Simkit.Calendar.day);
+    let detected = List.filter (fun f -> f.Testbed.Faults.detected_at <> None) injected in
+    Printf.printf "injected %d faults; %d detected within %d day(s)\n"
+      (List.length injected) (List.length detected) days;
+    List.iter
+      (fun (f : Testbed.Faults.fault) ->
+        Printf.printf "  %-8s %-22s %s\n"
+          (if f.Testbed.Faults.detected_at <> None then "CAUGHT" else "missed")
+          (Testbed.Faults.kind_to_string f.Testbed.Faults.kind)
+          f.Testbed.Faults.what)
+      injected;
+    print_newline ();
+    print_string (Framework.Bugreport.render_index env tracker)
+  in
+  let days_arg =
+    Arg.(value & opt int 7 & info [ "days" ] ~docv:"N" ~doc:"Hunting duration in days.")
+  in
+  Cmd.v
+    (Cmd.info "hunt" ~doc:"Inject one fault per class and report what the tests catch")
+    Term.(const run $ seed_arg $ days_arg)
+
+(* ---- status ------------------------------------------------------------------ *)
+
+let status_cmd =
+  let run seed html =
+    let report =
+      Framework.Campaign.run
+        { Framework.Campaign.default_config with Framework.Campaign.months = 1; seed }
+    in
+    match html with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc report.Framework.Campaign.statuspage_html;
+      close_out oc;
+      Printf.printf "status page written to %s\n" path
+    | None -> print_string report.Framework.Campaign.statuspage
+  in
+  let html_arg =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE" ~doc:"Write the page as HTML to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Run a one-month campaign and print the status page")
+    Term.(const run $ seed_arg $ html_arg)
+
+(* ---- pernode ------------------------------------------------------------------ *)
+
+let pernode_cmd =
+  let run seed cluster days =
+    let instance = Testbed.Instance.build ~seed () in
+    let oar = Oar.Manager.create instance in
+    let env =
+      { Framework.Env.instance; oar;
+        registry =
+          Kadeploy.Image.registry (Testbed.Faults.context instance.Testbed.Instance.faults);
+        collector = Monitoring.Collector.create instance;
+        ci = Ci.Server.create instance.Testbed.Instance.engine;
+        trace = Simkit.Tracelog.create () }
+    in
+    let rng = Simkit.Prng.split (Simkit.Engine.rng instance.Testbed.Instance.engine) in
+    ignore (Oar.Workload.start ~rng oar);
+    let whole =
+      Framework.Pernode.create env ~strategy:Framework.Pernode.Whole_cluster ~cluster
+    in
+    let per_node =
+      Framework.Pernode.create env ~strategy:Framework.Pernode.Per_node ~cluster
+    in
+    Framework.Pernode.start whole ~period:600.0;
+    Framework.Pernode.start per_node ~period:600.0;
+    Simkit.Engine.run_until instance.Testbed.Instance.engine
+      (float_of_int days *. Simkit.Calendar.day);
+    let show name tracker =
+      Printf.printf "%-14s first coverage: %s; sweeps completed: %d\n" name
+        (match Framework.Pernode.time_to_coverage tracker with
+         | Some d -> Printf.sprintf "%.2f days" (d /. Simkit.Calendar.day)
+         | None -> "never")
+        (List.length (Framework.Pernode.completed_sweeps tracker))
+    in
+    show "whole-cluster" whole;
+    show "per-node" per_node
+  in
+  let cluster_arg =
+    Arg.(value & opt string "genepi" & info [ "cluster" ] ~docv:"NAME" ~doc:"Target cluster.")
+  in
+  let days_arg =
+    Arg.(value & opt int 14 & info [ "days" ] ~docv:"N" ~doc:"Observation window in days.")
+  in
+  Cmd.v
+    (Cmd.info "pernode"
+       ~doc:"Compare whole-cluster vs per-node scheduling of hardware tests")
+    Term.(const run $ seed_arg $ cluster_arg $ days_arg)
+
+(* ---- regression ----------------------------------------------------------------- *)
+
+let regression_cmd =
+  let run seed =
+    let env = Framework.Env.create ~seed () in
+    let tracker = Framework.Bugtracker.create () in
+    Framework.Regression.define_jobs env ~on_evidence:(fun evidence ->
+        ignore (Framework.Bugtracker.file tracker ~now:(Framework.Env.now env) evidence));
+    List.iter
+      (fun experiment ->
+        ignore
+          (Ci.Server.trigger env.Framework.Env.ci
+             ("regression_" ^ Framework.Regression.name experiment)))
+      Framework.Regression.all;
+    Framework.Env.run_until env (12.0 *. Simkit.Calendar.hour);
+    List.iter
+      (fun experiment ->
+        let job = "regression_" ^ Framework.Regression.name experiment in
+        Printf.printf "  %-28s %s\n" job
+          (match Ci.Server.last_completed env.Framework.Env.ci job with
+           | Some { Ci.Build.result = Some r; _ } -> Ci.Build.result_to_string r
+           | _ -> "(did not run)"))
+      Framework.Regression.all;
+    print_string (Ci.Weather.render env.Framework.Env.ci)
+  in
+  Cmd.v
+    (Cmd.info "regression" ~doc:"Run the user-experiment regression tests once")
+    Term.(const run $ seed_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "g5ktest" ~version:"1.0.0"
+       ~doc:"Testbed testing framework on a simulated Grid'5000")
+    [ inventory_cmd; coverage_cmd; campaign_cmd; hunt_cmd; status_cmd; pernode_cmd;
+      regression_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Format Framework List Oar Option Simkit Testbed

@@ -1,0 +1,1 @@
+examples/deploy_scaling.ml: Format Kadeploy List Option Simkit Testbed

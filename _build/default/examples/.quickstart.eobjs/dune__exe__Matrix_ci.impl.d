@@ -1,0 +1,1 @@
+examples/matrix_ci.ml: Ci Format Framework Kadeploy List Printf Simkit Testbed

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ci Format Framework List Simkit Testbed

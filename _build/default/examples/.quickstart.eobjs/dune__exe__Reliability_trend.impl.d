@@ -1,0 +1,1 @@
+examples/reliability_trend.ml: Array Format Framework List Simkit String Sys

@@ -1,0 +1,1 @@
+examples/trust_dashboard.ml: Ci Format Framework List Monitoring Oar Simkit Testbed

@@ -1,0 +1,43 @@
+(* Kadeploy scaling: deploy a standard environment on growing node counts
+   and show that the chain broadcast keeps the time nearly flat — "200
+   nodes deployed in ~5 minutes".
+
+   Run with: dune exec examples/deploy_scaling.exe *)
+
+let deploy_once instance registry nodes =
+  let result = ref None in
+  Kadeploy.Deploy.run instance ~registry ~image:"debian8-x64-std" ~nodes
+    ~on_done:(fun r -> result := Some r);
+  Simkit.Engine.run_until instance.Testbed.Instance.engine
+    (Simkit.Engine.now instance.Testbed.Instance.engine +. 7200.0);
+  Option.get !result
+
+let () =
+  let instance = Testbed.Instance.build ~seed:3L () in
+  let registry =
+    Kadeploy.Image.registry (Testbed.Faults.context instance.Testbed.Instance.faults)
+  in
+  (* A pool of 256 nodes across the big clusters. *)
+  let pool =
+    Testbed.Instance.nodes_of_cluster instance "graphene"
+    @ Testbed.Instance.nodes_of_cluster instance "griffon"
+    @ Testbed.Instance.nodes_of_cluster instance "grisou"
+    @ Testbed.Instance.nodes_of_cluster instance "paravance"
+    @ Testbed.Instance.nodes_of_cluster instance "sagittaire"
+  in
+  Format.printf "nodes  measured  model   success@.";
+  List.iter
+    (fun n ->
+      let nodes = List.filteri (fun i _ -> i < n) pool in
+      let r = deploy_once instance registry nodes in
+      let elapsed = r.Kadeploy.Deploy.finished_at -. r.Kadeploy.Deploy.started_at in
+      let model =
+        Kadeploy.Deploy.expected_duration ~nodes:n
+          ~image_mb:Kadeploy.Image.std_env.Kadeploy.Image.size_mb
+      in
+      Format.printf "%5d  %6.0f s  %5.0f s  %3d/%d@." n elapsed model
+        (Kadeploy.Deploy.success_count r) n)
+    [ 1; 2; 4; 8; 16; 32; 64; 128; 200; 256 ];
+  Format.printf
+    "@.the paper's figure: 200 nodes in ~5 minutes — the broadcast chain@.\
+     makes deployment time nearly independent of the node count.@."

@@ -1,0 +1,57 @@
+(* Matrix CI: the paper's "test_environments: 14 images x 32 clusters =
+   448 configurations" job, plus the Matrix-Reloaded retry of the failed
+   subset after an image is corrupted.
+
+   Run with: dune exec examples/matrix_ci.exe *)
+
+let count_results ci name =
+  List.fold_left
+    (fun (ok, ko, other) b ->
+      match b.Ci.Build.result with
+      | Some Ci.Build.Success -> (ok + 1, ko, other)
+      | Some Ci.Build.Failure -> (ok, ko + 1, other)
+      | _ -> (ok, ko, other + 1))
+    (0, 0, 0) (Ci.Server.builds ci name)
+
+let () =
+  let env = Framework.Env.create ~seed:9L ~executors:16 () in
+  Framework.Jobs.define_all env ~on_evidence:(fun _ -> ());
+  let ci = env.Framework.Env.ci in
+
+  (* Corrupt one of the 14 images: its whole matrix row will fail. *)
+  let img = Kadeploy.Image.std_env in
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Env_image_corrupt
+       (Testbed.Faults.Global (Printf.sprintf "env_corrupt:%d" img.Kadeploy.Image.index)));
+
+  (match Ci.Server.trigger ci "test_environments" with
+   | Ci.Server.Queued builds ->
+     Format.printf "matrix job expanded to %d configurations (14 images x 32 clusters)@."
+       (List.length builds)
+   | _ -> failwith "trigger failed");
+  (* 448 deployments through 16 executors: a couple of simulated days. *)
+  Framework.Env.run_until env (6.0 *. Simkit.Calendar.day);
+  let ok, ko, other = count_results ci "test_environments" in
+  Format.printf "first pass : %d ok, %d failed, %d other@." ok ko other;
+
+  (* Fix the image, then Matrix-Reloaded: re-run only failed combinations. *)
+  let fault = List.hd (Testbed.Faults.history (Framework.Env.faults env)) in
+  Testbed.Faults.repair (Framework.Env.faults env) ~now:(Framework.Env.now env) fault;
+  (match Ci.Server.retry_failed ci "test_environments" with
+   | Ci.Server.Queued builds ->
+     Format.printf "matrix reloaded: re-running %d failed configuration(s)@."
+       (List.length builds)
+   | _ -> failwith "retry failed");
+  Framework.Env.run_until env (Framework.Env.now env +. (2.0 *. Simkit.Calendar.day));
+
+  (* Latest result per combination should now be all green. *)
+  let still_failing =
+    Ci.Jobdef.combinations (Framework.Testdef.matrix_axes Framework.Testdef.Environments)
+    |> List.filter (fun axes ->
+           match Ci.Server.last_of_axes ci "test_environments" ~axes with
+           | Some b -> b.Ci.Build.result <> Some Ci.Build.Success
+           | None -> true)
+  in
+  Format.printf "after retry: %d configuration(s) still failing@."
+    (List.length still_failing)

@@ -1,0 +1,90 @@
+(* Trust dashboard: the operator's morning view.  Runs two simulated weeks
+   of the full framework with faults arriving, then prints everything an
+   operator looks at: cluster confidence grades, job weather, open bug
+   reports, alert state, OAR usage accounting and a notification digest.
+
+   Run with: dune exec examples/trust_dashboard.exe *)
+
+let () =
+  let env = Framework.Env.create ~seed:77L () in
+  let tracker = Framework.Bugtracker.create () in
+  let notify = Framework.Notify.create env in
+  let page = Framework.Statuspage.create env in
+  let accounting = Oar.Accounting.create env.Framework.Env.oar in
+  Framework.Jobs.define_all env ~on_evidence:(fun evidence ->
+      match Framework.Bugtracker.file tracker ~now:(Framework.Env.now env) evidence with
+      | `New bug -> ignore (Framework.Notify.notify_bug notify bug)
+      | `Duplicate _ -> ());
+
+  (* Ambient life: users, a handful of faults, the external scheduler. *)
+  let rng = Simkit.Prng.split (Simkit.Engine.rng (Framework.Env.engine env)) in
+  ignore (Oar.Workload.start ~rng env.Framework.Env.oar);
+  List.iter
+    (fun kind -> ignore (Testbed.Faults.inject (Framework.Env.faults env) ~now:0.0 kind))
+    [ Testbed.Faults.Cpu_cstates; Testbed.Faults.Disk_write_cache;
+      Testbed.Faults.Disk_firmware; Testbed.Faults.Cabling_swap;
+      Testbed.Faults.Console_broken; Testbed.Faults.Service_outage ];
+  Oar.Manager.refresh_properties env.Framework.Env.oar;
+  let scheduler = Framework.Scheduler.create env in
+  List.iter (Framework.Scheduler.enable_family scheduler) Framework.Testdef.all_families;
+  Framework.Scheduler.start scheduler;
+
+  (* Alerting rules on a couple of sentinel nodes. *)
+  let alerts = Monitoring.Alerts.create env.Framework.Env.collector in
+  List.iter
+    (fun host ->
+      Monitoring.Alerts.add_rule alerts
+        {
+          Monitoring.Alerts.rule_name = "silent:" ^ host;
+          host;
+          metric = Monitoring.Collector.Cpu_load;
+          window = 300.0;
+          aggregation = Monitoring.Alerts.Mean;
+          condition = Monitoring.Alerts.Absent;
+        })
+    [ "grisou-1.nancy"; "paravance-1.rennes"; "helios-1.sophia" ];
+
+  Framework.Env.run_until env (14.0 *. Simkit.Calendar.day);
+  ignore (Monitoring.Alerts.evaluate alerts ~now:(Framework.Env.now env));
+  ignore (Framework.Notify.flush_digests notify ~now:(Framework.Env.now env));
+
+  Format.printf "=== Cluster confidence (worst 10) ===@.";
+  let ranking = Framework.Confidence.ranking page in
+  let worst = List.rev ranking |> List.filteri (fun i _ -> i < 10) in
+  List.iter
+    (fun (cluster, score) ->
+      Format.printf "  %-12s %6s  grade %s@." cluster
+        (Simkit.Table.fmt_pct score)
+        (Framework.Confidence.grade score))
+    worst;
+
+  Format.printf "@.=== Job weather ===@.%s" (Ci.Weather.render env.Framework.Env.ci);
+
+  Format.printf "@.=== Open bugs ===@.%s"
+    (Framework.Bugreport.render_index env tracker);
+
+  (match Framework.Bugtracker.open_bugs tracker with
+   | bug :: _ ->
+     Format.printf "@.=== Example operator report ===@.%s"
+       (Framework.Bugreport.render env bug)
+   | [] -> ());
+
+  Format.printf "@.=== Alerts firing ===@.%s" (Monitoring.Alerts.render alerts);
+
+  Format.printf "@.=== OAR usage (top users) ===@.%s"
+    (Oar.Accounting.render ~top:5 accounting);
+
+  Format.printf "@.=== Notifications ===@.";
+  List.iter
+    (fun m ->
+      Format.printf "  -> %-16s [%s] %s@." m.Framework.Notify.mailbox
+        (match m.Framework.Notify.urgency with
+         | Framework.Notify.Immediate -> "page  "
+         | Framework.Notify.Digest -> "digest")
+        m.Framework.Notify.subject)
+    (Framework.Notify.sent notify);
+
+  let filed, fixed = Framework.Bugtracker.counts tracker in
+  Format.printf "@.two weeks of testing: %d bugs filed (%d fixed), %d builds run@." filed
+    fixed
+    (Ci.Server.builds_executed env.Framework.Env.ci)

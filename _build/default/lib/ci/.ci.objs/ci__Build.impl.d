@@ -1,0 +1,1 @@
+lib/ci/build.ml: Format List String

@@ -1,0 +1,1 @@
+lib/ci/build.mli: Format

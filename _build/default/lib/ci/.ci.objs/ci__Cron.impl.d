@@ -1,0 +1,1 @@
+lib/ci/cron.ml: Float List Simkit String

@@ -1,0 +1,1 @@
+lib/ci/jobdef.ml: Build Cron List Simkit

@@ -1,0 +1,1 @@
+lib/ci/jobdef.mli: Build Cron Simkit

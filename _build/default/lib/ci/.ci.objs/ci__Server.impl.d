@@ -1,0 +1,1 @@
+lib/ci/server.ml: Build Cron Hashtbl Jobdef List Option Printexc Simkit String

@@ -1,0 +1,1 @@
+lib/ci/server.mli: Build Jobdef Simkit

@@ -1,0 +1,1 @@
+lib/ci/weather.ml: Build List Server Simkit

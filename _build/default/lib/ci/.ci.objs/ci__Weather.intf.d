@@ -1,0 +1,1 @@
+lib/ci/weather.mli: Server

@@ -1,0 +1,31 @@
+type body =
+  engine:Simkit.Engine.t -> build:Build.t -> finish:(Build.result -> unit) -> unit
+
+type kind = Freestyle | Matrix of (string * string list) list
+
+type t = {
+  name : string;
+  description : string;
+  kind : kind;
+  body : body;
+  trigger : Cron.t option;
+  retention : int;
+  mutable enabled : bool;
+}
+
+let freestyle ?(description = "") ?trigger ?(retention = 200) ~name body =
+  { name; description; kind = Freestyle; body; trigger; retention; enabled = true }
+
+let matrix ?(description = "") ?trigger ?(retention = 200) ~name ~axes body =
+  { name; description; kind = Matrix axes; body; trigger; retention; enabled = true }
+
+let combinations axes =
+  List.fold_right
+    (fun (axis, values) acc ->
+      List.concat_map (fun value -> List.map (fun tail -> (axis, value) :: tail) acc) values)
+    axes [ [] ]
+
+let combination_count t =
+  match t.kind with
+  | Freestyle -> 1
+  | Matrix axes -> List.length (combinations axes)

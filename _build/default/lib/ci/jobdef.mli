@@ -1,0 +1,51 @@
+(** Job definitions.
+
+    A job's body runs inside an executor slot; it receives the build
+    record (for logging), the simulation engine (to take simulated time)
+    and a [finish] continuation it must call exactly once.  Matrix jobs
+    ("Matrix Project" plugin) declare axes; each combination becomes one
+    child build. *)
+
+type body =
+  engine:Simkit.Engine.t ->
+  build:Build.t ->
+  finish:(Build.result -> unit) ->
+  unit
+
+type kind =
+  | Freestyle
+  | Matrix of (string * string list) list
+      (** axes: [(name, values)]; combinations are the cartesian product *)
+
+type t = {
+  name : string;
+  description : string;
+  kind : kind;
+  body : body;
+  trigger : Cron.t option;
+  retention : int;  (** builds kept per job (long-term history) *)
+  mutable enabled : bool;
+}
+
+val freestyle :
+  ?description:string ->
+  ?trigger:Cron.t ->
+  ?retention:int ->
+  name:string ->
+  body ->
+  t
+
+val matrix :
+  ?description:string ->
+  ?trigger:Cron.t ->
+  ?retention:int ->
+  name:string ->
+  axes:(string * string list) list ->
+  body ->
+  t
+
+val combinations : (string * string list) list -> (string * string) list list
+(** Cartesian product in declaration order; [[\[\]]] for no axes. *)
+
+val combination_count : t -> int
+(** 1 for freestyle jobs. *)

@@ -1,0 +1,283 @@
+type permission = Read | Trigger | Admin
+
+type trigger_outcome = Queued of int list | Not_found | Disabled | Denied
+
+type pending = { job : Jobdef.t; build : Build.t }
+
+type t = {
+  engine : Simkit.Engine.t;
+  jobs : (string, Jobdef.t) Hashtbl.t;
+  mutable queue : pending list;  (* FIFO: head = next to run *)
+  history : (string, Build.t list) Hashtbl.t;  (* newest first *)
+  permissions : (string, permission) Hashtbl.t;
+  n_executors : int;
+  mutable busy : int;
+  mutable next_number : (string, int) Hashtbl.t;
+  mutable executed : int;
+  mutable listeners : (Build.t -> unit) list;
+}
+
+let create ?(executors = 6) engine =
+  {
+    engine;
+    jobs = Hashtbl.create 32;
+    queue = [];
+    history = Hashtbl.create 32;
+    permissions = Hashtbl.create 16;
+    n_executors = executors;
+    busy = 0;
+    next_number = Hashtbl.create 32;
+    executed = 0;
+    listeners = [];
+  }
+
+let on_build_complete t f = t.listeners <- f :: t.listeners
+
+let engine t = t.engine
+let now t = Simkit.Engine.now t.engine
+
+let job_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.jobs [] |> List.sort String.compare
+
+let find_job t name = Hashtbl.find_opt t.jobs name
+
+let enable t name =
+  match find_job t name with Some j -> j.Jobdef.enabled <- true | None -> ()
+
+let disable t name =
+  match find_job t name with Some j -> j.Jobdef.enabled <- false | None -> ()
+
+let grant t ~user permission = Hashtbl.replace t.permissions user permission
+let permission_of t ~user = Hashtbl.find_opt t.permissions user
+
+let builds t name = Option.value ~default:[] (Hashtbl.find_opt t.history name)
+
+let build t name number =
+  List.find_opt (fun b -> b.Build.number = number) (builds t name)
+
+let last_build t name = match builds t name with [] -> None | b :: _ -> Some b
+
+let last_completed t name =
+  List.find_opt Build.is_finished (builds t name)
+
+let last_of_axes t name ~axes =
+  List.find_opt (fun b -> b.Build.axes = axes) (builds t name)
+
+let queue_length t = List.length t.queue
+let busy_executors t = t.busy
+let executors t = t.n_executors
+let builds_executed t = t.executed
+
+let fresh_number t name =
+  let n = Option.value ~default:1 (Hashtbl.find_opt t.next_number name) in
+  Hashtbl.replace t.next_number name (n + 1);
+  n
+
+let record t build =
+  let job_name = build.Build.job_name in
+  let retention =
+    match find_job t job_name with Some j -> j.Jobdef.retention | None -> 200
+  in
+  let history = build :: builds t job_name in
+  let trimmed = List.filteri (fun i _ -> i < retention) history in
+  Hashtbl.replace t.history job_name trimmed
+
+(* ---- executor pool ------------------------------------------------------ *)
+
+let rec pump t =
+  if t.busy < t.n_executors then begin
+    match t.queue with
+    | [] -> ()
+    | { job; build } :: rest ->
+      t.queue <- rest;
+      if build.Build.result = Some Build.Aborted then pump t
+      else begin
+        t.busy <- t.busy + 1;
+        build.Build.started_at <- Some (now t);
+        let finished = ref false in
+        let finish result =
+          if not !finished then begin
+            finished := true;
+            build.Build.result <- Some result;
+            build.Build.finished_at <- Some (now t);
+            t.busy <- t.busy - 1;
+            t.executed <- t.executed + 1;
+            List.iter (fun f -> f build) t.listeners;
+            pump t
+          end
+        in
+        (try job.Jobdef.body ~engine:t.engine ~build ~finish
+         with exn ->
+           Build.append_log build ("executor exception: " ^ Printexc.to_string exn);
+           finish Build.Failure);
+        pump t
+      end
+  end
+
+let enqueue t job ~axes ~cause =
+  let build =
+    {
+      Build.job_name = job.Jobdef.name;
+      number = fresh_number t job.Jobdef.name;
+      axes;
+      cause;
+      queued_at = now t;
+      started_at = None;
+      finished_at = None;
+      result = None;
+      log = [];
+      artifacts = [];
+    }
+  in
+  record t build;
+  t.queue <- t.queue @ [ { job; build } ];
+  pump t;
+  build
+
+let trigger_combinations t job ~cause combos =
+  let numbers =
+    List.map (fun axes -> (enqueue t job ~axes ~cause).Build.number) combos
+  in
+  Queued numbers
+
+let trigger t ?(cause = "system") name =
+  match find_job t name with
+  | None -> Not_found
+  | Some job ->
+    if not job.Jobdef.enabled then Disabled
+    else begin
+      match job.Jobdef.kind with
+      | Jobdef.Freestyle -> trigger_combinations t job ~cause [ [] ]
+      | Jobdef.Matrix axes -> trigger_combinations t job ~cause (Jobdef.combinations axes)
+    end
+
+let trigger_as t ~user name =
+  match permission_of t ~user with
+  | Some (Trigger | Admin) -> trigger t ~cause:("user:" ^ user) name
+  | Some Read | None -> Denied
+
+let trigger_subset t ?(cause = "matrix-reloaded") name ~axes =
+  match find_job t name with
+  | None -> Not_found
+  | Some job ->
+    if not job.Jobdef.enabled then Disabled else trigger_combinations t job ~cause axes
+
+let retry_failed t ?(cause = "matrix-reloaded") name =
+  match find_job t name with
+  | None -> Not_found
+  | Some job -> (
+    match job.Jobdef.kind with
+    | Jobdef.Freestyle -> (
+      match last_completed t name with
+      | Some b when b.Build.result <> Some Build.Success -> trigger t ~cause name
+      | _ -> Queued [])
+    | Jobdef.Matrix axes ->
+      let failed =
+        Jobdef.combinations axes
+        |> List.filter (fun combo ->
+               match last_of_axes t name ~axes:combo with
+               | Some b -> Build.is_finished b && b.Build.result <> Some Build.Success
+               | None -> false)
+      in
+      if failed = [] then Queued [] else trigger_subset t ~cause name ~axes:failed)
+
+let abort_build t build =
+  if build.Build.started_at = None && build.Build.result = None then begin
+    build.Build.result <- Some Build.Aborted;
+    build.Build.finished_at <- Some (now t)
+  end
+
+(* ---- log search ---------------------------------------------------------- *)
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec scan i = i + n <= m && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let search_logs ?(limit = 200) t ~pattern =
+  let hits = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun build ->
+          List.iter
+            (fun line ->
+              if !count < limit && contains line pattern then begin
+                incr count;
+                hits := (build, line) :: !hits
+              end)
+            build.Build.log)
+        (builds t name))
+    (job_names t);
+  List.rev !hits
+
+(* ---- cron triggers ------------------------------------------------------ *)
+
+let arm_cron t job cron =
+  let rec arm after =
+    let time = Cron.next_fire cron ~after in
+    ignore
+      (Simkit.Engine.schedule_at t.engine ~time (fun _ ->
+           let still_current =
+             match Hashtbl.find_opt t.jobs job.Jobdef.name with
+             | Some registered -> registered == job
+             | None -> false
+           in
+           if job.Jobdef.enabled && still_current then
+             ignore (trigger t ~cause:"timer" job.Jobdef.name);
+           arm time))
+  in
+  arm (now t)
+
+let define t job =
+  Hashtbl.replace t.jobs job.Jobdef.name job;
+  if not (Hashtbl.mem t.next_number job.Jobdef.name) then
+    Hashtbl.replace t.next_number job.Jobdef.name 1;
+  match job.Jobdef.trigger with Some cron -> arm_cron t job cron | None -> ()
+
+(* ---- REST --------------------------------------------------------------- *)
+
+let build_json b =
+  let open Simkit.Json in
+  Obj
+    [ ("job", String b.Build.job_name);
+      ("number", Int b.Build.number);
+      ("axes", String (Build.axes_to_string b.Build.axes));
+      ("cause", String b.Build.cause);
+      ("queued_at", Float b.Build.queued_at);
+      ( "result",
+        match b.Build.result with
+        | Some r -> String (Build.result_to_string r)
+        | None -> Null );
+      ( "duration",
+        match Build.duration b with Some d -> Float d | None -> Null ) ]
+
+let rest t path =
+  let open Simkit.Json in
+  let segments = String.split_on_char '/' path |> List.filter (( <> ) "") in
+  match segments with
+  | [ "api"; "json" ] ->
+    Ok
+      (Obj
+         [ ("jobs", List (List.map (fun n -> String n) (job_names t)));
+           ("queue_length", Int (queue_length t));
+           ("busy_executors", Int t.busy);
+           ("executors", Int t.n_executors) ])
+  | [ "job"; name; "api"; "json" ] -> (
+    match find_job t name with
+    | None -> Error "no such job"
+    | Some job ->
+      Ok
+        (Obj
+           [ ("name", String name);
+             ("enabled", Bool job.Jobdef.enabled);
+             ("builds", List (List.map build_json (builds t name))) ]))
+  | [ "job"; name; number; "api"; "json" ] -> (
+    match int_of_string_opt number with
+    | None -> Error "bad build number"
+    | Some n -> (
+      match build t name n with
+      | None -> Error "no such build"
+      | Some b -> Ok (build_json b)))
+  | _ -> Error "no such endpoint"

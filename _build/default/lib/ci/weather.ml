@@ -1,0 +1,40 @@
+let window = 5
+
+let score server name =
+  let completed =
+    Server.builds server name
+    |> List.filter Build.is_finished
+    |> List.filteri (fun i _ -> i < window)
+  in
+  match completed with
+  | [] -> None
+  | builds ->
+    let ok =
+      List.length
+        (List.filter (fun b -> b.Build.result = Some Build.Success) builds)
+    in
+    Some (float_of_int ok /. float_of_int (List.length builds))
+
+let icon s =
+  if s >= 0.8 then "sunny"
+  else if s >= 0.6 then "partly-cloudy"
+  else if s >= 0.4 then "cloudy"
+  else if s >= 0.2 then "rain"
+  else "storm"
+
+let report server =
+  List.map
+    (fun name ->
+      match score server name with
+      | Some s -> (name, Some s, icon s)
+      | None -> (name, None, "-"))
+    (Server.job_names server)
+
+let render server =
+  Simkit.Table.render ~header:[ "job"; "stability"; "weather" ]
+    (List.map
+       (fun (name, s, icon) ->
+         [ name;
+           (match s with Some s -> Simkit.Table.fmt_pct s | None -> "-");
+           icon ])
+       (report server))

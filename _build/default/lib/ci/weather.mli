@@ -1,0 +1,20 @@
+(** Jenkins-style "weather report": a per-job stability score computed
+    over the most recent completed builds, with the familiar icons.
+    The status page uses it for its at-a-glance job health column. *)
+
+val window : int
+(** Builds considered (5, like Jenkins). *)
+
+val score : Server.t -> string -> float option
+(** Fraction of the last {!window} completed builds that succeeded;
+    [None] when the job has no completed build. *)
+
+val icon : float -> string
+(** [>= 0.8] "sunny", [>= 0.6] "partly-cloudy", [>= 0.4] "cloudy",
+    [>= 0.2] "rain", otherwise "storm". *)
+
+val report : Server.t -> (string * float option * string) list
+(** One row per defined job: (name, score, icon or "-"), sorted by job
+    name. *)
+
+val render : Server.t -> string

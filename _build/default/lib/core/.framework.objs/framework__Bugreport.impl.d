@@ -1,0 +1,1 @@
+lib/core/bugreport.ml: Buffer Bugtracker Env List Printf Simkit String Testbed

@@ -1,0 +1,1 @@
+lib/core/bugreport.mli: Bugtracker Env

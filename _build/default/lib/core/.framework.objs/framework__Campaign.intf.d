@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Format Oar Operator Scheduler Testdef

@@ -1,0 +1,1 @@
+lib/core/env.ml: Ci Kadeploy Monitoring Oar Simkit Testbed

@@ -1,0 +1,1 @@
+lib/core/env.mli: Ci Kadeploy Monitoring Oar Simkit Testbed

@@ -1,0 +1,1 @@
+lib/core/jobs.ml: Ci Env List Printf Scripts Stdlib String Testdef

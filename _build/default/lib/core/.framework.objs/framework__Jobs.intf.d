@@ -1,0 +1,1 @@
+lib/core/jobs.mli: Bugtracker Ci Env Testdef

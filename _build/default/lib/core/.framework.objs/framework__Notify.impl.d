@@ -1,0 +1,1 @@
+lib/core/notify.ml: Bugreport Bugtracker Env Hashtbl List Option Printf String Testbed

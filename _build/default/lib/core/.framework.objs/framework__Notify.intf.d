@@ -1,0 +1,1 @@
+lib/core/notify.mli: Bugtracker Env

@@ -1,0 +1,1 @@
+lib/core/operator.ml: Bugtracker Env Float List Oar Simkit Testbed

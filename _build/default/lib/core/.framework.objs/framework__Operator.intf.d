@@ -1,0 +1,1 @@
+lib/core/operator.mli: Bugtracker Env

@@ -1,0 +1,1 @@
+lib/core/pernode.ml: Bugtracker Env List Oar Option Printf Simkit String Testbed

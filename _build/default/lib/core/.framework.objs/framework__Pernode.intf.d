@@ -1,0 +1,1 @@
+lib/core/pernode.mli: Bugtracker Env

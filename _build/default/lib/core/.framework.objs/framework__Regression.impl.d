@@ -1,0 +1,1 @@
+lib/core/regression.ml: Array Bugtracker Ci Env Float Kadeploy List Monitoring Oar Printf Scripts Simkit String Testbed

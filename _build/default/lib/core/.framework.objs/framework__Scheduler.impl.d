@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Ci Env Float Hashtbl Jobs List Oar Option Printf Simkit String Testbed Testdef

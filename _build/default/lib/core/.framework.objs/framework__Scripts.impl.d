@@ -1,0 +1,1 @@
+lib/core/scripts.ml: Bugtracker Ci Env Float G5kchecks Kadeploy Kavlan List Monitoring Oar Option Printf Simkit Stdlib String Testbed Testdef

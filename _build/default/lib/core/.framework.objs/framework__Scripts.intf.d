@@ -1,0 +1,1 @@
+lib/core/scripts.mli: Bugtracker Ci Env Testdef

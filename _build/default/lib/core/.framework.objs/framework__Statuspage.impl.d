@@ -1,0 +1,1 @@
+lib/core/statuspage.ml: Buffer Ci Env Hashtbl Jobs List Option Simkit String Testbed Testdef

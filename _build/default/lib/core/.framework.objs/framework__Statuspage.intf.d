@@ -1,0 +1,1 @@
+lib/core/statuspage.mli: Env Testdef

@@ -1,0 +1,1 @@
+lib/core/testdef.ml: Hashtbl Kadeploy Kavlan List Option Printf Simkit String Testbed

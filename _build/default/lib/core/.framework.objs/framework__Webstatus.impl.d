@@ -1,0 +1,1 @@
+lib/core/webstatus.ml: Buffer Confidence List Printf Simkit Statuspage String Testbed Testdef

@@ -1,0 +1,102 @@
+let suggested_action = function
+  | "cpu-settings" ->
+    "compare BIOS/firmware settings against the cluster baseline; re-apply the \
+     mandated configuration (C-states off, HT off, turbo off, performance \
+     governor) and re-run g5k-checks"
+  | "disk" ->
+    "check disk firmware version and cache configuration (hdparm/sdparm) against \
+     the qualified reference; replace or reflash the drive if heterogeneous"
+  | "cabling" ->
+    "trace the physical cable against the Reference API port map; swap back and \
+     re-run the cabling verification"
+  | "infrastructure" ->
+    "inspect the node's event log (IPMI SEL) for hardware errors; schedule \
+     hardware diagnostics or decommission if reboots persist"
+  | "description" ->
+    "re-run the inventory acquisition and republish the Reference API entry; \
+     refresh the OAR property database afterwards"
+  | "services" ->
+    "check the service unit on the site server, restart it, and watch the next \
+     scheduled test run"
+  | "software" ->
+    "reproduce on one node, bisect the stack (kernel/OFED/image recipe), and \
+     pin or patch the offending version"
+  | _ -> "triage manually"
+
+let host_of_signature signature =
+  (* Signatures embed hosts as "<test>:<host>[:<detail>]"; a host always
+     contains a '.' between node name and site. *)
+  String.split_on_char ':' signature
+  |> List.find_opt (fun part -> String.contains part '.')
+
+let affected_scope env (bug : Bugtracker.bug) =
+  match host_of_signature bug.Bugtracker.signature with
+  | Some host -> (
+    match Testbed.Instance.find_node env.Env.instance host with
+    | Some node ->
+      Printf.sprintf "%s (cluster %s, site %s)" host node.Testbed.Node.cluster_name
+        node.Testbed.Node.site_name
+    | None -> host)
+  | None -> Printf.sprintf "reported by %s" bug.Bugtracker.first_test
+
+let render env (bug : Bugtracker.bug) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "Bug #%d: %s" bug.Bugtracker.id bug.Bugtracker.summary;
+  add "  status     : %s"
+    (match bug.Bugtracker.status with
+     | Bugtracker.Open -> "OPEN"
+     | Bugtracker.Fixed -> (
+       match bug.Bugtracker.fixed_at with
+       | Some at -> Printf.sprintf "FIXED at %s" (Simkit.Calendar.to_string at)
+       | None -> "FIXED"));
+  add "  category   : %s" bug.Bugtracker.category;
+  add "  scope      : %s" (affected_scope env bug);
+  add "  first seen : %s (by %s)"
+    (Simkit.Calendar.to_string bug.Bugtracker.filed_at)
+    bug.Bugtracker.first_test;
+  add "  occurrences: %d" bug.Bugtracker.occurrences;
+  let faults = Env.faults env in
+  let linked =
+    Testbed.Faults.history faults
+    |> List.filter (fun f -> List.mem f.Testbed.Faults.id bug.Bugtracker.fault_ids)
+  in
+  if linked <> [] then begin
+    add "  ground truth:";
+    List.iter
+      (fun f ->
+        add "    - fault #%d [%s] %s%s" f.Testbed.Faults.id
+          (Testbed.Faults.kind_to_string f.Testbed.Faults.kind)
+          f.Testbed.Faults.what
+          (match f.Testbed.Faults.repaired_at with
+           | Some at -> Printf.sprintf " (repaired %s)" (Simkit.Calendar.to_string at)
+           | None -> " (still active)"))
+      linked
+  end;
+  add "  suggested  : %s" (suggested_action bug.Bugtracker.category);
+  Buffer.contents buf
+
+let render_index env tracker =
+  let now = Env.now env in
+  let bugs =
+    Bugtracker.all tracker
+    |> List.sort (fun a b ->
+           match (a.Bugtracker.status, b.Bugtracker.status) with
+           | Bugtracker.Open, Bugtracker.Fixed -> -1
+           | Bugtracker.Fixed, Bugtracker.Open -> 1
+           | _ -> compare a.Bugtracker.id b.Bugtracker.id)
+  in
+  Simkit.Table.render
+    ~header:[ "id"; "status"; "category"; "age (days)"; "seen"; "summary" ]
+    (List.map
+       (fun (bug : Bugtracker.bug) ->
+         [ string_of_int bug.Bugtracker.id;
+           (match bug.Bugtracker.status with
+            | Bugtracker.Open -> "OPEN"
+            | Bugtracker.Fixed -> "fixed");
+           bug.Bugtracker.category;
+           Printf.sprintf "%.1f"
+             ((now -. bug.Bugtracker.filed_at) /. Simkit.Calendar.day);
+           string_of_int bug.Bugtracker.occurrences;
+           bug.Bugtracker.summary ])
+       bugs)

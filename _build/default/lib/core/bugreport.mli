@@ -1,0 +1,22 @@
+(** Operator-facing bug reports.
+
+    The paper: scripts should "exhibit issues, but also provide
+    sufficient information to testbed operators to understand and fix the
+    issue" (and cites "How to Report Bugs Effectively").  This module
+    renders one bug into a full report: what was observed, where, since
+    when, how often, the correlated ground-truth faults, and a suggested
+    first action for its category. *)
+
+val suggested_action : string -> string
+(** First-response playbook line for a bug category. *)
+
+val affected_scope : Env.t -> Bugtracker.bug -> string
+(** Human summary of where the bug lives (host + cluster + site when the
+    signature names a host; otherwise the source test's scope). *)
+
+val render : Env.t -> Bugtracker.bug -> string
+(** The full report (multi-line). *)
+
+val render_index : Env.t -> Bugtracker.t -> string
+(** A one-line-per-bug index table (id, status, category, age,
+    occurrences, summary), open bugs first. *)

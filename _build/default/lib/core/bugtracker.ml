@@ -1,0 +1,89 @@
+type evidence = {
+  signature : string;
+  summary : string;
+  category : string;
+  source_test : string;
+  fault_ids : int list;
+}
+
+type status = Open | Fixed
+
+type bug = {
+  id : int;
+  signature : string;
+  summary : string;
+  category : string;
+  first_test : string;
+  filed_at : float;
+  mutable fault_ids : int list;
+  mutable occurrences : int;
+  mutable status : status;
+  mutable fixed_at : float option;
+}
+
+type t = {
+  by_signature : (string, bug) Hashtbl.t;
+  mutable bugs : bug list;  (* newest first *)
+  mutable next_id : int;
+}
+
+let create () = { by_signature = Hashtbl.create 256; bugs = []; next_id = 1 }
+
+let file t ~now (evidence : evidence) =
+  match Hashtbl.find_opt t.by_signature evidence.signature with
+  | Some bug ->
+    bug.occurrences <- bug.occurrences + 1;
+    bug.fault_ids <-
+      List.sort_uniq compare (evidence.fault_ids @ bug.fault_ids);
+    if bug.status = Fixed then begin
+      (* Regression: the problem came back. *)
+      bug.status <- Open;
+      bug.fixed_at <- None
+    end;
+    `Duplicate bug
+  | None ->
+    let bug =
+      {
+        id = t.next_id;
+        signature = evidence.signature;
+        summary = evidence.summary;
+        category = evidence.category;
+        first_test = evidence.source_test;
+        filed_at = now;
+        fault_ids = List.sort_uniq compare evidence.fault_ids;
+        occurrences = 1;
+        status = Open;
+        fixed_at = None;
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    Hashtbl.replace t.by_signature evidence.signature bug;
+    t.bugs <- bug :: t.bugs;
+    `New bug
+
+let all t = List.rev t.bugs
+let open_bugs t = List.filter (fun b -> b.status = Open) (all t)
+let fixed_bugs t = List.filter (fun b -> b.status = Fixed) (all t)
+let find t ~signature = Hashtbl.find_opt t.by_signature signature
+
+let mark_fixed _t ~now bug =
+  if bug.status = Open then begin
+    bug.status <- Fixed;
+    bug.fixed_at <- Some now
+  end
+
+let counts t =
+  let filed = List.length t.bugs in
+  let fixed = List.length (fixed_bugs t) in
+  (filed, fixed)
+
+let by_category t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun bug ->
+      let filed, fixed = Option.value ~default:(0, 0) (Hashtbl.find_opt table bug.category) in
+      Hashtbl.replace table bug.category
+        (filed + 1, if bug.status = Fixed then fixed + 1 else fixed))
+    t.bugs;
+  Hashtbl.fold (fun category (filed, fixed) acc -> (category, filed, fixed) :: acc) table []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)

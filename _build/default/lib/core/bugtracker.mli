@@ -1,0 +1,53 @@
+(** Bug tracker.
+
+    "Testbed operators would be well positioned to report bugs, but they
+    are not testbed users" — here the testing framework is the reporter.
+    Failing test scripts emit {e evidence}; evidence with an
+    already-known signature increments the existing bug instead of filing
+    a duplicate, so the bug count reflects distinct problems (the paper's
+    "118 bugs filed, 84 already fixed"). *)
+
+type evidence = {
+  signature : string;  (** dedup key, e.g. ["disk-write-cache:graphene-12"] *)
+  summary : string;
+  category : string;  (** the paper's bug classes, see {!Testbed.Faults.category} *)
+  source_test : string;  (** config id of the reporting test *)
+  fault_ids : int list;  (** correlated ground-truth faults, for repair *)
+}
+
+type status = Open | Fixed
+
+type bug = {
+  id : int;
+  signature : string;
+  summary : string;
+  category : string;
+  first_test : string;
+  filed_at : float;
+  mutable fault_ids : int list;
+  mutable occurrences : int;
+  mutable status : status;
+  mutable fixed_at : float option;
+}
+
+type t
+
+val create : unit -> t
+
+val file : t -> now:float -> evidence -> [ `New of bug | `Duplicate of bug ]
+(** Duplicate evidence refreshes the bug's occurrence count and merges
+    fault ids; filing against a {e fixed} bug reopens it (regression). *)
+
+val all : t -> bug list
+(** By id (filing order). *)
+
+val open_bugs : t -> bug list
+val fixed_bugs : t -> bug list
+val find : t -> signature:string -> bug option
+val mark_fixed : t -> now:float -> bug -> unit
+
+val counts : t -> int * int
+(** (filed, fixed). *)
+
+val by_category : t -> (string * int * int) list
+(** category, filed, fixed — sorted by filed count, descending. *)

@@ -1,0 +1,276 @@
+type config = {
+  months : int;
+  seed : int64;
+  executors : int;
+  initial_faults : int;
+  fault_rate_per_day : float;
+  workload : Oar.Workload.profile option;
+  enable_testing : bool;
+  staged_families : (int * Testdef.family list) list;
+  enable_regression : bool;
+  policy : Scheduler.policy;
+  operator : Operator.config;
+}
+
+let default_config =
+  {
+    months = 6;
+    seed = 42L;
+    executors = 10;
+    initial_faults = 60;
+    fault_rate_per_day = 0.18;
+    workload = Some Oar.Workload.default_profile;
+    enable_testing = true;
+    staged_families =
+      [ ( 0,
+          [ Testdef.Refapi; Testdef.Oarproperties; Testdef.Dellbios;
+            Testdef.Oarstate; Testdef.Cmdline; Testdef.Sidapi;
+            Testdef.Environments; Testdef.Stdenv; Testdef.Paralleldeploy;
+            Testdef.Multireboot; Testdef.Multideploy; Testdef.Console ] );
+        (2, [ Testdef.Disk; Testdef.Kavlan ]);
+        (4, [ Testdef.Kwapi; Testdef.Mpigraph ]) ];
+    enable_regression = false;
+    policy = Scheduler.smart_policy;
+    operator = Operator.default_config;
+  }
+
+type monthly = {
+  month : int;
+  builds : int;
+  successful : int;
+  success_ratio : float;
+  bugs_filed_cum : int;
+  bugs_fixed_cum : int;
+  active_faults : int;
+  enabled_configs : int;
+}
+
+type report = {
+  cfg : config;
+  monthly : monthly list;
+  bugs_filed : int;
+  bugs_fixed : int;
+  bugs_by_category : (string * int * int) list;
+  faults_injected : int;
+  faults_detected : int;
+  faults_repaired : int;
+  detection_latency_days : (string * float * int) list;
+  builds_total : int;
+  workload_jobs : int;
+  scheduler_stats : Scheduler.stats option;
+  mean_active_faults : float;
+  statuspage : string;
+  statuspage_html : string;
+}
+
+(* Arrival mix: hardware/configuration drift dominates, matching the
+   paper's bug list. *)
+let kind_weights =
+  [ (Testbed.Faults.Cpu_cstates, 1.4); (Testbed.Faults.Cpu_hyperthreading, 0.8);
+    (Testbed.Faults.Cpu_turbo, 0.8); (Testbed.Faults.Cpu_governor, 0.7);
+    (Testbed.Faults.Bios_drift, 0.7); (Testbed.Faults.Disk_firmware, 1.2);
+    (Testbed.Faults.Disk_write_cache, 1.0); (Testbed.Faults.Ram_dimm_loss, 0.5);
+    (Testbed.Faults.Cabling_swap, 0.5); (Testbed.Faults.Kwapi_misattribution, 0.4);
+    (Testbed.Faults.Random_reboots, 0.6); (Testbed.Faults.Kernel_boot_race, 0.25);
+    (Testbed.Faults.Ofed_flaky, 0.3); (Testbed.Faults.Console_broken, 0.8);
+    (Testbed.Faults.Service_outage, 1.3); (Testbed.Faults.Refapi_desync, 0.8);
+    (Testbed.Faults.Oar_property_desync, 0.6); (Testbed.Faults.Env_image_corrupt, 0.25) ]
+
+let pick_kind rng =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 kind_weights in
+  let target = Simkit.Prng.float rng *. total in
+  let rec pick acc = function
+    | [] -> Testbed.Faults.Cpu_cstates
+    | [ (k, _) ] -> k
+    | (k, w) :: rest -> if acc +. w >= target then k else pick (acc +. w) rest
+  in
+  pick 0.0 kind_weights
+
+let run cfg =
+  let env = Env.create ~seed:cfg.seed ~executors:cfg.executors () in
+  let engine = Env.engine env in
+  let rng = Simkit.Prng.split (Simkit.Engine.rng engine) in
+  let tracker = Bugtracker.create () in
+  let page = Statuspage.create env in
+
+  (* Latent problems predating the campaign. *)
+  let faults = Env.faults env in
+  let inject_traced now kind =
+    match Testbed.Faults.inject faults ~now kind with
+    | Some fault ->
+      Env.tracef env ~category:"fault" "#%d %s" fault.Testbed.Faults.id
+        fault.Testbed.Faults.what
+    | None -> ()
+  in
+  for _ = 1 to cfg.initial_faults do
+    inject_traced 0.0 (pick_kind rng)
+  done;
+  Oar.Manager.refresh_properties env.Env.oar;
+
+  (* Continuous fault arrivals, sampled every 6 hours. *)
+  let sweep = 6.0 *. Simkit.Calendar.hour in
+  Simkit.Engine.every engine ~period:sweep (fun eng ->
+      let mean = cfg.fault_rate_per_day *. (sweep /. Simkit.Calendar.day) in
+      let n = Simkit.Dist.poisson rng ~mean in
+      for _ = 1 to n do
+        inject_traced (Simkit.Engine.now eng) (pick_kind rng)
+      done;
+      true);
+
+  (* Daily OAR property refresh from the Reference API. *)
+  Simkit.Engine.every engine ~period:Simkit.Calendar.day (fun _ ->
+      Oar.Manager.refresh_properties env.Env.oar;
+      true);
+
+  (* User workload. *)
+  let workload =
+    Option.map (fun profile -> Oar.Workload.start ~profile ~rng:(Simkit.Prng.split rng) env.Env.oar) cfg.workload
+  in
+
+  (* Testing framework. *)
+  let scheduler =
+    if cfg.enable_testing then begin
+      Jobs.define_all env ~on_evidence:(fun evidence ->
+          match Bugtracker.file tracker ~now:(Env.now env) evidence with
+          | `New bug ->
+            Env.tracef env ~category:"bug" "filed #%d [%s] %s" bug.Bugtracker.id
+              bug.Bugtracker.category bug.Bugtracker.summary
+          | `Duplicate _ -> ());
+      let scheduler = Scheduler.create ~policy:cfg.policy env in
+      List.iter
+        (fun (month, families) ->
+          let time = float_of_int month *. Simkit.Calendar.month in
+          if time <= 0.0 then List.iter (Scheduler.enable_family scheduler) families
+          else
+            ignore
+              (Simkit.Engine.schedule_at engine ~time (fun _ ->
+                   List.iter (Scheduler.enable_family scheduler) families)))
+        cfg.staged_families;
+      Scheduler.start scheduler;
+      if cfg.enable_regression then
+        Regression.define_jobs ~daily:true env ~on_evidence:(fun evidence ->
+            ignore (Bugtracker.file tracker ~now:(Env.now env) evidence));
+      Some scheduler
+    end
+    else None
+  in
+  let operator =
+    if cfg.enable_testing then Some (Operator.start ~config:cfg.operator env tracker)
+    else
+      (* Even without the framework, complaints and maintenance happen. *)
+      Some
+        (Operator.start
+           ~config:{ cfg.operator with fix_capacity_per_day = 0.0 }
+           env tracker)
+  in
+  ignore operator;
+
+  (* Monthly snapshots of fault pressure and coverage. *)
+  let snapshots = Hashtbl.create 16 in
+  for m = 1 to cfg.months do
+    let time = float_of_int m *. Simkit.Calendar.month in
+    ignore
+      (Simkit.Engine.schedule_at engine ~time (fun _ ->
+           let active = List.length (Testbed.Faults.active faults) in
+           let enabled =
+             match scheduler with
+             | Some s ->
+               List.fold_left
+                 (fun acc f -> acc + List.length (Testdef.expand f))
+                 0 (Scheduler.enabled_families s)
+             | None -> 0
+           in
+           let filed, fixed = Bugtracker.counts tracker in
+           Hashtbl.replace snapshots (m - 1) (active, enabled, filed, fixed)))
+  done;
+
+  Simkit.Engine.run_until engine (float_of_int cfg.months *. Simkit.Calendar.month);
+
+  (* Assemble the report. *)
+  let month_stats = Statuspage.monthly_success page in
+  let monthly =
+    List.init cfg.months (fun m ->
+        let builds, successful, ratio =
+          match List.find_opt (fun (month, _, _, _) -> month = m) month_stats with
+          | Some (_, builds, successful, ratio) -> (builds, successful, ratio)
+          | None -> (0, 0, nan)
+        in
+        let active, enabled, filed, fixed =
+          Option.value ~default:(0, 0, 0, 0) (Hashtbl.find_opt snapshots m)
+        in
+        {
+          month = m;
+          builds;
+          successful;
+          success_ratio = ratio;
+          bugs_filed_cum = filed;
+          bugs_fixed_cum = fixed;
+          active_faults = active;
+          enabled_configs = enabled;
+        })
+  in
+  let history = Testbed.Faults.history faults in
+  let detection_latency_days =
+    let table = Hashtbl.create 8 in
+    List.iter
+      (fun fault ->
+        match fault.Testbed.Faults.detected_at with
+        | Some detected ->
+          let category = Testbed.Faults.category fault.Testbed.Faults.kind in
+          let latency =
+            (detected -. fault.Testbed.Faults.injected_at) /. Simkit.Calendar.day
+          in
+          let total, n =
+            Option.value ~default:(0.0, 0) (Hashtbl.find_opt table category)
+          in
+          Hashtbl.replace table category (total +. latency, n + 1)
+        | None -> ())
+      history;
+    Hashtbl.fold
+      (fun category (total, n) acc -> (category, total /. float_of_int n, n) :: acc)
+      table []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  let filed, fixed = Bugtracker.counts tracker in
+  let mean_active_faults =
+    match monthly with
+    | [] -> 0.0
+    | _ ->
+      List.fold_left (fun acc m -> acc +. float_of_int m.active_faults) 0.0 monthly
+      /. float_of_int (List.length monthly)
+  in
+  {
+    cfg;
+    monthly;
+    bugs_filed = filed;
+    bugs_fixed = fixed;
+    bugs_by_category = Bugtracker.by_category tracker;
+    faults_injected = List.length history;
+    faults_detected =
+      List.length (List.filter (fun f -> f.Testbed.Faults.detected_at <> None) history);
+    faults_repaired =
+      List.length (List.filter (fun f -> f.Testbed.Faults.repaired_at <> None) history);
+    detection_latency_days;
+    builds_total = Ci.Server.builds_executed env.Env.ci;
+    workload_jobs = (match workload with Some w -> Oar.Workload.submitted w | None -> 0);
+    scheduler_stats = Option.map Scheduler.stats scheduler;
+    mean_active_faults;
+    statuspage =
+      Statuspage.render_overview page ^ "\n== Cluster confidence ==\n"
+      ^ Confidence.render page;
+    statuspage_html = Webstatus.render page;
+  }
+
+let pp_report ppf report =
+  Format.fprintf ppf "campaign: %d months, %d builds, %d bugs filed (%d fixed)@."
+    report.cfg.months report.builds_total report.bugs_filed report.bugs_fixed;
+  Format.fprintf ppf "faults: %d injected, %d detected, %d repaired@."
+    report.faults_injected report.faults_detected report.faults_repaired;
+  List.iter
+    (fun m ->
+      Format.fprintf ppf
+        "  month %d: %4d builds, success %s, bugs %d/%d, active faults %d@."
+        m.month m.builds
+        (Simkit.Table.fmt_pct m.success_ratio)
+        m.bugs_filed_cum m.bugs_fixed_cum m.active_faults)
+    report.monthly

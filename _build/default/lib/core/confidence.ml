@@ -1,0 +1,66 @@
+let family_weight = function
+  (* Silent performance skew: worst for reproducibility. *)
+  | Testdef.Refapi | Testdef.Disk -> 3.0
+  | Testdef.Mpigraph | Testdef.Dellbios -> 2.0
+  (* Availability/reliability of the machinery. *)
+  | Testdef.Environments | Testdef.Stdenv | Testdef.Multireboot | Testdef.Multideploy ->
+    1.5
+  | Testdef.Oarproperties | Testdef.Console | Testdef.Kavlan | Testdef.Kwapi
+  | Testdef.Paralleldeploy | Testdef.Oarstate | Testdef.Cmdline | Testdef.Sidapi ->
+    1.0
+
+(* Families whose configurations are keyed by cluster name. *)
+let cluster_families =
+  List.filter
+    (fun family ->
+      List.exists (fun c -> c.Testdef.cluster <> None) (Testdef.expand family))
+    Testdef.all_families
+
+let cell_value = function
+  | Statuspage.Ok_ -> Some 1.0
+  | Statuspage.Unst -> Some 0.5
+  | Statuspage.Ko -> Some 0.0
+  | Statuspage.Missing -> None
+
+let cluster_score page ~cluster =
+  let total_weight, score =
+    List.fold_left
+      (fun (weight_acc, score_acc) family ->
+        let applicable =
+          List.exists
+            (fun c -> c.Testdef.cluster = Some cluster)
+            (Testdef.expand family)
+        in
+        if not applicable then (weight_acc, score_acc)
+        else
+          match cell_value (Statuspage.latest page ~family ~scope:cluster) with
+          | Some v ->
+            let w = family_weight family in
+            (weight_acc +. w, score_acc +. (w *. v))
+          | None -> (weight_acc, score_acc))
+      (0.0, 0.0) cluster_families
+  in
+  if total_weight = 0.0 then None else Some (score /. total_weight)
+
+let grade score =
+  if score >= 0.9 then "A" else if score >= 0.75 then "B" else if score >= 0.5 then "C"
+  else "D"
+
+let ranking page =
+  Testbed.Inventory.clusters
+  |> List.filter_map (fun spec ->
+         let cluster = spec.Testbed.Inventory.cluster in
+         Option.map (fun s -> (cluster, s)) (cluster_score page ~cluster))
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let render page =
+  Simkit.Table.render ~header:[ "cluster"; "site"; "confidence"; "grade" ]
+    (List.map
+       (fun (cluster, score) ->
+         let site =
+           match Testbed.Inventory.find_cluster cluster with
+           | Some spec -> spec.Testbed.Inventory.site
+           | None -> "?"
+         in
+         [ cluster; site; Simkit.Table.fmt_pct score; grade score ])
+       (ranking page))

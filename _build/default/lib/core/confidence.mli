@@ -1,0 +1,26 @@
+(** Per-cluster confidence scores.
+
+    The paper's outcome is trust: "more confidence that what should work
+    actually works".  This module condenses the status page into one
+    number per cluster — a weighted average of the latest result of every
+    applicable test family, weighting performance-critical families
+    (disk, refapi conformity, mpigraph) higher, because their silent
+    failures are the ones that corrupt experiments. *)
+
+val family_weight : Testdef.family -> float
+(** How much a family's verdict matters for experiment trustworthiness. *)
+
+val cluster_score : Statuspage.t -> cluster:string -> float option
+(** Weighted score in [\[0, 1\]] over families with a recorded result for
+    the cluster: OK = 1, unstable = 0.5, KO = 0.  [None] when nothing has
+    run yet. *)
+
+val grade : float -> string
+(** [>= 0.9] "A", [>= 0.75] "B", [>= 0.5] "C", otherwise "D". *)
+
+val ranking : Statuspage.t -> (string * float) list
+(** Clusters with a score, best first. *)
+
+val render : Statuspage.t -> string
+(** Table: cluster, site, score, grade — the "can I trust this cluster
+    for my experiment?" view. *)

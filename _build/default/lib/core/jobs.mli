@@ -1,0 +1,23 @@
+(** Wiring of the test catalog into the CI server.
+
+    One matrix job per family, named [test_<family>], whose axes span the
+    family's configurations (the paper's "test_environments: 14 images x
+    32 clusters = 448 configurations").  Build bodies run the family's
+    script; structured evidence is forwarded to the given sink (the bug
+    tracker). *)
+
+val job_name : Testdef.family -> string
+
+val family_of_job : string -> Testdef.family option
+
+val define_all :
+  Env.t -> on_evidence:(Bugtracker.evidence -> unit) -> unit
+(** Define the 16 matrix jobs on the environment's CI server.  No cron
+    trigger is attached: the external scheduler decides when each
+    combination runs. *)
+
+val config_of_build : Ci.Build.t -> Testdef.config option
+(** Recover the catalog configuration a build executes. *)
+
+val total_configurations : unit -> int
+(** Sum of matrix sizes = 751. *)

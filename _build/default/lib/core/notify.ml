@@ -1,0 +1,82 @@
+type urgency = Immediate | Digest
+
+type message = {
+  sent_at : float;
+  mailbox : string;
+  urgency : urgency;
+  subject : string;
+  body : string;
+}
+
+type t = {
+  env : Env.t;
+  mutable delivered : message list;  (* newest first *)
+  pending : (string, string list) Hashtbl.t;  (* mailbox -> digest lines *)
+}
+
+let create env = { env; delivered = []; pending = Hashtbl.create 16 }
+
+let host_of_signature signature =
+  String.split_on_char ':' signature
+  |> List.find_opt (fun part -> String.contains part '.')
+
+let mailbox_for env (bug : Bugtracker.bug) =
+  match host_of_signature bug.Bugtracker.signature with
+  | Some host -> (
+    match Testbed.Instance.find_node env.Env.instance host with
+    | Some node -> "admins@" ^ node.Testbed.Node.site_name
+    | None -> "tools-team")
+  | None -> "tools-team"
+
+let urgency_for (bug : Bugtracker.bug) =
+  match bug.Bugtracker.category with
+  | "cpu-settings" | "disk" | "cabling" | "infrastructure" -> Immediate
+  | _ -> Digest
+
+let deliver t message = t.delivered <- message :: t.delivered
+
+let notify_bug t (bug : Bugtracker.bug) =
+  let mailbox = mailbox_for t.env bug in
+  let urgency = urgency_for bug in
+  let message =
+    {
+      sent_at = Env.now t.env;
+      mailbox;
+      urgency;
+      subject =
+        Printf.sprintf "[g5k-tests] bug #%d (%s): %s" bug.Bugtracker.id
+          bug.Bugtracker.category bug.Bugtracker.summary;
+      body = Bugreport.render t.env bug;
+    }
+  in
+  (match urgency with
+   | Immediate -> deliver t message
+   | Digest ->
+     let lines = Option.value ~default:[] (Hashtbl.find_opt t.pending mailbox) in
+     Hashtbl.replace t.pending mailbox (message.subject :: lines));
+  message
+
+let flush_digests t ~now =
+  let digests =
+    Hashtbl.fold
+      (fun mailbox lines acc ->
+        if lines = [] then acc
+        else
+          {
+            sent_at = now;
+            mailbox;
+            urgency = Digest;
+            subject = Printf.sprintf "[g5k-tests] daily digest (%d items)" (List.length lines);
+            body = String.concat "\n" (List.rev lines);
+          }
+          :: acc)
+      t.pending []
+  in
+  Hashtbl.reset t.pending;
+  List.iter (deliver t) digests;
+  digests
+
+let sent t = List.rev t.delivered
+
+let inbox t mailbox =
+  List.filter (fun m -> String.equal m.mailbox mailbox) (sent t)

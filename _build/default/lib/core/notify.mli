@@ -1,0 +1,44 @@
+(** Notification routing for a geo-distributed operations team.
+
+    The paper notes that a geo-distributed team "cannot just informally
+    talk to a sysadmin": findings must be routed to the right people.
+    This module assigns every bug to the responsible mailbox — the site
+    team when the bug is localised, the central tools team otherwise —
+    and batches low-urgency traffic into digests. *)
+
+type urgency = Immediate | Digest
+
+type message = {
+  sent_at : float;
+  mailbox : string;  (** e.g. ["admins@nancy"] or ["tools-team"] *)
+  urgency : urgency;
+  subject : string;
+  body : string;
+}
+
+type t
+
+val create : Env.t -> t
+
+val mailbox_for : Env.t -> Bugtracker.bug -> string
+(** ["admins@<site>"] when the bug's signature names a host of that
+    site; ["tools-team"] for service/software/cross-site problems. *)
+
+val urgency_for : Bugtracker.bug -> urgency
+(** Performance-affecting categories (cpu-settings, disk, cabling,
+    infrastructure) page immediately; the rest waits for the digest. *)
+
+val notify_bug : t -> Bugtracker.bug -> message
+(** Build, record and deliver the notification for a freshly filed bug
+    (immediate ones are delivered at once; digest ones are queued). *)
+
+val flush_digests : t -> now:float -> message list
+(** Compose one digest message per mailbox with queued items (emptying
+    the queues) — run this daily. *)
+
+val sent : t -> message list
+(** All delivered messages, oldest first (digests included once
+    flushed). *)
+
+val inbox : t -> string -> message list
+(** Delivered messages of one mailbox, oldest first. *)

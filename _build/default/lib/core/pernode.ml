@@ -1,0 +1,181 @@
+type strategy = Whole_cluster | Per_node
+
+type sweep = {
+  cluster : string;
+  started_at : float;
+  mutable covered : string list;
+  mutable completed_at : float option;
+  mutable partial_runs : int;
+}
+
+type t = {
+  env : Env.t;
+  strat : strategy;
+  cluster : string;
+  walltime : float;
+  mutable sweeps : sweep list;  (* newest first *)
+  mutable found : Bugtracker.evidence list;
+  mutable busy : bool;  (* a measurement run is in flight *)
+}
+
+let fresh_sweep t =
+  {
+    cluster = t.cluster;
+    started_at = Env.now t.env;
+    covered = [];
+    completed_at = None;
+    partial_runs = 0;
+  }
+
+let create ?(walltime = 1800.0) env ~strategy ~cluster =
+  let t =
+    { env; strat = strategy; cluster; walltime; sweeps = []; found = []; busy = false }
+  in
+  t.sweeps <- [ fresh_sweep t ];
+  t
+
+let strategy t = t.strat
+let current_sweep t = List.hd t.sweeps
+let completed_sweeps t = List.filter (fun s -> s.completed_at <> None) t.sweeps
+let evidences t = List.rev t.found
+
+let cluster_hosts t =
+  Testbed.Instance.nodes_of_cluster t.env.Env.instance t.cluster
+  |> List.map (fun n -> n.Testbed.Node.host)
+
+(* Same anomaly criterion as the disk test family. *)
+let measure_node t node =
+  match node.Testbed.Node.reference.Testbed.Hardware.disks with
+  | [] -> ()
+  | described :: _ ->
+    let measured = Testbed.Node.disk_benchmark node in
+    let expected = Testbed.Hardware.disk_bandwidth described in
+    if measured /. expected < 0.80 then
+      t.found <-
+        {
+          Bugtracker.signature = Printf.sprintf "disk:%s" node.Testbed.Node.host;
+          summary =
+            Printf.sprintf "%s disk at %.0f%% of expected bandwidth"
+              node.Testbed.Node.host
+              (100.0 *. measured /. expected);
+          category = "disk";
+          source_test = Printf.sprintf "pernode-disk:%s" t.cluster;
+          fault_ids = [];
+        }
+        :: t.found
+
+let complete_if_done t sweep =
+  let all = cluster_hosts t in
+  let missing =
+    List.filter (fun h -> not (List.mem h sweep.covered)) all
+  in
+  if missing = [] then begin
+    sweep.completed_at <- Some (Env.now t.env);
+    t.sweeps <- fresh_sweep t :: t.sweeps
+  end
+
+(* Reserve exactly [nodes] (currently free), measure them over ~20 min of
+   simulated time, release. *)
+let run_measurement t sweep nodes =
+  let filter =
+    (* An exact host set, expressed through per-host equality on the
+       [host] OAR property. *)
+    String.concat " or "
+      (List.map (fun n -> Printf.sprintf "host='%s'" n.Testbed.Node.host) nodes)
+  in
+  let request =
+    Oar.Request.nodes ~filter (`N (List.length nodes)) ~walltime:t.walltime
+  in
+  match
+    Oar.Manager.submit t.env.Env.oar ~user:"pernode-tests" ~jtype:Oar.Job.Deploy
+      ~duration:t.walltime ~immediate:true request
+  with
+  | Error _ -> ()
+  | Ok job ->
+    t.busy <- true;
+    sweep.partial_runs <- sweep.partial_runs + 1;
+    let assigned =
+      List.filter_map (Testbed.Instance.find_node t.env.Env.instance)
+        job.Oar.Job.assigned
+    in
+    ignore
+      (Simkit.Engine.schedule (Env.engine t.env)
+         ~delay:(600.0 +. (2.0 *. float_of_int (List.length assigned)))
+         (fun _ ->
+           List.iter
+             (fun node ->
+               if not (List.mem node.Testbed.Node.host sweep.covered) then begin
+                 measure_node t node;
+                 sweep.covered <- node.Testbed.Node.host :: sweep.covered
+               end)
+             assigned;
+           Oar.Manager.cancel t.env.Env.oar job;
+           t.busy <- false;
+           complete_if_done t sweep))
+
+let poll t =
+  if not t.busy then begin
+    let sweep = current_sweep t in
+    let free =
+      Oar.Manager.free_matching_now t.env.Env.oar
+        (Oar.Expr.parse_exn (Printf.sprintf "cluster='%s'" t.cluster))
+    in
+    let usable_total =
+      Testbed.Instance.nodes_of_cluster t.env.Env.instance t.cluster
+      |> List.filter (fun n -> n.Testbed.Node.state <> Testbed.Node.Down)
+      |> List.length
+    in
+    match t.strat with
+    | Whole_cluster ->
+      (* All usable nodes must be free at once. *)
+      if usable_total > 0 && List.length free >= usable_total then begin
+        let nodes =
+          List.filter_map (Testbed.Instance.find_node t.env.Env.instance) free
+        in
+        sweep.covered <- [];
+        run_measurement t sweep nodes;
+        (* A whole-cluster run covers even currently-Down nodes'
+           bookkeeping: they cannot be measured, so the ledger treats
+           them as covered to avoid waiting forever for dead hardware. *)
+        let down =
+          Testbed.Instance.nodes_of_cluster t.env.Env.instance t.cluster
+          |> List.filter (fun n -> n.Testbed.Node.state = Testbed.Node.Down)
+        in
+        List.iter
+          (fun n -> sweep.covered <- n.Testbed.Node.host :: sweep.covered)
+          down
+      end
+    | Per_node ->
+      let uncovered_free =
+        List.filter (fun h -> not (List.mem h sweep.covered)) free
+      in
+      (match
+         List.filter_map (Testbed.Instance.find_node t.env.Env.instance) uncovered_free
+       with
+       | [] ->
+         (* Dead nodes would block sweep completion indefinitely; count
+            them as covered, mirroring the whole-cluster bookkeeping. *)
+         let down =
+           Testbed.Instance.nodes_of_cluster t.env.Env.instance t.cluster
+           |> List.filter (fun n ->
+                  n.Testbed.Node.state = Testbed.Node.Down
+                  && not (List.mem n.Testbed.Node.host sweep.covered))
+         in
+         if down <> [] then begin
+           List.iter
+             (fun n -> sweep.covered <- n.Testbed.Node.host :: sweep.covered)
+             down;
+           complete_if_done t sweep
+         end
+       | nodes -> run_measurement t sweep nodes)
+  end
+
+let start t ~period =
+  Simkit.Engine.every (Env.engine t.env) ~period (fun _ ->
+      poll t;
+      true)
+
+let time_to_coverage t =
+  match List.rev (completed_sweeps t) with
+  | first :: _ -> Some (Option.get first.completed_at -. first.started_at)
+  | [] -> None

@@ -1,0 +1,52 @@
+(** Per-node scheduling of hardware-centric tests — the paper's open
+    question made concrete.
+
+    "Job scheduling: requiring the availability of all nodes of a cluster
+    is not very realistic.  Move to per-node scheduling?"  On a busy
+    testbed, all N nodes of a cluster are simultaneously free only during
+    maintenance windows, so whole-cluster tests can wait for weeks.  This
+    module implements the alternative: keep a per-cluster {e coverage
+    ledger} and opportunistically test whichever nodes are free right
+    now, completing a sweep once every node has been covered.
+
+    The ablation bench (A1) compares time-to-full-coverage of the two
+    strategies under the same user workload. *)
+
+type strategy = Whole_cluster | Per_node
+
+type sweep = {
+  cluster : string;
+  started_at : float;
+  mutable covered : string list;  (** hosts measured in this sweep *)
+  mutable completed_at : float option;
+  mutable partial_runs : int;  (** reservations used (1 for whole-cluster) *)
+}
+
+type t
+
+val create : ?walltime:float -> Env.t -> strategy:strategy -> cluster:string -> t
+(** A coverage tracker for one cluster's disk checks.  [walltime]
+    (default 1800 s) is the length of each measurement reservation;
+    shorter walltimes slip into smaller schedule gaps. *)
+
+val strategy : t -> strategy
+val current_sweep : t -> sweep
+val completed_sweeps : t -> sweep list
+
+val poll : t -> unit
+(** One scheduling opportunity.  [Whole_cluster]: reserve every node of
+    the cluster (immediate-or-give-up), measure all, complete the sweep.
+    [Per_node]: reserve whatever uncovered nodes are free now (if any),
+    measure them, and complete the sweep when the ledger is full.
+    Measurements take simulated time; a node already covered in the
+    current sweep is never re-reserved. *)
+
+val start : t -> period:float -> unit
+(** Poll periodically on the environment's engine. *)
+
+val time_to_coverage : t -> float option
+(** Duration of the first completed sweep, if any. *)
+
+val evidences : t -> Bugtracker.evidence list
+(** Disk anomalies found across all sweeps (same checks as the disk test
+    family). *)

@@ -1,0 +1,304 @@
+type experiment = Mpi_pingpong | Elastic_cloud | Energy_profile | Linktest
+
+let all = [ Mpi_pingpong; Elastic_cloud; Energy_profile; Linktest ]
+
+let name = function
+  | Mpi_pingpong -> "mpi_pingpong"
+  | Elastic_cloud -> "elastic_cloud"
+  | Energy_profile -> "energy_profile"
+  | Linktest -> "linktest"
+
+let logf build fmt = Printf.ksprintf (Ci.Build.append_log build) fmt
+
+let after env delay k =
+  ignore (Simkit.Engine.schedule (Env.engine env) ~delay (fun _ -> k ()))
+
+let unstable = { Scripts.result = Ci.Build.Unstable; evidences = [] }
+let success = Scripts.success
+
+let failure ~signature ~summary ~category ~source ~fault_ids =
+  {
+    Scripts.result = Ci.Build.Failure;
+    evidences =
+      [ { Bugtracker.signature; summary; category; source_test = source; fault_ids } ];
+  }
+
+let reserve env ~filter ~count ~walltime ~build k_unavail k =
+  let request = Oar.Request.nodes ~filter count ~walltime in
+  match
+    Oar.Manager.submit env.Env.oar ~user:"regression-tests" ~jtype:Oar.Job.Deploy
+      ~duration:walltime ~immediate:true request
+  with
+  | Error _ ->
+    logf build "reservation %s: not immediately available" (Oar.Request.to_string request);
+    k_unavail ()
+  | Ok job ->
+    let nodes =
+      List.filter_map (Testbed.Instance.find_node env.Env.instance) job.Oar.Job.assigned
+    in
+    k nodes (fun () -> Oar.Manager.cancel env.Env.oar job)
+
+(* ---- mpi_pingpong ---------------------------------------------------------- *)
+
+let mpi_pingpong env ~build ~finish =
+  (* Two nodes of one InfiniBand cluster, like a real MPI user. *)
+  reserve env ~filter:"ib='YES'" ~count:(`N 2) ~walltime:2400.0 ~build
+    (fun () -> finish unstable)
+    (fun nodes release ->
+      after env 480.0 (fun () ->
+          match nodes with
+          | a :: b :: _ ->
+            let start_ok = Testbed.Node.ib_start_ok a && Testbed.Node.ib_start_ok b in
+            let latency =
+              Testbed.Network.latency_ms env.Env.instance.Testbed.Instance.network a b
+            in
+            let faults = Env.faults env in
+            logf build "pingpong %s <-> %s: start=%b latency=%.3f ms"
+              a.Testbed.Node.host b.Testbed.Node.host start_ok latency;
+            release ();
+            if not start_ok then begin
+              let ids =
+                Testbed.Faults.active_on_host faults a.Testbed.Node.host
+                @ Testbed.Faults.active_on_host faults b.Testbed.Node.host
+                |> List.filter (fun f -> f.Testbed.Faults.kind = Testbed.Faults.Ofed_flaky)
+                |> List.map (fun f ->
+                       Testbed.Faults.mark_detected faults ~now:(Env.now env) f;
+                       f.Testbed.Faults.id)
+              in
+              finish
+                (failure
+                   ~signature:(Printf.sprintf "regression:mpi:%s" a.Testbed.Node.cluster_name)
+                   ~summary:"MPI application fails to start over InfiniBand"
+                   ~category:"software" ~source:"regression:mpi_pingpong" ~fault_ids:ids)
+            end
+            else if latency > 1.0 && String.equal a.Testbed.Node.site_name b.Testbed.Node.site_name
+            then
+              finish
+                (failure
+                   ~signature:(Printf.sprintf "regression:latency:%s" a.Testbed.Node.site_name)
+                   ~summary:"intra-site latency implausibly high"
+                   ~category:"infrastructure" ~source:"regression:mpi_pingpong"
+                   ~fault_ids:[])
+            else finish success
+          | _ ->
+            release ();
+            finish unstable))
+
+(* ---- elastic_cloud ----------------------------------------------------------- *)
+
+let elastic_cloud env ~build ~finish =
+  reserve env ~filter:"" ~count:(`N 6) ~walltime:3600.0 ~build
+    (fun () -> finish unstable)
+    (fun nodes release ->
+      (* Deploy a cloud image on the whole group, then churn reboots like
+         an elastic VM manager. *)
+      Kadeploy.Deploy.run env.Env.instance ~registry:env.Env.registry
+        ~image:"debian8-x64-big" ~nodes ~on_done:(fun result ->
+          if not (Kadeploy.Deploy.all_deployed result) then begin
+            release ();
+            let failed =
+              List.filter_map
+                (fun (host, o) -> if o = Kadeploy.Deploy.Deployed then None else Some host)
+                result.Kadeploy.Deploy.outcomes
+            in
+            logf build "deployment failed on: %s" (String.concat " " failed);
+            finish
+              (failure
+                 ~signature:
+                   (Printf.sprintf "regression:cloud:%s"
+                      (match failed with h :: _ -> h | [] -> "deploy"))
+                 ~summary:"cloud image deployment failed"
+                 ~category:"infrastructure" ~source:"regression:elastic_cloud"
+                 ~fault_ids:[])
+          end
+          else begin
+            let pending = ref (List.length nodes) in
+            let lost = ref [] in
+            List.iter
+              (fun node ->
+                Testbed.Instance.reboot env.Env.instance node ~on_done:(fun ~ok ->
+                    if not ok then lost := node.Testbed.Node.host :: !lost;
+                    decr pending;
+                    if !pending = 0 then begin
+                      logf build "vm churn: %d/%d nodes back"
+                        (List.length nodes - List.length !lost)
+                        (List.length nodes);
+                      release ();
+                      match !lost with
+                      | [] -> finish success
+                      | host :: _ ->
+                        let faults = Env.faults env in
+                        let ids =
+                          Testbed.Faults.active_on_host faults host
+                          |> List.filter (fun f ->
+                                 f.Testbed.Faults.kind = Testbed.Faults.Random_reboots)
+                          |> List.map (fun f ->
+                                 Testbed.Faults.mark_detected faults ~now:(Env.now env) f;
+                                 f.Testbed.Faults.id)
+                        in
+                        finish
+                          (failure
+                             ~signature:(Printf.sprintf "regression:cloud:%s" host)
+                             ~summary:(Printf.sprintf "%s lost during VM churn" host)
+                             ~category:"infrastructure"
+                             ~source:"regression:elastic_cloud" ~fault_ids:ids)
+                    end))
+              nodes
+          end))
+
+(* ---- energy_profile ------------------------------------------------------------ *)
+
+let energy_profile env ~build ~finish =
+  reserve env ~filter:"wattmeter='YES'" ~count:(`N 1) ~walltime:1800.0 ~build
+    (fun () -> finish unstable)
+    (fun nodes release ->
+      after env 120.0 (fun () ->
+          match nodes with
+          | node :: _ ->
+            let host = node.Testbed.Node.host in
+            let hi = Env.now env in
+            let lo = hi -. 60.0 in
+            let series =
+              Monitoring.Collector.sample_window env.Env.collector ~host
+                Monitoring.Collector.Power_w ~lo ~hi
+            in
+            let mean = Simkit.Timeseries.mean_between series ~lo ~hi in
+            let reference = node.Testbed.Node.reference in
+            let idle = Monitoring.Power.idle_of_hardware reference in
+            let peak = Monitoring.Power.peak_of_hardware reference in
+            logf build "%s: mean %.1f W (envelope %.1f-%.1f W)" host mean
+              (0.92 *. idle) (1.08 *. peak);
+            release ();
+            if Float.is_nan mean || mean < 0.92 *. idle || mean > 1.08 *. peak then begin
+              let faults = Env.faults env in
+              let ids =
+                Testbed.Faults.active_on_host faults host
+                |> List.filter (fun f ->
+                       List.mem f.Testbed.Faults.kind
+                         [ Testbed.Faults.Kwapi_misattribution;
+                           Testbed.Faults.Cpu_cstates; Testbed.Faults.Cpu_turbo ])
+                |> List.map (fun f ->
+                       Testbed.Faults.mark_detected faults ~now:(Env.now env) f;
+                       f.Testbed.Faults.id)
+              in
+              finish
+                (failure
+                   ~signature:(Printf.sprintf "regression:energy:%s" host)
+                   ~summary:
+                     (Printf.sprintf "power trace of %s outside hardware envelope" host)
+                   ~category:"cabling" ~source:"regression:energy_profile" ~fault_ids:ids)
+            end
+            else finish success
+          | [] ->
+            release ();
+            finish unstable))
+
+(* ---- linktest -------------------------------------------------------------------- *)
+
+let linktest env ~build ~finish =
+  (* Emulab LinkTest: latency, bandwidth, routing/cabling — one node on
+     each of two sites plus a same-site pair. *)
+  reserve env ~filter:"site='nancy'" ~count:(`N 2) ~walltime:1800.0 ~build
+    (fun () -> finish unstable)
+    (fun nancy_nodes release_a ->
+      reserve env ~filter:"site='rennes'" ~count:(`N 1) ~walltime:1800.0 ~build
+        (fun () ->
+          release_a ();
+          finish unstable)
+        (fun rennes_nodes release_b ->
+          after env 300.0 (fun () ->
+              let release_all () =
+                release_a ();
+                release_b ()
+              in
+              match (nancy_nodes, rennes_nodes) with
+              | a :: b :: _, c :: _ ->
+                let net = env.Env.instance.Testbed.Instance.network in
+                let local = Testbed.Network.latency_ms net a b in
+                let wan = Testbed.Network.latency_ms net a c in
+                let wan_bw = Testbed.Network.bandwidth_gbps net a c in
+                let cabling_ok =
+                  List.for_all
+                    (fun n -> Testbed.Network.cabling_consistent net n.Testbed.Node.host)
+                    [ a; b; c ]
+                in
+                (* Structural cross-check against the described topology:
+                   the measured bandwidth may not exceed the path's
+                   bottleneck capacity. *)
+                let topo =
+                  Testbed.Topology.build net
+                    (Array.to_list env.Env.instance.Testbed.Instance.nodes)
+                in
+                let bottleneck =
+                  Testbed.Topology.bottleneck_gbps topo ~from:a.Testbed.Node.host
+                    ~to_:c.Testbed.Node.host
+                in
+                let wan_bw = Float.min wan_bw bottleneck in
+                logf build
+                  "lan=%.3f ms wan=%.3f ms wan-bw=%.2f Gbps (bottleneck %.1f, %d hops) cabling=%b"
+                  local wan wan_bw bottleneck
+                  (Testbed.Topology.hops topo ~from:a.Testbed.Node.host
+                     ~to_:c.Testbed.Node.host)
+                  cabling_ok;
+                release_all ();
+                if not cabling_ok then begin
+                  let faults = Env.faults env in
+                  let ids =
+                    List.concat_map
+                      (fun n ->
+                        Testbed.Faults.active_on_host faults n.Testbed.Node.host)
+                      [ a; b; c ]
+                    |> List.filter (fun f ->
+                           f.Testbed.Faults.kind = Testbed.Faults.Cabling_swap)
+                    |> List.map (fun f ->
+                           Testbed.Faults.mark_detected faults ~now:(Env.now env) f;
+                           f.Testbed.Faults.id)
+                  in
+                  finish
+                    (failure ~signature:"regression:linktest:cabling"
+                       ~summary:"measured topology differs from description"
+                       ~category:"cabling" ~source:"regression:linktest" ~fault_ids:ids)
+                end
+                else if local >= wan then
+                  finish
+                    (failure ~signature:"regression:linktest:latency"
+                       ~summary:"latency hierarchy violated (LAN >= WAN)"
+                       ~category:"infrastructure" ~source:"regression:linktest"
+                       ~fault_ids:[])
+                else if wan_bw > Testbed.Network.backbone_gbps net then
+                  finish
+                    (failure ~signature:"regression:linktest:bandwidth"
+                       ~summary:"measured bandwidth exceeds the backbone"
+                       ~category:"infrastructure" ~source:"regression:linktest"
+                       ~fault_ids:[])
+                else finish success
+              | _ ->
+                release_all ();
+                finish unstable)))
+
+let run env experiment ~build ~finish =
+  match experiment with
+  | Mpi_pingpong -> mpi_pingpong env ~build ~finish
+  | Elastic_cloud -> elastic_cloud env ~build ~finish
+  | Energy_profile -> energy_profile env ~build ~finish
+  | Linktest -> linktest env ~build ~finish
+
+let define_jobs ?(daily = false) env ~on_evidence =
+  List.iteri
+    (fun i experiment ->
+      let body ~engine:_ ~build ~finish =
+        run env experiment ~build ~finish:(fun outcome ->
+            List.iter on_evidence outcome.Scripts.evidences;
+            finish outcome.Scripts.result)
+      in
+      let trigger =
+        if daily then Some (Ci.Cron.parse_exn (Printf.sprintf "%d 4 * * *" (i * 15)))
+        else None
+      in
+      Ci.Server.define env.Env.ci
+        (Ci.Jobdef.freestyle
+           ~description:("user-experiment regression: " ^ name experiment)
+           ?trigger
+           ~name:("regression_" ^ name experiment)
+           body))
+    all

@@ -1,0 +1,39 @@
+(** User experiments as regression tests — the paper's "tests still being
+    added: adding real user experiments as regression tests?".
+
+    Four canned experiments exercise the platform exactly like a user
+    would, end to end, and fail when the infrastructure would have
+    corrupted the user's results:
+
+    - [mpi_pingpong]: two InfiniBand nodes, application start + latency /
+      bandwidth sanity (catches OFED trouble and IB topology lies);
+    - [elastic_cloud]: a small node group, deploy + reboot churn
+      (catches flaky nodes and slow boots);
+    - [energy_profile]: a wattmeter node's power trace against its
+      hardware envelope (catches C-states drift and wattmeter
+      misattribution);
+    - [linktest]: Emulab-LinkTest-style network characteristics check —
+      latency hierarchy, bandwidth caps, described cabling.
+
+    They are NOT part of the paper's 751-configuration catalog; they are
+    defined as additional CI jobs named [regression_<name>]. *)
+
+type experiment = Mpi_pingpong | Elastic_cloud | Energy_profile | Linktest
+
+val all : experiment list
+val name : experiment -> string
+
+val run :
+  Env.t ->
+  experiment ->
+  build:Ci.Build.t ->
+  finish:(Scripts.outcome -> unit) ->
+  unit
+(** Execute one experiment (asynchronous in simulated time; finishes
+    Unstable when resources are unavailable, like the test scripts). *)
+
+val define_jobs :
+  ?daily:bool -> Env.t -> on_evidence:(Bugtracker.evidence -> unit) -> unit
+(** Register the four [regression_*] freestyle jobs on the CI server;
+    with [daily:true] each is armed with a night-time cron trigger
+    (04:00, staggered by a quarter hour per experiment). *)

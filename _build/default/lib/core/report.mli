@@ -1,0 +1,18 @@
+(** Machine-readable campaign reports.
+
+    The real status page is consumed by humans and scripts alike; this
+    module serialises a campaign report to JSON (the same minimal JSON
+    dialect the Reference API uses), so downstream tooling — dashboards,
+    notebooks, the federation-level monitors the paper cites — can read
+    the results without scraping tables. *)
+
+val monthly_to_json : Campaign.monthly -> Simkit.Json.t
+val to_json : Campaign.report -> Simkit.Json.t
+
+val to_string : ?indent:int -> Campaign.report -> string
+(** [to_json] rendered; [indent] defaults to 2. *)
+
+val summary_of_json : Simkit.Json.t -> (string, string) result
+(** Validate a serialised report and produce a one-line summary
+    ("6 months, 21828 builds, 135 bugs (109 fixed)...") — the consumer
+    side, used in tests to pin the schema. *)

@@ -1,0 +1,271 @@
+type policy = {
+  poll_period : float;
+  backoff_initial : float;
+  backoff_max : float;
+  avoid_peak_hours : bool;
+  one_job_per_site : bool;
+  precheck_resources : bool;
+  use_backoff : bool;
+}
+
+let smart_policy =
+  {
+    poll_period = 600.0;
+    backoff_initial = 3600.0;
+    backoff_max = 4.0 *. Simkit.Calendar.day;
+    avoid_peak_hours = true;
+    one_job_per_site = true;
+    precheck_resources = true;
+    use_backoff = true;
+  }
+
+let naive_policy =
+  {
+    poll_period = 600.0;
+    backoff_initial = 3600.0;
+    backoff_max = 4.0 *. Simkit.Calendar.day;
+    avoid_peak_hours = false;
+    one_job_per_site = false;
+    precheck_resources = false;
+    use_backoff = false;
+  }
+
+type stats = {
+  polls : int;
+  triggered : int;
+  completed_success : int;
+  completed_failure : int;
+  completed_unstable : int;
+  skipped_peak : int;
+  skipped_site_busy : int;
+  skipped_no_resources : int;
+}
+
+type entry = {
+  config : Testdef.config;
+  mutable next_due : float;
+  mutable backoff : float;
+  mutable in_flight : bool;
+}
+
+type t = {
+  env : Env.t;
+  pol : policy;
+  entries : (string, entry) Hashtbl.t;  (* config_id -> entry *)
+  mutable families : Testdef.family list;
+  mutable running : bool;
+  rng : Simkit.Prng.t;
+  mutable polls : int;
+  mutable triggered : int;
+  mutable completed_success : int;
+  mutable completed_failure : int;
+  mutable completed_unstable : int;
+  mutable skipped_peak : int;
+  mutable skipped_site_busy : int;
+  mutable skipped_no_resources : int;
+}
+
+let policy t = t.pol
+
+let stats t =
+  {
+    polls = t.polls;
+    triggered = t.triggered;
+    completed_success = t.completed_success;
+    completed_failure = t.completed_failure;
+    completed_unstable = t.completed_unstable;
+    skipped_peak = t.skipped_peak;
+    skipped_site_busy = t.skipped_site_busy;
+    skipped_no_resources = t.skipped_no_resources;
+  }
+
+let on_completed t build =
+  match Jobs.config_of_build build with
+  | None -> ()
+  | Some config -> (
+    match Hashtbl.find_opt t.entries config.Testdef.config_id with
+    | None -> ()
+    | Some entry ->
+      entry.in_flight <- false;
+      let now = Env.now t.env in
+      let base = Testdef.base_period config.Testdef.family in
+      (match build.Ci.Build.result with
+       | Some Ci.Build.Success ->
+         t.completed_success <- t.completed_success + 1;
+         entry.backoff <- t.pol.backoff_initial;
+         entry.next_due <- now +. base
+       | Some Ci.Build.Unstable ->
+         t.completed_unstable <- t.completed_unstable + 1;
+         if t.pol.use_backoff then begin
+           entry.next_due <- now +. entry.backoff;
+           entry.backoff <- Float.min t.pol.backoff_max (entry.backoff *. 2.0)
+         end
+         else entry.next_due <- now +. t.pol.poll_period
+       | Some (Ci.Build.Failure | Ci.Build.Aborted | Ci.Build.Not_built) | None ->
+         t.completed_failure <- t.completed_failure + 1;
+         entry.backoff <- t.pol.backoff_initial;
+         (* Re-test failures sooner: confirm the problem, then confirm
+            the fix. *)
+         entry.next_due <- now +. base))
+
+let create ?(policy = smart_policy) env =
+  let t =
+    {
+      env;
+      pol = policy;
+      entries = Hashtbl.create 1024;
+      families = [];
+      running = false;
+      rng = Simkit.Prng.split (Simkit.Engine.rng (Env.engine env));
+      polls = 0;
+      triggered = 0;
+      completed_success = 0;
+      completed_failure = 0;
+      completed_unstable = 0;
+      skipped_peak = 0;
+      skipped_site_busy = 0;
+      skipped_no_resources = 0;
+    }
+  in
+  Ci.Server.on_build_complete env.Env.ci (fun build -> on_completed t build);
+  t
+
+let enable_family t family =
+  if not (List.mem family t.families) then begin
+    t.families <- t.families @ [ family ];
+    let now = Env.now t.env in
+    let base = Testdef.base_period family in
+    List.iter
+      (fun config ->
+        if not (Hashtbl.mem t.entries config.Testdef.config_id) then
+          Hashtbl.replace t.entries config.Testdef.config_id
+            {
+              config;
+              (* Stagger initial runs across one base period. *)
+              next_due = now +. (Simkit.Prng.float t.rng *. base);
+              backoff = t.pol.backoff_initial;
+              in_flight = false;
+            })
+      (Testdef.expand family)
+  end
+
+let enabled_families t = t.families
+
+let due_count t time =
+  Hashtbl.fold
+    (fun _ e acc -> if (not e.in_flight) && e.next_due <= time then acc + 1 else acc)
+    t.entries 0
+
+(* Sites with a node-consuming test currently in flight. *)
+let busy_sites t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      if e.in_flight && Testdef.need e.config.Testdef.family <> Testdef.No_nodes then
+        match e.config.Testdef.site with Some s -> s :: acc | None -> acc
+      else acc)
+    t.entries []
+
+let resources_available t config =
+  let free filter = Oar.Manager.free_matching_now t.env.Env.oar (Oar.Expr.parse_exn filter) in
+  match Testdef.need config.Testdef.family with
+  | Testdef.No_nodes -> true
+  | Testdef.One_node -> (
+    match config.Testdef.family with
+    | Testdef.Kwapi ->
+      List.length
+        (free
+           (Printf.sprintf "site='%s' and wattmeter='YES'"
+              (Option.get config.Testdef.site)))
+      >= 1
+    | _ -> List.length (free (Testdef.oar_filter config)) >= 1)
+  | Testdef.Two_nodes ->
+    let site =
+      match config.Testdef.site with
+      | Some site -> site
+      | None -> List.hd Testbed.Inventory.sites
+    in
+    List.length (free (Printf.sprintf "site='%s'" site)) >= 2
+  | Testdef.Site_spread ->
+    let site = Option.get config.Testdef.site in
+    List.for_all
+      (fun spec ->
+        List.length
+          (free (Printf.sprintf "cluster='%s'" spec.Testbed.Inventory.cluster))
+        >= 1)
+      (Testbed.Inventory.clusters_of_site site)
+  | Testdef.Whole_cluster ->
+    let cluster = Option.get config.Testdef.cluster in
+    let usable =
+      Testbed.Instance.nodes_of_cluster t.env.Env.instance cluster
+      |> List.filter (fun n -> n.Testbed.Node.state <> Testbed.Node.Down)
+    in
+    let free_now = free (Printf.sprintf "cluster='%s'" cluster) in
+    usable <> [] && List.length free_now >= List.length usable
+
+let consider t ~busy entry =
+  let now = Env.now t.env in
+  let config = entry.config in
+  let consumes_nodes = Testdef.need config.Testdef.family <> Testdef.No_nodes in
+  if entry.in_flight || entry.next_due > now then ()
+  else if t.pol.avoid_peak_hours && consumes_nodes && Simkit.Calendar.is_peak_hours now
+  then t.skipped_peak <- t.skipped_peak + 1
+  else if
+    t.pol.one_job_per_site && consumes_nodes
+    &&
+    match config.Testdef.site with
+    | Some site -> Hashtbl.mem busy site
+    | None -> false
+  then begin
+    t.skipped_site_busy <- t.skipped_site_busy + 1;
+    entry.next_due <- now +. t.pol.poll_period
+  end
+  else if t.pol.precheck_resources && not (resources_available t config) then begin
+    t.skipped_no_resources <- t.skipped_no_resources + 1;
+    if t.pol.use_backoff then begin
+      entry.next_due <- now +. entry.backoff;
+      entry.backoff <- Float.min t.pol.backoff_max (entry.backoff *. 2.0)
+    end
+    else entry.next_due <- now +. t.pol.poll_period
+  end
+  else begin
+    match
+      Ci.Server.trigger_subset t.env.Env.ci ~cause:"external-scheduler"
+        (Jobs.job_name config.Testdef.family)
+        ~axes:[ Testdef.axes_of_config config ]
+    with
+    | Ci.Server.Queued _ ->
+      t.triggered <- t.triggered + 1;
+      Env.tracef t.env ~category:"scheduler" "triggered %s"
+        config.Testdef.config_id;
+      entry.in_flight <- true;
+      if consumes_nodes then begin
+        match config.Testdef.site with
+        | Some site -> Hashtbl.replace busy site ()
+        | None -> ()
+      end
+    | Ci.Server.Not_found | Ci.Server.Disabled | Ci.Server.Denied ->
+      entry.next_due <- now +. t.pol.poll_period
+  end
+
+let poll t =
+  t.polls <- t.polls + 1;
+  (* Deterministic order: config id. *)
+  let entries =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+    |> List.sort (fun a b ->
+           String.compare a.config.Testdef.config_id b.config.Testdef.config_id)
+  in
+  let busy = Hashtbl.create 16 in
+  List.iter (fun site -> Hashtbl.replace busy site ()) (busy_sites t);
+  List.iter (consider t ~busy) entries
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Simkit.Engine.every (Env.engine t.env) ~period:t.pol.poll_period ~jitter:30.0
+      (fun _ ->
+        if t.running then poll t;
+        t.running)
+  end
+
+let stop t = t.running <- false

@@ -1,0 +1,61 @@
+(** The external job scheduler — the paper's main custom development.
+
+    Jenkins' time-based scheduling is not sufficient: testbed resources
+    are heavily used, hardware-centric tests need whole clusters, and
+    test jobs must not compete with user requests.  This tool polls the
+    CI server and the testbed state and decides when to trigger each
+    configuration, applying:
+
+    - resource availability: trigger only when the needed nodes are free
+      right now (the build's reservation is immediate-or-cancel);
+    - retry with exponential backoff after an Unstable build;
+    - peak-hours avoidance (no node-consuming test during working hours);
+    - same-site anti-affinity (at most one node-consuming test per site).
+
+    The [Naive] policy disables all of that (pure time-based triggering),
+    serving as the baseline of experiment E6. *)
+
+type policy = {
+  poll_period : float;
+  backoff_initial : float;
+  backoff_max : float;
+  avoid_peak_hours : bool;
+  one_job_per_site : bool;
+  precheck_resources : bool;
+  use_backoff : bool;
+}
+
+val smart_policy : policy
+val naive_policy : policy
+
+type stats = {
+  polls : int;
+  triggered : int;
+  completed_success : int;
+  completed_failure : int;
+  completed_unstable : int;
+  skipped_peak : int;
+  skipped_site_busy : int;
+  skipped_no_resources : int;
+}
+
+type t
+
+val create : ?policy:policy -> Env.t -> t
+(** Subscribes to build completions; families start disabled. *)
+
+val enable_family : t -> Testdef.family -> unit
+(** Adds the family's configurations to the rotation, with staggered
+    initial due times. *)
+
+val enabled_families : t -> Testdef.family list
+
+val start : t -> unit
+(** Begin the poll loop on the environment's engine. *)
+
+val stop : t -> unit
+val stats : t -> stats
+val policy : t -> policy
+
+val due_count : t -> float -> int
+(** Configurations due at the given time (for introspection/tests). *)

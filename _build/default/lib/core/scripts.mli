@@ -1,0 +1,32 @@
+(** Test-script implementations, one per family.
+
+    Scripts follow the paper's philosophy: Keep It Simple, Stupid —
+    exhibit the issue {e and} give the operator enough context to fix it.
+    Each script runs asynchronously in simulated time (reserving nodes
+    through OAR, deploying through Kadeploy, probing through the
+    monitoring stack) and finishes with a CI result plus structured
+    {!Bugtracker.evidence} for every distinct problem observed.
+
+    A script that cannot get its resources immediately finishes
+    {!Ci.Build.Unstable} — the "testbed job cancelled, build marked as
+    unstable" behaviour. *)
+
+type outcome = {
+  result : Ci.Build.result;
+  evidences : Bugtracker.evidence list;
+}
+
+val run :
+  Env.t ->
+  Testdef.config ->
+  build:Ci.Build.t ->
+  finish:(outcome -> unit) ->
+  unit
+(** Execute the script for one configuration.  [finish] is called exactly
+    once, after the script's simulated duration.  Ground-truth faults
+    whose effect was observed are marked detected
+    ({!Testbed.Faults.mark_detected}), which feeds the detection-rate
+    experiment. *)
+
+val success : outcome
+(** [{ result = Success; evidences = [] }]. *)

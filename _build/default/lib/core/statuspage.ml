@@ -1,0 +1,226 @@
+type cell = Ok_ | Ko | Unst | Missing
+
+type record = { mutable latest : (float * cell) option }
+
+type month_counter = {
+  mutable completed : int;
+  mutable successful : int;
+  mutable failed : int;
+  mutable unstable_n : int;
+}
+
+type family_counter = {
+  mutable f_ok : int;
+  mutable f_ko : int;
+  mutable f_unstable : int;
+}
+
+type t = {
+  env : Env.t;
+  cells : (string * string, record) Hashtbl.t;  (* (family, scope) -> latest *)
+  site_cells : (string * string * string, record) Hashtbl.t;
+      (* (family, site, scope) *)
+  months : (int, month_counter) Hashtbl.t;
+  families : (string, family_counter) Hashtbl.t;
+}
+
+let cell_to_string = function
+  | Ok_ -> "OK"
+  | Ko -> "KO"
+  | Unst -> "??"
+  | Missing -> "--"
+
+let cell_of_result = function
+  | Ci.Build.Success -> Ok_
+  | Ci.Build.Unstable -> Unst
+  | Ci.Build.Failure | Ci.Build.Aborted | Ci.Build.Not_built -> Ko
+
+let worse a b =
+  let rank = function Missing -> 0 | Ok_ -> 1 | Unst -> 2 | Ko -> 3 in
+  if rank a >= rank b then a else b
+
+let scope_of_config config =
+  match config.Testdef.cluster with
+  | Some cluster -> cluster
+  | None -> (
+    match config.Testdef.vlan with
+    | Some vlan -> string_of_int vlan
+    | None -> Option.value ~default:"global" config.Testdef.site)
+
+let month_counter t month =
+  match Hashtbl.find_opt t.months month with
+  | Some c -> c
+  | None ->
+    let c = { completed = 0; successful = 0; failed = 0; unstable_n = 0 } in
+    Hashtbl.replace t.months month c;
+    c
+
+let family_counter t family =
+  let key = Testdef.family_to_string family in
+  match Hashtbl.find_opt t.families key with
+  | Some c -> c
+  | None ->
+    let c = { f_ok = 0; f_ko = 0; f_unstable = 0 } in
+    Hashtbl.replace t.families key c;
+    c
+
+let on_completed t build =
+  match (Jobs.config_of_build build, build.Ci.Build.result) with
+  | Some config, Some result ->
+    let family = Testdef.family_to_string config.Testdef.family in
+    let scope = scope_of_config config in
+    let now = Env.now t.env in
+    let cell = cell_of_result result in
+    let store table key =
+      let record =
+        match Hashtbl.find_opt table key with
+        | Some r -> r
+        | None ->
+          let r = { latest = None } in
+          Hashtbl.replace table key r;
+          r
+      in
+      record.latest <- Some (now, cell)
+    in
+    store t.cells (family, scope);
+    (match config.Testdef.site with
+     | Some site -> store t.site_cells (family, site, scope)
+     | None -> ());
+    let mc = month_counter t (Simkit.Calendar.month_index now) in
+    mc.completed <- mc.completed + 1;
+    (match cell with
+     | Ok_ ->
+       mc.successful <- mc.successful + 1;
+       (family_counter t config.Testdef.family).f_ok <-
+         (family_counter t config.Testdef.family).f_ok + 1
+     | Ko ->
+       mc.failed <- mc.failed + 1;
+       (family_counter t config.Testdef.family).f_ko <-
+         (family_counter t config.Testdef.family).f_ko + 1
+     | Unst | Missing ->
+       mc.unstable_n <- mc.unstable_n + 1;
+       (family_counter t config.Testdef.family).f_unstable <-
+         (family_counter t config.Testdef.family).f_unstable + 1)
+  | _ -> ()
+
+let create env =
+  let t =
+    {
+      env;
+      cells = Hashtbl.create 2048;
+      site_cells = Hashtbl.create 2048;
+      months = Hashtbl.create 16;
+      families = Hashtbl.create 16;
+    }
+  in
+  Ci.Server.on_build_complete env.Env.ci (fun build -> on_completed t build);
+  t
+
+let latest t ~family ~scope =
+  match Hashtbl.find_opt t.cells (Testdef.family_to_string family, scope) with
+  | Some { latest = Some (_, cell) } -> cell
+  | _ -> Missing
+
+let site_status t ~family ~site =
+  let family_name = Testdef.family_to_string family in
+  Hashtbl.fold
+    (fun (f, s, _) record acc ->
+      if String.equal f family_name && String.equal s site then
+        match record.latest with Some (_, cell) -> worse acc cell | None -> acc
+      else acc)
+    t.site_cells Missing
+
+let per_test_matrix t =
+  let header = "test" :: Testbed.Inventory.sites in
+  let rows =
+    List.map
+      (fun family ->
+        Testdef.family_to_string family
+        :: List.map
+             (fun site -> cell_to_string (site_status t ~family ~site))
+             Testbed.Inventory.sites)
+      Testdef.all_families
+  in
+  Simkit.Table.render ~header rows
+
+let per_cluster_matrix t ~site =
+  let clusters =
+    List.map
+      (fun spec -> spec.Testbed.Inventory.cluster)
+      (Testbed.Inventory.clusters_of_site site)
+  in
+  let families =
+    List.filter
+      (fun family ->
+        List.exists
+          (fun config -> config.Testdef.site = Some site && config.Testdef.cluster <> None)
+          (Testdef.expand family))
+      Testdef.all_families
+  in
+  let header = ("test@" ^ site) :: clusters in
+  let rows =
+    List.map
+      (fun family ->
+        Testdef.family_to_string family
+        :: List.map (fun cluster -> cell_to_string (latest t ~family ~scope:cluster)) clusters)
+      families
+  in
+  Simkit.Table.render ~header rows
+
+let summary_rows t =
+  List.filter_map
+    (fun family ->
+      let key = Testdef.family_to_string family in
+      match Hashtbl.find_opt t.families key with
+      | None -> None
+      | Some c ->
+        let total = c.f_ok + c.f_ko + c.f_unstable in
+        let ratio =
+          if total = 0 then nan else float_of_int c.f_ok /. float_of_int total
+        in
+        Some (key, c.f_ok, c.f_ko, c.f_unstable, ratio))
+    Testdef.all_families
+
+let monthly_success t =
+  Hashtbl.fold (fun month c acc -> (month, c) :: acc) t.months []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (month, c) ->
+         let ratio =
+           if c.completed = 0 then nan
+           else float_of_int c.successful /. float_of_int c.completed
+         in
+         (month, c.completed, c.successful, ratio))
+
+let overall_success_ratio t =
+  let completed, successful =
+    Hashtbl.fold
+      (fun _ c (total, ok) -> (total + c.completed, ok + c.successful))
+      t.months (0, 0)
+  in
+  if completed = 0 then nan else float_of_int successful /. float_of_int completed
+
+let render_overview t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "== Status: latest result per test and site ==\n";
+  Buffer.add_string buf (per_test_matrix t);
+  Buffer.add_string buf "\n== Per-test summary (all completed runs) ==\n";
+  Buffer.add_string buf
+    (Simkit.Table.render
+       ~header:[ "test"; "ok"; "ko"; "unstable"; "success" ]
+       (List.map
+          (fun (name, ok, ko, unstable, ratio) ->
+            [ name; string_of_int ok; string_of_int ko; string_of_int unstable;
+              Simkit.Table.fmt_pct ratio ])
+          (summary_rows t)));
+  Buffer.add_string buf "\n== Job weather (stability over the last 5 builds) ==\n";
+  Buffer.add_string buf (Ci.Weather.render t.env.Env.ci);
+  Buffer.add_string buf "\n== History (per 30-day month) ==\n";
+  Buffer.add_string buf
+    (Simkit.Table.render
+       ~header:[ "month"; "builds"; "successful"; "success" ]
+       (List.map
+          (fun (month, completed, successful, ratio) ->
+            [ string_of_int month; string_of_int completed; string_of_int successful;
+              Simkit.Table.fmt_pct ratio ])
+          (monthly_success t)));
+  Buffer.contents buf

@@ -1,0 +1,46 @@
+(** The external status page.
+
+    Jenkins shows one job at a time; operators need "per test status for
+    all sites/clusters, per site or per cluster status for all tests, and
+    a historical perspective".  This module aggregates build completions
+    (observed through the CI server's API, like the real page used
+    Jenkins' REST API) into exactly those three views, rendered as ASCII
+    matrices. *)
+
+type cell = Ok_ | Ko | Unst | Missing
+
+type t
+
+val create : Env.t -> t
+(** Subscribes to build completions. *)
+
+val cell_to_string : cell -> string
+
+val latest : t -> family:Testdef.family -> scope:string -> cell
+(** Latest result of a family on a scope key (site, cluster or vlan id,
+    depending on the family's axes). *)
+
+val site_status : t -> family:Testdef.family -> site:string -> cell
+(** Aggregated over the family's configurations belonging to the site
+    (worst of the latest results; Missing if none ran). *)
+
+val per_test_matrix : t -> string
+(** Rows = test families, columns = sites. *)
+
+val per_cluster_matrix : t -> site:string -> string
+(** Rows = families applicable per cluster, columns = the site's
+    clusters. *)
+
+val summary_rows : t -> (string * int * int * int * float) list
+(** Per family: name, ok, ko, unstable, success ratio over all recorded
+    completions. *)
+
+val monthly_success : t -> (int * int * int * float) list
+(** (month index, completed builds, successful builds, ratio) — the
+    "85% ⇒ 93%" series. *)
+
+val overall_success_ratio : t -> float
+
+val render_overview : t -> string
+(** The whole page: per-test matrix, per-family summary, job weather
+    (Jenkins-style stability icons) and history. *)

@@ -1,0 +1,257 @@
+type family =
+  | Refapi
+  | Oarproperties
+  | Dellbios
+  | Oarstate
+  | Cmdline
+  | Sidapi
+  | Environments
+  | Stdenv
+  | Paralleldeploy
+  | Multireboot
+  | Multideploy
+  | Console
+  | Kavlan
+  | Kwapi
+  | Mpigraph
+  | Disk
+
+type resource_need = No_nodes | One_node | Two_nodes | Site_spread | Whole_cluster
+
+type config = {
+  family : family;
+  cluster : string option;
+  site : string option;
+  image : string option;
+  vlan : int option;
+  config_id : string;
+}
+
+let all_families =
+  [ Refapi; Oarproperties; Dellbios; Oarstate; Cmdline; Sidapi; Environments;
+    Stdenv; Paralleldeploy; Multireboot; Multideploy; Console; Kavlan; Kwapi;
+    Mpigraph; Disk ]
+
+let family_to_string = function
+  | Refapi -> "refapi"
+  | Oarproperties -> "oarproperties"
+  | Dellbios -> "dellbios"
+  | Oarstate -> "oarstate"
+  | Cmdline -> "cmdline"
+  | Sidapi -> "sidapi"
+  | Environments -> "environments"
+  | Stdenv -> "stdenv"
+  | Paralleldeploy -> "paralleldeploy"
+  | Multireboot -> "multireboot"
+  | Multideploy -> "multideploy"
+  | Console -> "console"
+  | Kavlan -> "kavlan"
+  | Kwapi -> "kwapi"
+  | Mpigraph -> "mpigraph"
+  | Disk -> "disk"
+
+let family_of_string s =
+  List.find_opt (fun f -> String.equal (family_to_string f) s) all_families
+
+let need = function
+  | Refapi | Oarproperties | Dellbios | Oarstate | Cmdline | Sidapi -> No_nodes
+  | Stdenv | Environments | Console | Kwapi -> One_node
+  | Kavlan -> Two_nodes
+  | Paralleldeploy -> Site_spread
+  | Multireboot | Multideploy | Disk | Mpigraph -> Whole_cluster
+
+let is_hardware_centric family = need family = Whole_cluster
+
+let category = function
+  | Refapi | Oarproperties | Dellbios -> "description"
+  | Oarstate -> "status"
+  | Cmdline | Sidapi -> "tooling"
+  | Environments | Stdenv -> "images"
+  | Paralleldeploy | Multireboot | Multideploy -> "reliability"
+  | Console | Kavlan | Kwapi -> "services"
+  | Mpigraph | Disk -> "hardware"
+
+let cluster_names = List.map (fun c -> c.Testbed.Inventory.cluster) Testbed.Inventory.clusters
+
+let dell_clusters =
+  Testbed.Inventory.clusters
+  |> List.filter (fun c -> c.Testbed.Inventory.vendor = Testbed.Hardware.Dell)
+  |> List.map (fun c -> c.Testbed.Inventory.cluster)
+
+let ib_clusters =
+  Testbed.Inventory.clusters
+  |> List.filter (fun c -> c.Testbed.Inventory.has_ib)
+  |> List.map (fun c -> c.Testbed.Inventory.cluster)
+
+let site_of cluster =
+  match Testbed.Inventory.find_cluster cluster with
+  | Some spec -> spec.Testbed.Inventory.site
+  | None -> invalid_arg ("Testdef: unknown cluster " ^ cluster)
+
+let image_names = List.map (fun img -> img.Kadeploy.Image.name) Kadeploy.Image.standard
+
+let per_cluster family clusters =
+  List.map
+    (fun cluster ->
+      {
+        family;
+        cluster = Some cluster;
+        site = Some (site_of cluster);
+        image = None;
+        vlan = None;
+        config_id = Printf.sprintf "%s:%s" (family_to_string family) cluster;
+      })
+    clusters
+
+let per_site family =
+  List.map
+    (fun site ->
+      {
+        family;
+        cluster = None;
+        site = Some site;
+        image = None;
+        vlan = None;
+        config_id = Printf.sprintf "%s:%s" (family_to_string family) site;
+      })
+    Testbed.Inventory.sites
+
+let expand_uncached family =
+  match family with
+  | Environments ->
+    List.concat_map
+      (fun image ->
+        List.map
+          (fun cluster ->
+            {
+              family;
+              cluster = Some cluster;
+              site = Some (site_of cluster);
+              image = Some image;
+              vlan = None;
+              config_id = Printf.sprintf "environments:%s:%s" image cluster;
+            })
+          cluster_names)
+      image_names
+  | Stdenv | Refapi | Oarproperties | Multireboot | Multideploy | Console | Disk ->
+    per_cluster family cluster_names
+  | Dellbios -> per_cluster family dell_clusters
+  | Mpigraph -> per_cluster family ib_clusters
+  | Oarstate | Cmdline | Sidapi | Paralleldeploy -> per_site family
+  | Kwapi ->
+    List.map
+      (fun site ->
+        {
+          family;
+          cluster = None;
+          site = Some site;
+          image = None;
+          vlan = None;
+          config_id = Printf.sprintf "kwapi:%s" site;
+        })
+      Testbed.Inventory.wattmeter_sites
+  | Kavlan ->
+    List.map
+      (fun vlan ->
+        {
+          family;
+          cluster = None;
+          site = vlan.Kavlan.vlan_site;
+          image = None;
+          vlan = Some vlan.Kavlan.vlan_id;
+          config_id = Printf.sprintf "kavlan:%d" vlan.Kavlan.vlan_id;
+        })
+      Kavlan.standard_vlans
+
+let expand_cache : (family, config list) Hashtbl.t = Hashtbl.create 16
+
+let expand family =
+  match Hashtbl.find_opt expand_cache family with
+  | Some configs -> configs
+  | None ->
+    let configs = expand_uncached family in
+    Hashtbl.replace expand_cache family configs;
+    configs
+
+let catalog () = List.concat_map expand all_families
+
+let axes_of_config config =
+  match config.family with
+  | Environments ->
+    [ ("image", Option.value ~default:"" config.image);
+      ("cluster", Option.value ~default:"" config.cluster) ]
+  | Stdenv | Refapi | Oarproperties | Multireboot | Multideploy | Console | Disk
+  | Dellbios | Mpigraph ->
+    [ ("cluster", Option.value ~default:"" config.cluster) ]
+  | Oarstate | Cmdline | Sidapi | Paralleldeploy | Kwapi ->
+    [ ("site", Option.value ~default:"" config.site) ]
+  | Kavlan -> [ ("vlan", string_of_int (Option.value ~default:0 config.vlan)) ]
+
+let config_of_axes family axes =
+  let find key = List.assoc_opt key axes in
+  let candidates = expand family in
+  match family with
+  | Environments -> (
+    match (find "image", find "cluster") with
+    | Some image, Some cluster ->
+      List.find_opt
+        (fun c -> c.image = Some image && c.cluster = Some cluster)
+        candidates
+    | _ -> None)
+  | Stdenv | Refapi | Oarproperties | Multireboot | Multideploy | Console | Disk
+  | Dellbios | Mpigraph -> (
+    match find "cluster" with
+    | Some cluster -> List.find_opt (fun c -> c.cluster = Some cluster) candidates
+    | None -> None)
+  | Oarstate | Cmdline | Sidapi | Paralleldeploy | Kwapi -> (
+    match find "site" with
+    | Some site -> List.find_opt (fun c -> c.site = Some site) candidates
+    | None -> None)
+  | Kavlan -> (
+    match Option.bind (find "vlan") int_of_string_opt with
+    | Some vlan -> List.find_opt (fun c -> c.vlan = Some vlan) candidates
+    | None -> None)
+
+let matrix_axes family =
+  match family with
+  | Environments -> [ ("image", image_names); ("cluster", cluster_names) ]
+  | Stdenv | Refapi | Oarproperties | Multireboot | Multideploy | Console | Disk ->
+    [ ("cluster", cluster_names) ]
+  | Dellbios -> [ ("cluster", dell_clusters) ]
+  | Mpigraph -> [ ("cluster", ib_clusters) ]
+  | Oarstate | Cmdline | Sidapi | Paralleldeploy -> [ ("site", Testbed.Inventory.sites) ]
+  | Kwapi -> [ ("site", Testbed.Inventory.wattmeter_sites) ]
+  | Kavlan ->
+    [ ( "vlan",
+        List.map
+          (fun v -> string_of_int v.Kavlan.vlan_id)
+          Kavlan.standard_vlans ) ]
+
+let oar_filter config =
+  match (config.cluster, config.site) with
+  | Some cluster, _ -> Printf.sprintf "cluster='%s'" cluster
+  | None, Some site -> Printf.sprintf "site='%s'" site
+  | None, None -> ""
+
+let base_period family =
+  let day = Simkit.Calendar.day in
+  match family with
+  | Refapi | Oarproperties | Oarstate | Cmdline | Sidapi | Dellbios -> 1.0 *. day
+  | Stdenv | Console | Kwapi | Kavlan -> 2.0 *. day
+  | Environments -> 4.0 *. day
+  | Paralleldeploy -> 3.0 *. day
+  | Multireboot | Multideploy | Disk | Mpigraph -> 7.0 *. day
+
+let nominal_duration family =
+  match family with
+  | Refapi | Oarproperties | Dellbios | Oarstate | Cmdline | Sidapi -> 120.0
+  | Stdenv -> 600.0
+  | Environments -> 900.0
+  | Console -> 300.0
+  | Kavlan -> 600.0
+  | Kwapi -> 300.0
+  | Paralleldeploy -> 1200.0
+  | Multireboot -> 1500.0
+  | Multideploy -> 1800.0
+  | Disk -> 1200.0
+  | Mpigraph -> 1200.0

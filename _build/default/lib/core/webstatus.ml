@@ -1,0 +1,112 @@
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cell_class = function
+  | Statuspage.Ok_ -> "ok"
+  | Statuspage.Ko -> "ko"
+  | Statuspage.Unst -> "unstable"
+  | Statuspage.Missing -> "missing"
+
+let style =
+  {|<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; margin-bottom: 2em; }
+th, td { border: 1px solid #999; padding: 4px 10px; text-align: center; }
+th { background: #eee; }
+td.ok { background: #bfe8bf; }
+td.ko { background: #f2b3b3; }
+td.unstable { background: #f8e6a0; }
+td.missing { background: #e8e8e8; color: #888; }
+caption { font-weight: bold; padding: 6px; text-align: left; }
+</style>|}
+
+let matrix_table page =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "<table><caption>Latest result per test and site</caption><tr><th>test</th>";
+  List.iter
+    (fun site -> Buffer.add_string buf (Printf.sprintf "<th>%s</th>" (html_escape site)))
+    Testbed.Inventory.sites;
+  Buffer.add_string buf "</tr>";
+  List.iter
+    (fun family ->
+      Buffer.add_string buf
+        (Printf.sprintf "<tr><th>%s</th>"
+           (html_escape (Testdef.family_to_string family)));
+      List.iter
+        (fun site ->
+          let cell = Statuspage.site_status page ~family ~site in
+          Buffer.add_string buf
+            (Printf.sprintf "<td class=\"%s\">%s</td>" (cell_class cell)
+               (Statuspage.cell_to_string cell)))
+        Testbed.Inventory.sites;
+      Buffer.add_string buf "</tr>")
+    Testdef.all_families;
+  Buffer.add_string buf "</table>";
+  Buffer.contents buf
+
+let summary_table page =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "<table><caption>Per-test summary</caption>\
+     <tr><th>test</th><th>ok</th><th>ko</th><th>unstable</th><th>success</th></tr>";
+  List.iter
+    (fun (name, ok, ko, unstable, ratio) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<tr><th>%s</th><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>"
+           (html_escape name) ok ko unstable
+           (html_escape (Simkit.Table.fmt_pct ratio))))
+    (Statuspage.summary_rows page);
+  Buffer.add_string buf "</table>";
+  Buffer.contents buf
+
+let history_table page =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "<table><caption>History (30-day months)</caption>\
+     <tr><th>month</th><th>builds</th><th>successful</th><th>success</th></tr>";
+  List.iter
+    (fun (month, completed, successful, ratio) ->
+      Buffer.add_string buf
+        (Printf.sprintf "<tr><th>%d</th><td>%d</td><td>%d</td><td>%s</td></tr>" month
+           completed successful
+           (html_escape (Simkit.Table.fmt_pct ratio))))
+    (Statuspage.monthly_success page);
+  Buffer.add_string buf "</table>";
+  Buffer.contents buf
+
+let confidence_table page =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "<table><caption>Cluster confidence</caption>\
+     <tr><th>cluster</th><th>score</th><th>grade</th></tr>";
+  List.iter
+    (fun (cluster, score) ->
+      let grade = Confidence.grade score in
+      let cls = if score >= 0.9 then "ok" else if score >= 0.5 then "unstable" else "ko" in
+      Buffer.add_string buf
+        (Printf.sprintf "<tr><th>%s</th><td class=\"%s\">%s</td><td>%s</td></tr>"
+           (html_escape cluster) cls
+           (html_escape (Simkit.Table.fmt_pct score))
+           grade))
+    (Confidence.ranking page);
+  Buffer.add_string buf "</table>";
+  Buffer.contents buf
+
+let render page =
+  String.concat "\n"
+    [ "<!DOCTYPE html><html><head><meta charset=\"utf-8\">";
+      "<title>Grid'5000 testing status</title>"; style; "</head><body>";
+      "<h1>Testbed testing status</h1>"; matrix_table page; summary_table page;
+      confidence_table page; history_table page; "</body></html>" ]

@@ -1,0 +1,1 @@
+lib/g5kchecks/check.ml: List Ohai Simkit String Testbed

@@ -1,0 +1,1 @@
+lib/g5kchecks/check.mli: Testbed

@@ -1,0 +1,1 @@
+lib/g5kchecks/ohai.ml: Simkit Testbed

@@ -1,0 +1,1 @@
+lib/g5kchecks/ohai.mli: Simkit Testbed

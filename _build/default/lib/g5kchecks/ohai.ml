@@ -1,0 +1,16 @@
+let acquire node =
+  let open Simkit.Json in
+  Obj
+    [ ("uid", String node.Testbed.Node.host);
+      ("cluster", String node.Testbed.Node.cluster_name);
+      ("site", String node.Testbed.Node.site_name);
+      ("index", Int node.Testbed.Node.index);
+      ("hardware", Testbed.Hardware.to_json node.Testbed.Node.actual) ]
+
+let acquire_key node path =
+  let rec go json = function
+    | [] -> Some json
+    | key :: rest -> (
+      match Simkit.Json.member key json with Some v -> go v rest | None -> None)
+  in
+  go (acquire node) path

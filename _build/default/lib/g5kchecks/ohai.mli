@@ -1,0 +1,11 @@
+(** Node-introspection substitute for OHAI / ethtool / dmidecode.
+
+    Acquires the {e actual} state of a node in the same JSON schema as
+    the Reference API documents, so the two sides can be diffed
+    directly. *)
+
+val acquire : Testbed.Node.t -> Simkit.Json.t
+(** Full acquisition (identity + hardware as the node really is). *)
+
+val acquire_key : Testbed.Node.t -> string list -> Simkit.Json.t option
+(** Drill into the acquired document along object member names. *)

@@ -1,0 +1,1 @@
+lib/kadeploy/deploy.ml: Float Image List Simkit String Testbed

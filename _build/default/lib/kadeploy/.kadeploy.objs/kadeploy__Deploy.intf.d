@@ -1,0 +1,1 @@
+lib/kadeploy/deploy.mli: Image Testbed

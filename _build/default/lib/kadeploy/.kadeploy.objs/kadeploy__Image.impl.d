@@ -1,0 +1,1 @@
+lib/kadeploy/image.ml: Kameleon List Printf String Testbed

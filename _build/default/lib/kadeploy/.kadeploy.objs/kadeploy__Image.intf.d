@@ -1,0 +1,1 @@
+lib/kadeploy/image.mli: Kameleon Testbed

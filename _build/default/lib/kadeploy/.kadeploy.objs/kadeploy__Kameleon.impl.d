@@ -1,0 +1,1 @@
+lib/kadeploy/kameleon.ml: Char Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/kadeploy/kameleon.mli: Format

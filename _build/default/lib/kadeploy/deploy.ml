@@ -1,0 +1,175 @@
+type node_outcome = Deployed | Failed of string
+
+type result = {
+  image : string;
+  started_at : float;
+  finished_at : float;
+  outcomes : (string * node_outcome) list;
+  retried : int;
+}
+
+let success_count r =
+  List.length (List.filter (fun (_, o) -> o = Deployed) r.outcomes)
+
+let all_deployed r = List.for_all (fun (_, o) -> o = Deployed) r.outcomes
+
+let broadcast_duration ~nodes ~image_mb =
+  (* Chain pipeline: fixed setup, transfer at ~1 Gbps effective, small
+     per-hop pipeline latency — nearly flat in the node count. *)
+  8.0 +. (12.0 *. float_of_int image_mb /. 1000.0) +. (0.06 *. float_of_int nodes)
+
+let postinstall_duration ~image_mb = 20.0 +. (0.015 *. float_of_int image_mb)
+
+let expected_duration ~nodes ~image_mb =
+  120.0 (* mean reboot into deployment kernel *)
+  +. broadcast_duration ~nodes ~image_mb
+  +. postinstall_duration ~image_mb
+  +. 120.0 (* mean reboot into the deployed environment *)
+
+(* Per-node plan: how long the node takes after the broadcast phase, and
+   how it ends. *)
+type plan = {
+  host : string;
+  node : Testbed.Node.t;
+  boot_a : float;  (* time to reach the deployment kernel, or failure *)
+  a_ok : bool;
+  mutable tail : float;  (* time after broadcast end *)
+  mutable outcome : node_outcome;
+  mutable retries : int;
+}
+
+let run instance ~registry ~image ~nodes ~on_done =
+  let engine = instance.Testbed.Instance.engine in
+  let now () = Simkit.Engine.now engine in
+  let t0 = now () in
+  match Image.get registry image with
+  | None ->
+    on_done
+      {
+        image;
+        started_at = t0;
+        finished_at = t0;
+        outcomes = List.map (fun n -> (n.Testbed.Node.host, Failed "unknown image")) nodes;
+        retried = 0;
+      }
+  | Some img ->
+    let site =
+      match nodes with [] -> None | n :: _ -> Some n.Testbed.Node.site_name
+    in
+    let service_ok =
+      match site with
+      | None -> true
+      | Some site ->
+        Testbed.Services.use instance.Testbed.Instance.services ~site
+          Testbed.Services.Kadeploy
+    in
+    if not service_ok then
+      on_done
+        {
+          image;
+          started_at = t0;
+          finished_at = t0;
+          outcomes =
+            List.map (fun n -> (n.Testbed.Node.host, Failed "kadeploy service unavailable")) nodes;
+          retried = 0;
+        }
+    else begin
+      let corrupt = Image.is_corrupt registry img in
+      List.iter (fun n -> n.Testbed.Node.state <- Testbed.Node.Deploying) nodes;
+      let plans =
+        List.map
+          (fun node ->
+            (* Phase A: boot into the deployment kernel, one retry. *)
+            let d1 = Testbed.Node.boot_duration node in
+            let retries = ref 0 in
+            let boot_a, a_ok =
+              if not (Testbed.Node.boot_fails node) then (d1, true)
+              else begin
+                incr retries;
+                let d2 = Testbed.Node.boot_duration node in
+                if Testbed.Node.boot_fails node then (d1 +. d2, false)
+                else (d1 +. d2, true)
+              end
+            in
+            {
+              host = node.Testbed.Node.host;
+              node;
+              boot_a;
+              a_ok;
+              tail = 0.0;
+              outcome = (if a_ok then Deployed else Failed "deployment kernel boot failed");
+              retries = !retries;
+            })
+          nodes
+      in
+      let survivors = List.filter (fun p -> p.a_ok) plans in
+      let phase_a_end =
+        List.fold_left (fun acc p -> Float.max acc p.boot_a) 0.0 survivors
+      in
+      let bcast =
+        broadcast_duration ~nodes:(List.length survivors) ~image_mb:img.Image.size_mb
+      in
+      let post = postinstall_duration ~image_mb:img.Image.size_mb in
+      (* Phases C+D per surviving node. *)
+      List.iter
+        (fun p ->
+          let rng = p.node.Testbed.Node.rng in
+          let glitch = Simkit.Prng.chance rng 0.008 in
+          let write_time = if glitch then post +. 45.0 +. post else post in
+          if glitch then p.retries <- p.retries + 1;
+          if corrupt then begin
+            p.tail <- write_time;
+            p.outcome <- Failed "postinstall failed: image checksum mismatch"
+          end
+          else begin
+            let d1 = Testbed.Node.boot_duration p.node in
+            if not (Testbed.Node.boot_fails p.node) then begin
+              p.tail <- write_time +. d1;
+              p.outcome <- Deployed
+            end
+            else begin
+              p.retries <- p.retries + 1;
+              let d2 = Testbed.Node.boot_duration p.node in
+              p.tail <- write_time +. d1 +. d2;
+              if Testbed.Node.boot_fails p.node then
+                p.outcome <- Failed "boot on deployed environment failed"
+              else p.outcome <- Deployed
+            end
+          end)
+        survivors;
+      (* Materialise per-node completion events. *)
+      let finish_of p =
+        if p.a_ok then phase_a_end +. bcast +. p.tail else p.boot_a
+      in
+      let finished_at =
+        List.fold_left (fun acc p -> Float.max acc (finish_of p)) 0.0 plans
+      in
+      List.iter
+        (fun p ->
+          ignore
+            (Simkit.Engine.schedule engine ~delay:(finish_of p) (fun _ ->
+                 p.node.Testbed.Node.boot_count <- p.node.Testbed.Node.boot_count + 1;
+                 match p.outcome with
+                 | Deployed ->
+                   p.node.Testbed.Node.state <- Testbed.Node.Alive;
+                   p.node.Testbed.Node.deployed_env <- img.Image.name;
+                   Testbed.Console.log_boot instance.Testbed.Instance.console p.node
+                 | Failed reason ->
+                   if
+                     String.length reason >= 4
+                     && (String.sub reason 0 4 = "boot" || String.sub reason 0 4 = "depl")
+                   then p.node.Testbed.Node.state <- Testbed.Node.Down
+                   else p.node.Testbed.Node.state <- Testbed.Node.Alive)))
+        plans;
+      let retried = List.fold_left (fun acc p -> acc + p.retries) 0 plans in
+      ignore
+        (Simkit.Engine.schedule engine ~delay:(finished_at +. 1.0) (fun _ ->
+             on_done
+               {
+                 image;
+                 started_at = t0;
+                 finished_at = t0 +. finished_at;
+                 outcomes = List.map (fun p -> (p.host, p.outcome)) plans;
+                 retried;
+               }))
+    end

@@ -1,0 +1,40 @@
+(** The deployment engine (Kadeploy substitute).
+
+    Deployment is phased: reboot all nodes into the deployment kernel,
+    broadcast the image over a chain pipeline, write + postinstall, and
+    reboot into the deployed environment.  The timing model is calibrated
+    so that 200 nodes deploy in roughly five minutes, the figure the
+    paper quotes, and is sub-linear in the node count (chain broadcast).
+
+    Per-node failures (boot failures, write glitches) are retried once;
+    a corrupt image fails postinstall everywhere. *)
+
+type node_outcome = Deployed | Failed of string
+
+type result = {
+  image : string;
+  started_at : float;
+  finished_at : float;
+  outcomes : (string * node_outcome) list;  (** per host, input order *)
+  retried : int;  (** nodes that needed the automatic retry *)
+}
+
+val success_count : result -> int
+val all_deployed : result -> bool
+
+val expected_duration : nodes:int -> image_mb:int -> float
+(** Analytic expectation of the timing model (no failures), used by the
+    Kadeploy scaling experiment (E3). *)
+
+val run :
+  Testbed.Instance.t ->
+  registry:Image.registry ->
+  image:string ->
+  nodes:Testbed.Node.t list ->
+  on_done:(result -> unit) ->
+  unit
+(** Start a deployment; [on_done] fires when every node has converged.
+    Unknown images or an empty node list complete immediately with
+    failures.  Nodes are [Deploying] for the duration; successful nodes
+    end [Alive] with [deployed_env] set, failed ones end [Down] or
+    [Alive] in their previous environment depending on the phase. *)

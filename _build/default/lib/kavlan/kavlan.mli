@@ -1,0 +1,53 @@
+(** KaVLAN: network isolation by VLAN reconfiguration.
+
+    Four flavours, as on the paper's slide: the {e default} routed
+    production network; {e local} isolated VLANs only reachable through a
+    site SSH gateway; {e routed} VLANs (separate level-2 networks,
+    reachable through routing); and {e global} VLANs spanning all sites at
+    level 2.  Reconfiguration is "almost no overhead": a few seconds per
+    node. *)
+
+type flavour = Default | Local | Routed | Global
+
+type vlan = {
+  vlan_id : int;
+  flavour : flavour;
+  vlan_site : string option;  (** [None] for the global VLAN *)
+}
+
+val standard_vlans : vlan list
+(** The 13 reconfigurable VLANs used by the kavlan test family: one local
+    VLAN per site (8), four routed VLANs, one global VLAN — plus, always
+    present implicitly, VLAN 0 (default). *)
+
+val default_vlan : vlan
+val find_vlan : int -> vlan option
+
+val flavour_to_string : flavour -> string
+
+type change_result = Changed | Service_failed
+
+val set_vlan :
+  Testbed.Instance.t ->
+  nodes:Testbed.Node.t list ->
+  vlan:vlan ->
+  on_done:(change_result -> unit) ->
+  unit
+(** Move nodes into a VLAN through the site's kavlan service (a couple of
+    seconds per switch operation).  Fails atomically when the service is
+    unusable; nodes keep their previous VLAN. *)
+
+val reachable : Testbed.Instance.t -> Testbed.Node.t -> Testbed.Node.t -> bool
+(** Connectivity predicate implied by VLAN assignments:
+    - both in the default VLAN: reachable (possibly routed across sites);
+    - same non-default VLAN: reachable only if the VLAN is Global, or the
+      nodes are on the same site (Local/Routed);
+    - different VLANs: reachable only if both VLANs are routed flavours
+      (Default/Routed) — Local VLANs are isolated. *)
+
+val gateway_reachable : Testbed.Node.t -> bool
+(** A node in a local VLAN is reachable through the SSH gateway only. *)
+
+val isolation_invariant : Testbed.Instance.t -> Testbed.Node.t list -> bool
+(** Check that no node of a Local VLAN can reach a node outside it —
+    the invariant the kavlan test verifies after reconfiguration. *)

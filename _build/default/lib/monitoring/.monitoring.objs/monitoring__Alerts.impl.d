@@ -1,0 +1,1 @@
+lib/monitoring/alerts.ml: Array Collector Float List Printf Simkit

@@ -1,0 +1,1 @@
+lib/monitoring/alerts.mli: Collector

@@ -1,0 +1,1 @@
+lib/monitoring/collector.ml: Float Hashtbl List Power Simkit String Testbed

@@ -1,0 +1,1 @@
+lib/monitoring/collector.mli: Simkit Testbed

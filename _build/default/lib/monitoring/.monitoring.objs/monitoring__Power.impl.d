@@ -1,0 +1,1 @@
+lib/monitoring/power.ml: Float Testbed

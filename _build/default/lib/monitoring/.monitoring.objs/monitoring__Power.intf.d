@@ -1,0 +1,1 @@
+lib/monitoring/power.mli: Testbed

@@ -1,0 +1,92 @@
+type aggregation = Mean | Max | Min
+
+type condition = Above of float | Below of float | Absent
+
+type rule = {
+  rule_name : string;
+  host : string;
+  metric : Collector.metric;
+  window : float;
+  aggregation : aggregation;
+  condition : condition;
+}
+
+type alert = {
+  rule : rule;
+  fired_at : float;
+  value : float option;
+  mutable resolved_at : float option;
+}
+
+type t = {
+  collector : Collector.t;
+  mutable rule_list : rule list;
+  mutable alerts : alert list;  (* newest first *)
+}
+
+let create collector = { collector; rule_list = []; alerts = [] }
+let add_rule t rule = t.rule_list <- t.rule_list @ [ rule ]
+let rules t = t.rule_list
+let firing t = List.rev (List.filter (fun a -> a.resolved_at = None) t.alerts)
+let history t = List.rev t.alerts
+
+let aggregate aggregation values =
+  match values with
+  | [||] -> None
+  | values ->
+    Some
+      (match aggregation with
+       | Mean ->
+         Array.fold_left ( +. ) 0.0 values /. float_of_int (Array.length values)
+       | Max -> Array.fold_left Float.max neg_infinity values
+       | Min -> Array.fold_left Float.min infinity values)
+
+let currently_firing t rule =
+  List.find_opt
+    (fun a -> a.resolved_at = None && a.rule.rule_name = rule.rule_name)
+    t.alerts
+
+let evaluate t ~now =
+  List.filter_map
+    (fun rule ->
+      let lo = Float.max 0.0 (now -. rule.window) in
+      let series =
+        Collector.sample_window t.collector ~host:rule.host rule.metric ~lo ~hi:now
+      in
+      let values = Simkit.Timeseries.values_between series ~lo ~hi:now in
+      let aggregated = aggregate rule.aggregation values in
+      let holds =
+        match (rule.condition, aggregated) with
+        | Absent, None -> true
+        | Absent, Some _ -> false
+        | (Above _ | Below _), None -> false
+        | Above threshold, Some v -> v > threshold
+        | Below threshold, Some v -> v < threshold
+      in
+      match (holds, currently_firing t rule) with
+      | true, Some _ -> None  (* already firing *)
+      | true, None ->
+        let alert = { rule; fired_at = now; value = aggregated; resolved_at = None } in
+        t.alerts <- alert :: t.alerts;
+        Some alert
+      | false, Some alert ->
+        alert.resolved_at <- Some now;
+        None
+      | false, None -> None)
+    t.rule_list
+
+let condition_to_string = function
+  | Above v -> Printf.sprintf "> %.1f" v
+  | Below v -> Printf.sprintf "< %.1f" v
+  | Absent -> "absent"
+
+let render t =
+  Simkit.Table.render ~header:[ "alert"; "host"; "metric"; "condition"; "since"; "value" ]
+    (List.map
+       (fun a ->
+         [ a.rule.rule_name; a.rule.host;
+           Collector.metric_to_string a.rule.metric;
+           condition_to_string a.rule.condition;
+           Simkit.Calendar.to_string a.fired_at;
+           (match a.value with Some v -> Simkit.Table.fmt_float v | None -> "-") ])
+       (firing t))

@@ -1,0 +1,51 @@
+(** Time-series alerting rules.
+
+    The paper's related work notes the move "to more complex checks
+    (functionality-based) and alerting based on time-series, e.g. with
+    Prometheus".  This module provides that style of rule on top of the
+    collector: threshold rules over an aggregation window and
+    absence-of-data rules, evaluated on demand, with firing/resolved
+    state tracking. *)
+
+type aggregation = Mean | Max | Min
+
+type condition =
+  | Above of float  (** aggregated value strictly above *)
+  | Below of float
+  | Absent  (** no samples at all in the window *)
+
+type rule = {
+  rule_name : string;
+  host : string;
+  metric : Collector.metric;
+  window : float;  (** seconds of history to aggregate *)
+  aggregation : aggregation;
+  condition : condition;
+}
+
+type alert = {
+  rule : rule;
+  fired_at : float;
+  value : float option;  (** aggregated value; [None] for {!Absent}. *)
+  mutable resolved_at : float option;
+}
+
+type t
+
+val create : Collector.t -> t
+val add_rule : t -> rule -> unit
+val rules : t -> rule list
+
+val evaluate : t -> now:float -> alert list
+(** Evaluate every rule over [\[now - window, now\]].  A rule whose
+    condition holds and which is not already firing produces a new
+    {!alert}; a firing rule whose condition no longer holds is resolved.
+    Returns the alerts that {e started firing} in this evaluation. *)
+
+val firing : t -> alert list
+(** Currently-firing alerts. *)
+
+val history : t -> alert list
+(** Every alert ever fired, oldest first. *)
+
+val render : t -> string

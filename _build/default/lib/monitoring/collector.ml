@@ -1,0 +1,166 @@
+type metric = Cpu_load | Mem_used_gb | Net_rx_mbps | Power_w
+
+let metric_to_string = function
+  | Cpu_load -> "cpu_load"
+  | Mem_used_gb -> "mem_used_gb"
+  | Net_rx_mbps -> "net_rx_mbps"
+  | Power_w -> "power_w"
+
+let metric_of_string = function
+  | "cpu_load" -> Some Cpu_load
+  | "mem_used_gb" -> Some Mem_used_gb
+  | "net_rx_mbps" -> Some Net_rx_mbps
+  | "power_w" -> Some Power_w
+  | _ -> None
+
+type t = {
+  instance : Testbed.Instance.t;
+  mutable load_model : host:string -> time:float -> float;
+}
+
+(* Smooth deterministic pseudo-load: mixture of two sinusoids with
+   host-dependent phase, in [0, 0.8]. *)
+let default_load ~host ~time =
+  let phase = float_of_int (Hashtbl.hash host land 0xFFFF) /. 65536.0 *. 6.28 in
+  let v =
+    0.4
+    +. (0.25 *. sin ((time /. 3600.0) +. phase))
+    +. (0.15 *. sin ((time /. 613.0) +. (2.0 *. phase)))
+  in
+  Float.max 0.0 (Float.min 0.8 v)
+
+let create instance = { instance; load_model = default_load }
+let set_load_model t f = t.load_model <- f
+
+let has_wattmeter t ~host =
+  match Testbed.Instance.find_node t.instance host with
+  | None -> false
+  | Some node ->
+    List.mem node.Testbed.Node.site_name Testbed.Inventory.wattmeter_sites
+
+(* The node whose power the host's wattmeter channel actually measures. *)
+let wattmeter_source t host =
+  let ctx = Testbed.Faults.context t.instance.Testbed.Instance.faults in
+  match Testbed.Faults.flag ctx ("kwapi_swap:" ^ host) with
+  | Some partner -> partner
+  | None -> host
+
+let probe_value t node metric time =
+  let host = node.Testbed.Node.host in
+  let jitter =
+    (* ±1% deterministic ripple so series are not perfectly flat. *)
+    1.0 +. (0.01 *. sin (time *. 1.7 +. float_of_int (Hashtbl.hash host land 63)))
+  in
+  match metric with
+  | Cpu_load -> t.load_model ~host ~time
+  | Mem_used_gb ->
+    let ram =
+      float_of_int node.Testbed.Node.actual.Testbed.Hardware.memory.Testbed.Hardware.ram_gb
+    in
+    ram *. (0.15 +. (0.5 *. t.load_model ~host ~time)) *. jitter
+  | Net_rx_mbps ->
+    let rate =
+      match node.Testbed.Node.actual.Testbed.Hardware.nics with
+      | [] -> 0.0
+      | nic :: _ -> nic.Testbed.Hardware.rate_gbps *. 1000.0
+    in
+    rate *. 0.2 *. t.load_model ~host ~time *. jitter
+  | Power_w -> Power.watts node ~load:(t.load_model ~host ~time) *. jitter
+
+let sample_window t ~host metric ~lo ~hi =
+  let series =
+    Simkit.Timeseries.create ~name:(host ^ ":" ^ metric_to_string metric) ()
+  in
+  let source_host =
+    match metric with Power_w -> wattmeter_source t host | _ -> host
+  in
+  let power_ok = metric <> Power_w || has_wattmeter t ~host in
+  (match Testbed.Instance.find_node t.instance source_host with
+   | Some node when power_ok ->
+     let time = ref (Float.round lo) in
+     while !time <= hi do
+       (* A down node stops reporting system metrics; the wattmeter keeps
+          reporting (it is external to the node). *)
+       let reporting =
+         metric = Power_w || node.Testbed.Node.state <> Testbed.Node.Down
+       in
+       if reporting then
+         Simkit.Timeseries.add series ~time:!time (probe_value t node metric !time);
+       time := !time +. 1.0
+     done
+   | _ -> ());
+  series
+
+let achieved_frequency_hz series ~lo ~hi =
+  if hi <= lo then 0.0
+  else float_of_int (List.length (Simkit.Timeseries.between series ~lo ~hi)) /. (hi -. lo)
+
+let live_view t ~host metric ~at ~width =
+  let lo = Float.max 0.0 (at -. float_of_int width) in
+  let series = sample_window t ~host metric ~lo ~hi:at in
+  Simkit.Timeseries.sparkline series ~lo ~hi:at ~width
+
+(* ---- REST API ----------------------------------------------------------- *)
+
+let split_query path =
+  match String.index_opt path '?' with
+  | None -> (path, [])
+  | Some i ->
+    let base = String.sub path 0 i in
+    let query = String.sub path (i + 1) (String.length path - i - 1) in
+    let params =
+      String.split_on_char '&' query
+      |> List.filter_map (fun kv ->
+             match String.index_opt kv '=' with
+             | Some j ->
+               Some
+                 ( String.sub kv 0 j,
+                   String.sub kv (j + 1) (String.length kv - j - 1) )
+             | None -> None)
+    in
+    (base, params)
+
+let rest_get t path =
+  let open Simkit.Json in
+  let base, params = split_query path in
+  let segments =
+    String.split_on_char '/' base |> List.filter (fun s -> s <> "")
+  in
+  match segments with
+  | [ "sites" ] -> Ok (List (List.map (fun s -> String s) Testbed.Inventory.sites))
+  | [ "sites"; site; "metrics" ] ->
+    if List.mem site Testbed.Inventory.sites then
+      Ok
+        (List
+           (List.map
+              (fun m -> String (metric_to_string m))
+              [ Cpu_load; Mem_used_gb; Net_rx_mbps; Power_w ]))
+    else Error "unknown site"
+  | [ "sites"; site; "metrics"; metric_name; "timeseries"; host ] -> (
+    match metric_of_string metric_name with
+    | None -> Error "unknown metric"
+    | Some metric -> (
+      match Testbed.Instance.find_node t.instance host with
+      | None -> Error "unknown host"
+      | Some node when node.Testbed.Node.site_name <> site -> Error "host not in site"
+      | Some _ ->
+        let param key default =
+          match List.assoc_opt key params with
+          | Some v -> ( match float_of_string_opt v with Some f -> f | None -> default)
+          | None -> default
+        in
+        let now = Simkit.Engine.now t.instance.Testbed.Instance.engine in
+        let lo = param "from" (Float.max 0.0 (now -. 60.0)) in
+        let hi = param "to" now in
+        let series = sample_window t ~host metric ~lo ~hi in
+        let samples = ref [] in
+        Simkit.Timeseries.iter series (fun time v ->
+            samples := List [ Float time; Float v ] :: !samples);
+        Ok
+          (Obj
+             [ ("host", String host);
+               ("metric", String metric_name);
+               ("from", Float lo);
+               ("to", Float hi);
+               ("samples", List (List.rev !samples)) ])))
+  | _ -> Error "no such endpoint"

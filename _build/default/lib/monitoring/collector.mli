@@ -1,0 +1,44 @@
+(** Monitoring collector: system-level probes (Ganglia-like) and
+    infrastructure probes (network, power via Kwapi) captured at ≈1 Hz,
+    with a REST-style query API and live ASCII visualisation.
+
+    Series are synthesised on demand over a queried window (rather than
+    being materialised every simulated second for 894 nodes), which keeps
+    the discrete-event count tractable while preserving the 1 Hz
+    resolution the paper advertises. *)
+
+type metric = Cpu_load | Mem_used_gb | Net_rx_mbps | Power_w
+
+val metric_to_string : metric -> string
+val metric_of_string : string -> metric option
+
+type t
+
+val create : Testbed.Instance.t -> t
+
+val set_load_model : t -> (host:string -> time:float -> float) -> unit
+(** Override the synthetic CPU-load profile (default: smooth pseudo-load
+    in [\[0, 0.8\]] depending on host and time). *)
+
+val sample_window :
+  t -> host:string -> metric -> lo:float -> hi:float -> Simkit.Timeseries.t
+(** Probe the host at 1 Hz over [\[lo, hi\]].  Power samples come from the
+    wattmeter channel {e wired} to the host — after a Kwapi
+    misattribution fault that is another node's draw.  Returns an empty
+    series when the host is unknown or its site has no wattmeter (for
+    {!Power_w}). *)
+
+val achieved_frequency_hz : Simkit.Timeseries.t -> lo:float -> hi:float -> float
+(** Samples per second actually present in the window. *)
+
+val has_wattmeter : t -> host:string -> bool
+
+val live_view : t -> host:string -> metric -> at:float -> width:int -> string
+(** Sparkline of the last [width] seconds before [at]. *)
+
+val rest_get : t -> string -> (Simkit.Json.t, string) result
+(** Minimal REST API:
+    [/sites] — site list;
+    [/sites/<site>/metrics] — metric names;
+    [/sites/<site>/metrics/<metric>/timeseries/<host>?from=..&to=..] —
+    the samples.  Mirrors the paper's "REST API" monitoring access. *)

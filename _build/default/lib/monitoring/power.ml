@@ -1,0 +1,25 @@
+let base_idle hw =
+  let cores = Testbed.Hardware.total_cores hw in
+  70.0 +. (1.5 *. float_of_int cores)
+  +. (0.05 *. float_of_int hw.Testbed.Hardware.memory.Testbed.Hardware.ram_gb)
+
+let idle_of_hardware hw =
+  let idle = base_idle hw in
+  (* With C-states the CPU naps when idle; with them disabled (the
+     mandated configuration) idle draw is ~12% higher. *)
+  if hw.Testbed.Hardware.settings.Testbed.Hardware.c_states then idle
+  else idle *. 1.12
+
+let peak_of_hardware hw =
+  let cores = Testbed.Hardware.total_cores hw in
+  let peak = base_idle hw +. (7.5 *. float_of_int cores) in
+  if hw.Testbed.Hardware.settings.Testbed.Hardware.turbo_boost then peak *. 1.15
+  else peak
+
+let idle_watts node = idle_of_hardware node.Testbed.Node.actual
+let peak_watts node = peak_of_hardware node.Testbed.Node.actual
+
+let watts node ~load =
+  let load = Float.max 0.0 (Float.min 1.0 load) in
+  let idle = idle_watts node and peak = peak_watts node in
+  idle +. ((peak -. idle) *. load)

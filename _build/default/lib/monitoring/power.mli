@@ -1,0 +1,20 @@
+(** Per-node power model, feeding the Kwapi probes.
+
+    Idle power grows with the machine's size; load adds a per-core cost.
+    Drifted CPU settings change the power signature (C-states disabled
+    raise idle power), which is what makes power traces a useful
+    cross-check of node configuration. *)
+
+val idle_of_hardware : Testbed.Hardware.t -> float
+(** Expected idle draw of a machine in the given configuration; the
+    kwapi check derives its envelope from the {e reference} hardware. *)
+
+val peak_of_hardware : Testbed.Hardware.t -> float
+
+val idle_watts : Testbed.Node.t -> float
+(** {!idle_of_hardware} of the node's actual configuration. *)
+
+val peak_watts : Testbed.Node.t -> float
+
+val watts : Testbed.Node.t -> load:float -> float
+(** Instantaneous draw at a CPU load in [\[0, 1\]] (clamped). *)

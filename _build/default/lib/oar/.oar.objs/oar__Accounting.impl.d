@@ -1,0 +1,1 @@
+lib/oar/accounting.ml: Array Buffer Float Hashtbl Job List Manager Option Printf Simkit String

@@ -1,0 +1,1 @@
+lib/oar/accounting.mli: Manager

@@ -1,0 +1,1 @@
+lib/oar/expr.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/oar/job.ml: Format List Request

@@ -1,0 +1,1 @@
+lib/oar/job.mli: Format Request

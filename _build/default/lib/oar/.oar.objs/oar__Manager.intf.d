@@ -1,0 +1,1 @@
+lib/oar/manager.mli: Expr Job Property Request Testbed

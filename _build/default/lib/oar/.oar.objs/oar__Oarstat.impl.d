@@ -1,0 +1,1 @@
+lib/oar/oarstat.ml: Job List Manager Option Printf Property Request Simkit String Testbed

@@ -1,0 +1,1 @@
+lib/oar/oarstat.mli: Manager

@@ -1,0 +1,1 @@
+lib/oar/property.ml: Float Hashtbl List Option Printf Simkit String Testbed

@@ -1,0 +1,1 @@
+lib/oar/property.mli: Simkit Testbed

@@ -1,0 +1,1 @@
+lib/oar/request.ml: Expr Format List Printf String

@@ -1,0 +1,1 @@
+lib/oar/request.mli: Expr Format

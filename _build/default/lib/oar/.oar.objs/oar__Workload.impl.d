@@ -1,0 +1,1 @@
+lib/oar/workload.ml: Float Hashtbl Job List Manager Option Printf Request Simkit Stdlib Testbed

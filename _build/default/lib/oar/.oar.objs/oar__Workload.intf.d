@@ -1,0 +1,1 @@
+lib/oar/workload.mli: Manager Simkit

@@ -1,0 +1,120 @@
+type user_row = {
+  user : string;
+  jobs : int;
+  node_seconds : float;
+  mean_wait : float;
+}
+
+type cluster_row = { acc_cluster : string; c_jobs : int; c_node_seconds : float }
+
+type user_acc = {
+  mutable u_jobs : int;
+  mutable u_node_seconds : float;
+  mutable u_wait_total : float;
+  mutable u_started : int;
+}
+
+type t = {
+  users : (string, user_acc) Hashtbl.t;
+  clusters : (string, int * float) Hashtbl.t;
+  mutable waits : float list;  (* newest first *)
+  mutable seen : int;
+}
+
+let cluster_of_host host =
+  match String.index_opt host '-' with
+  | Some i -> String.sub host 0 i
+  | None -> host
+
+let on_end t (job : Job.t) =
+  t.seen <- t.seen + 1;
+  let usage =
+    match (job.Job.started_at, job.Job.ended_at) with
+    | Some start, Some stop ->
+      Float.max 0.0 (stop -. start) *. float_of_int (List.length job.Job.assigned)
+    | _ -> 0.0
+  in
+  let acc =
+    match Hashtbl.find_opt t.users job.Job.user with
+    | Some acc -> acc
+    | None ->
+      let acc = { u_jobs = 0; u_node_seconds = 0.0; u_wait_total = 0.0; u_started = 0 } in
+      Hashtbl.replace t.users job.Job.user acc;
+      acc
+  in
+  acc.u_jobs <- acc.u_jobs + 1;
+  acc.u_node_seconds <- acc.u_node_seconds +. usage;
+  (match Job.wait_time job with
+   | Some wait ->
+     acc.u_wait_total <- acc.u_wait_total +. wait;
+     acc.u_started <- acc.u_started + 1;
+     t.waits <- wait :: t.waits
+   | None -> ());
+  (* Attribute node-seconds per assigned host's cluster. *)
+  (match (job.Job.started_at, job.Job.ended_at) with
+   | Some start, Some stop ->
+     let per_node = Float.max 0.0 (stop -. start) in
+     List.iter
+       (fun host ->
+         let cluster = cluster_of_host host in
+         let jobs, ns = Option.value ~default:(0, 0.0) (Hashtbl.find_opt t.clusters cluster) in
+         Hashtbl.replace t.clusters cluster (jobs + 1, ns +. per_node))
+       job.Job.assigned
+   | _ -> ())
+
+let create manager =
+  let t = { users = Hashtbl.create 64; clusters = Hashtbl.create 32; waits = []; seen = 0 } in
+  Manager.on_job_end manager (fun job -> on_end t job);
+  t
+
+let jobs_seen t = t.seen
+
+let user_report t =
+  Hashtbl.fold
+    (fun user acc rows ->
+      {
+        user;
+        jobs = acc.u_jobs;
+        node_seconds = acc.u_node_seconds;
+        mean_wait =
+          (if acc.u_started = 0 then nan
+           else acc.u_wait_total /. float_of_int acc.u_started);
+      }
+      :: rows)
+    t.users []
+  |> List.sort (fun a b -> compare b.node_seconds a.node_seconds)
+
+let cluster_report t =
+  Hashtbl.fold
+    (fun acc_cluster (c_jobs, c_node_seconds) rows ->
+      { acc_cluster; c_jobs; c_node_seconds } :: rows)
+    t.clusters []
+  |> List.sort (fun a b -> compare b.c_node_seconds a.c_node_seconds)
+
+let wait_times t = Array.of_list (List.rev t.waits)
+
+let wait_percentile t p =
+  let waits = wait_times t in
+  if Array.length waits = 0 then nan else Simkit.Stats.percentile waits p
+
+let utilisation_node_seconds t =
+  Hashtbl.fold (fun _ acc total -> total +. acc.u_node_seconds) t.users 0.0
+
+let render ?(top = 10) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Simkit.Table.render
+       ~header:[ "user"; "jobs"; "node-hours"; "mean wait" ]
+       (user_report t
+       |> List.filteri (fun i _ -> i < top)
+       |> List.map (fun row ->
+              [ row.user; string_of_int row.jobs;
+                Printf.sprintf "%.1f" (row.node_seconds /. 3600.0);
+                (if Float.is_nan row.mean_wait then "-"
+                 else Printf.sprintf "%.0f s" row.mean_wait) ])));
+  if Array.length (wait_times t) > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "wait: p50=%.0f s  p90=%.0f s  p99=%.0f s  (%d jobs)\n"
+         (wait_percentile t 0.5) (wait_percentile t 0.9) (wait_percentile t 0.99)
+         t.seen);
+  Buffer.contents buf

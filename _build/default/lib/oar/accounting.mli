@@ -1,0 +1,46 @@
+(** OAR accounting: usage and waiting-time statistics.
+
+    The paper's scheduling section is driven by one fact — the testbed is
+    heavily used and queues are long.  This module quantifies that: it
+    listens to job completions and accumulates per-user and per-cluster
+    usage, plus the wait-time distribution that the external scheduler's
+    policies are designed around. *)
+
+type user_row = {
+  user : string;
+  jobs : int;
+  node_seconds : float;
+  mean_wait : float;  (** seconds, over started jobs; [nan] if none *)
+}
+
+type cluster_row = {
+  acc_cluster : string;
+  c_jobs : int;
+  c_node_seconds : float;
+}
+
+type t
+
+val create : Manager.t -> t
+(** Starts recording from now on ({!Manager.on_job_end}). *)
+
+val jobs_seen : t -> int
+val user_report : t -> user_row list
+(** Sorted by node-seconds, heaviest user first. *)
+
+val cluster_report : t -> cluster_row list
+(** Sorted by node-seconds.  A job's usage is attributed to the cluster
+    of each assigned host. *)
+
+val wait_times : t -> float array
+(** Wait (start - submission) of every started job, recording order. *)
+
+val wait_percentile : t -> float -> float
+(** Percentile of {!wait_times}; [nan] when no job started yet. *)
+
+val utilisation_node_seconds : t -> float
+(** Total node-seconds consumed by finished jobs. *)
+
+val render : ?top:int -> t -> string
+(** Usage table (default top 10 users) plus the wait distribution
+    (p50/p90/p99). *)

@@ -1,0 +1,234 @@
+type value = S of string | I of int
+
+type t =
+  | Cmp of string * op * value
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | True
+
+and op = Eq | Neq | Ge | Le | Gt | Lt
+
+(* ---- lexer -------------------------------------------------------------- *)
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | OP of op
+  | LPAREN
+  | RPAREN
+  | AND
+  | OR
+  | NOT
+
+exception Syntax of string
+
+let lex input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let tokens = ref [] in
+  let push tok = tokens := tok :: !tokens in
+  let is_ident_char c =
+    match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+  in
+  while !pos < len do
+    let c = input.[!pos] in
+    match c with
+    | ' ' | '\t' | '\n' -> incr pos
+    | '(' ->
+      push LPAREN;
+      incr pos
+    | ')' ->
+      push RPAREN;
+      incr pos
+    | '\'' ->
+      incr pos;
+      let start = !pos in
+      while !pos < len && input.[!pos] <> '\'' do
+        incr pos
+      done;
+      if !pos >= len then raise (Syntax "unterminated quoted string");
+      push (STRING (String.sub input start (!pos - start)));
+      incr pos
+    | '=' ->
+      push (OP Eq);
+      incr pos
+    | '!' ->
+      if !pos + 1 < len && input.[!pos + 1] = '=' then begin
+        push (OP Neq);
+        pos := !pos + 2
+      end
+      else raise (Syntax "expected '=' after '!'")
+    | '<' ->
+      if !pos + 1 < len && input.[!pos + 1] = '=' then begin
+        push (OP Le);
+        pos := !pos + 2
+      end
+      else if !pos + 1 < len && input.[!pos + 1] = '>' then begin
+        push (OP Neq);
+        pos := !pos + 2
+      end
+      else begin
+        push (OP Lt);
+        incr pos
+      end
+    | '>' ->
+      if !pos + 1 < len && input.[!pos + 1] = '=' then begin
+        push (OP Ge);
+        pos := !pos + 2
+      end
+      else begin
+        push (OP Gt);
+        incr pos
+      end
+    | '0' .. '9' ->
+      let start = !pos in
+      while !pos < len && (match input.[!pos] with '0' .. '9' -> true | _ -> false) do
+        incr pos
+      done;
+      push (INT (int_of_string (String.sub input start (!pos - start))))
+    | c when is_ident_char c ->
+      let start = !pos in
+      while !pos < len && is_ident_char input.[!pos] do
+        incr pos
+      done;
+      let word = String.sub input start (!pos - start) in
+      (match String.lowercase_ascii word with
+       | "and" -> push AND
+       | "or" -> push OR
+       | "not" -> push NOT
+       | _ -> push (IDENT word))
+    | c -> raise (Syntax (Printf.sprintf "unexpected character %c" c))
+  done;
+  List.rev !tokens
+
+(* ---- parser: or_expr > and_expr > unary > atom -------------------------- *)
+
+let parse_tokens tokens =
+  let rest = ref tokens in
+  let peek () = match !rest with [] -> None | tok :: _ -> Some tok in
+  let advance () = match !rest with [] -> () | _ :: tl -> rest := tl in
+  let rec or_expr () =
+    let left = and_expr () in
+    match peek () with
+    | Some OR ->
+      advance ();
+      Or (left, or_expr ())
+    | _ -> left
+  and and_expr () =
+    let left = unary () in
+    match peek () with
+    | Some AND ->
+      advance ();
+      And (left, and_expr ())
+    | _ -> left
+  and unary () =
+    match peek () with
+    | Some NOT ->
+      advance ();
+      Not (unary ())
+    | _ -> atom ()
+  and atom () =
+    match peek () with
+    | Some LPAREN ->
+      advance ();
+      let inner = or_expr () in
+      (match peek () with
+       | Some RPAREN ->
+         advance ();
+         inner
+       | _ -> raise (Syntax "expected ')'"))
+    | Some (IDENT prop) -> (
+      advance ();
+      match peek () with
+      | Some (OP op) -> (
+        advance ();
+        match peek () with
+        | Some (STRING s) ->
+          advance ();
+          Cmp (prop, op, S s)
+        | Some (INT i) ->
+          advance ();
+          Cmp (prop, op, I i)
+        | Some (IDENT s) ->
+          (* bare-word value, tolerated like OAR does *)
+          advance ();
+          Cmp (prop, op, S s)
+        | _ -> raise (Syntax "expected a value after comparison operator"))
+      | _ -> raise (Syntax (Printf.sprintf "expected operator after property %s" prop)))
+    | _ -> raise (Syntax "expected a comparison or '('")
+  in
+  let result = or_expr () in
+  if !rest <> [] then raise (Syntax "trailing tokens");
+  result
+
+let parse input =
+  if String.trim input = "" then Ok True
+  else
+    match parse_tokens (lex input) with
+    | expr -> Ok expr
+    | exception Syntax msg -> Error msg
+
+let parse_exn input =
+  match parse input with
+  | Ok expr -> expr
+  | Error msg -> invalid_arg ("Expr.parse_exn: " ^ msg)
+
+let compare_values op (actual : string) (expected : value) =
+  let numeric a b =
+    match op with
+    | Eq -> a = b
+    | Neq -> a <> b
+    | Ge -> a >= b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Lt -> a < b
+  in
+  match expected with
+  | I i -> (
+    match int_of_string_opt actual with Some a -> numeric a i | None -> op = Neq)
+  | S s -> (
+    match op with
+    | Eq -> String.equal actual s
+    | Neq -> not (String.equal actual s)
+    | Ge -> String.compare actual s >= 0
+    | Le -> String.compare actual s <= 0
+    | Gt -> String.compare actual s > 0
+    | Lt -> String.compare actual s < 0)
+
+let rec eval t ~props =
+  match t with
+  | True -> true
+  | And (a, b) -> eval a ~props && eval b ~props
+  | Or (a, b) -> eval a ~props || eval b ~props
+  | Not a -> not (eval a ~props)
+  | Cmp (prop, op, expected) -> (
+    match props prop with
+    | Some actual -> compare_values op actual expected
+    | None -> op = Neq)
+
+let properties_used t =
+  let rec collect acc = function
+    | True -> acc
+    | Cmp (prop, _, _) -> prop :: acc
+    | And (a, b) | Or (a, b) -> collect (collect acc a) b
+    | Not a -> collect acc a
+  in
+  List.sort_uniq String.compare (collect [] t)
+
+let op_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Ge -> ">="
+  | Le -> "<="
+  | Gt -> ">"
+  | Lt -> "<"
+
+let rec to_string = function
+  | True -> ""
+  | Cmp (prop, op, S s) -> Printf.sprintf "%s%s'%s'" prop (op_to_string op) s
+  | Cmp (prop, op, I i) -> Printf.sprintf "%s%s%d" prop (op_to_string op) i
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (to_string a) (to_string b)
+  | Not a -> Printf.sprintf "not %s" (to_string a)

@@ -1,0 +1,42 @@
+(** OAR resource-selection expressions.
+
+    The paper's example:
+    {v
+oarsub -l "cluster='a' and gpu='YES'/nodes=1+cluster='b' and
+           eth10g='Y'/nodes=2,walltime=2"
+    v}
+
+    This module implements the property-filter sub-language (the part
+    before each ['/']): comparisons on node properties combined with
+    [and], [or], [not] and parentheses.  {!Request} builds on it for the
+    full [-l] syntax. *)
+
+type value = S of string | I of int
+
+type t =
+  | Cmp of string * op * value  (** [property op value] *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | True  (** empty filter: every node matches *)
+
+and op = Eq | Neq | Ge | Le | Gt | Lt
+
+val parse : string -> (t, string) result
+(** Parse a filter such as ["cluster='a' and gpu='YES'"].  The empty (or
+    blank) string parses to {!True}. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on syntax errors. *)
+
+val eval : t -> props:(string -> string option) -> bool
+(** Evaluate against a property lookup.  String comparisons are
+    case-sensitive; numeric operators compare integers when both sides
+    parse as integers, strings otherwise.  A missing property makes any
+    comparison false (and its [Neq] true). *)
+
+val properties_used : t -> string list
+(** Sorted, deduplicated property names appearing in the filter. *)
+
+val to_string : t -> string
+(** Re-render in OAR syntax (canonical parenthesisation). *)

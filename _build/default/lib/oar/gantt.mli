@@ -1,0 +1,39 @@
+(** Per-node availability timelines (the scheduler's Gantt chart).
+
+    Each node holds a sorted list of reservations [(start, stop, job)].
+    The scheduler queries earliest placements and commits reservations;
+    completed intervals are pruned lazily. *)
+
+type t
+
+val create : unit -> t
+
+val reserve : t -> host:string -> start:float -> stop:float -> job:int -> unit
+(** @raise Invalid_argument when the interval overlaps an existing
+    reservation on the host or [stop <= start]. *)
+
+val release : t -> host:string -> job:int -> unit
+(** Drop all reservations of [job] on [host] (no-op if absent). *)
+
+val release_job : t -> job:int -> unit
+(** Drop the job's reservations on every host. *)
+
+val truncate : t -> host:string -> job:int -> stop:float -> unit
+(** Early job end: shorten the job's reservation to [stop]. *)
+
+val is_free : t -> host:string -> start:float -> stop:float -> bool
+
+val free_at : t -> host:string -> float -> bool
+
+val next_free_window : t -> host:string -> after:float -> duration:float -> float
+(** Earliest [t >= after] such that the host is continuously free on
+    [\[t, t + duration)]. *)
+
+val reservations : t -> host:string -> (float * float * int) list
+(** Current reservations, sorted by start. *)
+
+val prune : t -> before:float -> unit
+(** Forget reservations that ended before [before]. *)
+
+val utilisation : t -> host:string -> lo:float -> hi:float -> float
+(** Fraction of [\[lo, hi\]] covered by reservations. *)

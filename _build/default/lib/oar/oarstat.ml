@@ -1,0 +1,57 @@
+let state_cell job = Job.state_to_string job.Job.state
+
+let oarstat manager =
+  let jobs = Manager.jobs manager in
+  let finished, live = List.partition Job.is_finished jobs in
+  let recent_finished =
+    let n = List.length finished in
+    List.filteri (fun i _ -> i >= n - 50) finished
+  in
+  let rows =
+    List.map
+      (fun job ->
+        [ string_of_int job.Job.id; job.Job.user; Job.jtype_to_string job.Job.jtype;
+          state_cell job;
+          Simkit.Calendar.to_string job.Job.submitted_at;
+          string_of_int (List.length job.Job.assigned) ])
+      (recent_finished @ live)
+  in
+  Simkit.Table.render ~header:[ "Job id"; "User"; "Type"; "State"; "Submitted"; "Nodes" ]
+    rows
+
+let oarstat_job manager id =
+  match Manager.job manager id with
+  | None -> None
+  | Some job ->
+    let field name value = Printf.sprintf "    %-12s = %s" name value in
+    Some
+      (String.concat "\n"
+         ([ Printf.sprintf "Job_Id: %d" job.Job.id;
+            field "owner" job.Job.user;
+            field "type" (Job.jtype_to_string job.Job.jtype);
+            field "state" (state_cell job);
+            field "resources" (Request.to_string job.Job.request);
+            field "submitted" (Simkit.Calendar.to_string job.Job.submitted_at) ]
+         @ (match job.Job.started_at with
+            | Some at -> [ field "started" (Simkit.Calendar.to_string at) ]
+            | None -> [])
+         @ (match job.Job.ended_at with
+            | Some at -> [ field "ended" (Simkit.Calendar.to_string at) ]
+            | None -> [])
+         @ [ field "assigned" (String.concat " " job.Job.assigned) ]))
+
+let oarnodes manager ~cluster =
+  let instance = Manager.instance manager in
+  let props = Manager.properties manager in
+  let rows =
+    Testbed.Instance.nodes_of_cluster instance cluster
+    |> List.map (fun node ->
+           let host = node.Testbed.Node.host in
+           let prop key = Option.value ~default:"?" (Property.get props ~host key) in
+           [ host;
+             Testbed.Node.state_to_string node.Testbed.Node.state;
+             prop "cores"; prop "memnode"; prop "gpu"; prop "eth10g"; prop "ib" ])
+  in
+  Simkit.Table.render
+    ~header:[ "network_address"; "state"; "cores"; "mem"; "gpu"; "eth10g"; "ib" ]
+    rows

@@ -1,0 +1,13 @@
+(** CLI-style renderers: what users see when they run [oarstat] and
+    [oarnodes] on a frontend — the observable surface the [cmdline] test
+    family exercises. *)
+
+val oarstat : Manager.t -> string
+(** The job table: id, user, type, state, submission time, nodes.
+    Finished jobs older than the most recent 50 are elided. *)
+
+val oarstat_job : Manager.t -> int -> string option
+(** [oarstat -j <id>]: full details of one job. *)
+
+val oarnodes : Manager.t -> cluster:string -> string
+(** Per-node state and properties of one cluster. *)

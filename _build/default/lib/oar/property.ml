@@ -1,0 +1,67 @@
+type t = { rows : (string, (string * string) list) Hashtbl.t }
+
+let create () = { rows = Hashtbl.create 1024 }
+
+let yes_no b = if b then "YES" else "NO"
+
+let expected_of_doc doc =
+  let open Simkit.Json in
+  let hw = Option.value ~default:Null (member "hardware" doc) in
+  let cpu = Option.value ~default:Null (member "cpu" hw) in
+  let cores_per_cpu = Option.value ~default:0 (int_member "cores_per_cpu" cpu) in
+  let cpu_count = Option.value ~default:0 (int_member "count" cpu) in
+  let memory = Option.value ~default:Null (member "memory" hw) in
+  let nics = Option.value ~default:[] (list_member "nics" hw) in
+  let max_rate =
+    List.fold_left
+      (fun acc nic -> Float.max acc (Option.value ~default:0.0 (float_member "rate_gbps" nic)))
+      0.0 nics
+  in
+  let site = Option.value ~default:"" (string_member "site" doc) in
+  let props =
+    [ ("host", Option.value ~default:"" (string_member "uid" doc));
+      ("cluster", Option.value ~default:"" (string_member "cluster" doc));
+      ("site", site);
+      ("cores", string_of_int (cores_per_cpu * cpu_count));
+      ("cpufreq",
+       Printf.sprintf "%.2f" (Option.value ~default:0.0 (float_member "base_freq_ghz" cpu)));
+      ("memnode", string_of_int (Option.value ~default:0 (int_member "ram_gb" memory)));
+      ("gpu", yes_no (Option.value ~default:false (bool_member "gpu" hw)));
+      ("eth10g", if max_rate >= 10.0 then "Y" else "N");
+      ("ib", yes_no (member "infiniband" hw <> Some Null && member "infiniband" hw <> None));
+      ("wattmeter", yes_no (List.mem site Testbed.Inventory.wattmeter_sites));
+      ("deploy", "YES") ]
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) props
+
+let refresh_from_refapi t ctx =
+  Hashtbl.reset t.rows;
+  List.iter
+    (fun host ->
+      match Testbed.Refapi.get ctx.Testbed.Faults.refapi host with
+      | None -> ()
+      | Some doc ->
+        let props = expected_of_doc doc in
+        let props =
+          (* Active desync corruption: flip the gpu property. *)
+          if Hashtbl.mem ctx.Testbed.Faults.flags ("oar_desync:" ^ host) then
+            List.map
+              (fun (k, v) ->
+                if String.equal k "gpu" then (k, if v = "YES" then "NO" else "YES")
+                else (k, v))
+              props
+          else props
+        in
+        Hashtbl.replace t.rows host props)
+    (Testbed.Refapi.hosts ctx.Testbed.Faults.refapi)
+
+let get t ~host key =
+  match Hashtbl.find_opt t.rows host with
+  | None -> None
+  | Some props -> List.assoc_opt key props
+
+let props_fun t ~host key = get t ~host key
+let all_of t ~host = Option.value ~default:[] (Hashtbl.find_opt t.rows host)
+
+let hosts t =
+  Hashtbl.fold (fun host _ acc -> host :: acc) t.rows [] |> List.sort String.compare

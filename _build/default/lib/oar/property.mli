@@ -1,0 +1,31 @@
+(** The OAR property database.
+
+    "OAR database filled from Reference API": properties are derived from
+    the published Reference API documents, not from ground truth, so a
+    stale description propagates into scheduling — exactly the failure
+    mode the [oarproperties] test family looks for.  The
+    [oar-property-desync] fault additionally corrupts the database copy
+    itself. *)
+
+type t
+
+val create : unit -> t
+
+val refresh_from_refapi : t -> Testbed.Faults.ctx -> unit
+(** Rebuild all property rows from the current Reference API documents,
+    then apply any active [oar_desync] corruption flags. *)
+
+val get : t -> host:string -> string -> string option
+(** Property lookup, e.g. [get t ~host "cluster"]. *)
+
+val props_fun : t -> host:string -> string -> string option
+(** Partially applied lookup suitable for {!Expr.eval}'s [~props]. *)
+
+val all_of : t -> host:string -> (string * string) list
+(** All properties of a host, sorted by name. *)
+
+val hosts : t -> string list
+
+val expected_of_doc : Simkit.Json.t -> (string * string) list
+(** Properties a Reference API document should induce — used by the
+    [oarproperties] consistency check. *)

@@ -1,0 +1,118 @@
+type profile = {
+  base_rate_per_hour : float;
+  peak_multiplier : float;
+  users : int;
+  small_max_nodes : int;
+  whole_cluster_share : float;
+}
+
+let default_profile =
+  {
+    base_rate_per_hour = 20.0;
+    peak_multiplier = 3.0;
+    users = 550;
+    small_max_nodes = 4;
+    whole_cluster_share = 0.02;
+  }
+
+type t = {
+  manager : Manager.t;
+  rng : Simkit.Prng.t;
+  prof : profile;
+  mutable running : bool;
+  mutable count : int;
+  in_flight : (string, int) Hashtbl.t;  (* cluster -> queued+running jobs *)
+  job_cluster : (int, string) Hashtbl.t;
+}
+
+let profile t = t.prof
+let submitted t = t.count
+let stop t = t.running <- false
+
+let pick_cluster rng =
+  (* Zipf-weighted popularity: a few clusters absorb most jobs, which is
+     what makes whole-cluster availability rare there. *)
+  let n = List.length Testbed.Inventory.clusters in
+  let rank = Simkit.Dist.zipf rng ~n ~s:1.1 in
+  (List.nth Testbed.Inventory.clusters (rank - 1)).Testbed.Inventory.cluster
+
+(* Users stop piling onto a saturated cluster: the backlog they tolerate
+   is bounded, which keeps the simulated queue (and the scheduler's Gantt)
+   from growing without bound on popular clusters. *)
+let backlog_limit cluster =
+  match Testbed.Inventory.find_cluster cluster with
+  | Some spec -> Stdlib.max 8 spec.Testbed.Inventory.nodes
+  | None -> 8
+
+let in_flight t cluster = Option.value ~default:0 (Hashtbl.find_opt t.in_flight cluster)
+
+let make_request t =
+  let rng = t.rng in
+  let cluster = pick_cluster rng in
+  let filter = Printf.sprintf "cluster='%s'" cluster in
+  let walltime =
+    (* Median ~1.5 h with a heavy tail capped at 24 h. *)
+    Float.min (24.0 *. 3600.0)
+      (Simkit.Dist.sample rng (Simkit.Dist.Lognormal (8.6, 1.0)))
+  in
+  let u = Simkit.Prng.float rng in
+  let count =
+    if u < t.prof.whole_cluster_share then `All
+    else if u < 0.75 then `N (Simkit.Prng.int_in rng 1 t.prof.small_max_nodes)
+    else if u < 0.95 then `N (Simkit.Prng.int_in rng 5 16)
+    else `N (Simkit.Prng.int_in rng 17 40)
+  in
+  let request = Request.nodes ~filter count ~walltime in
+  let duration = walltime *. (0.3 +. (0.7 *. Simkit.Prng.float rng)) in
+  (cluster, request, duration)
+
+let rate_at prof time =
+  let base = prof.base_rate_per_hour /. 3600.0 in
+  if Simkit.Calendar.is_peak_hours time then base *. prof.peak_multiplier
+  else if Simkit.Calendar.is_weekend time then base *. 0.5
+  else base
+
+let start ?(profile = default_profile) ~rng manager =
+  let t =
+    { manager; rng; prof = profile; running = true; count = 0;
+      in_flight = Hashtbl.create 64; job_cluster = Hashtbl.create 256 }
+  in
+  Manager.on_job_end manager (fun job ->
+      match Hashtbl.find_opt t.job_cluster job.Job.id with
+      | Some cluster ->
+        Hashtbl.remove t.job_cluster job.Job.id;
+        Hashtbl.replace t.in_flight cluster (Stdlib.max 0 (in_flight t cluster - 1))
+      | None -> ());
+  let engine = (Manager.instance manager).Testbed.Instance.engine in
+  let peak_rate = profile.base_rate_per_hour /. 3600.0 *. profile.peak_multiplier in
+  (* Thinning (Lewis-Shedler) for the non-homogeneous Poisson process. *)
+  let rec next_arrival () =
+    if t.running then begin
+      let gap = Simkit.Dist.exponential t.rng ~mean:(1.0 /. peak_rate) in
+      ignore
+        (Simkit.Engine.schedule engine ~delay:gap (fun eng ->
+             let time = Simkit.Engine.now eng in
+             if t.running then begin
+               if Simkit.Prng.chance t.rng (rate_at t.prof time /. peak_rate) then begin
+                 let cluster, request, duration = make_request t in
+                 if in_flight t cluster < backlog_limit cluster then begin
+                   let user =
+                     Printf.sprintf "user%03d" (Simkit.Prng.int t.rng t.prof.users)
+                   in
+                   let jtype =
+                     if Simkit.Prng.chance t.rng 0.3 then Job.Deploy else Job.Default
+                   in
+                   match Manager.submit t.manager ~user ~jtype ~duration request with
+                   | Ok job ->
+                     t.count <- t.count + 1;
+                     Hashtbl.replace t.job_cluster job.Job.id cluster;
+                     Hashtbl.replace t.in_flight cluster (in_flight t cluster + 1)
+                   | Error _ -> ()
+                 end
+               end;
+               next_arrival ()
+             end))
+    end
+  in
+  next_arrival ();
+  t

@@ -1,0 +1,29 @@
+(** Synthetic user workload.
+
+    Grid'5000 is "heavily used" and "waiting for all nodes of a given
+    cluster to be available can take weeks"; the external test scheduler
+    exists because of that contention.  This generator submits jobs with
+    a diurnal/weekly intensity profile and a realistic size mix so the
+    schedulers face the regime the paper describes. *)
+
+type profile = {
+  base_rate_per_hour : float;  (** mean submissions per hour at off-peak *)
+  peak_multiplier : float;  (** multiplier during working hours *)
+  users : int;
+  small_max_nodes : int;
+  whole_cluster_share : float;  (** fraction of jobs asking nodes=ALL of a cluster *)
+}
+
+val default_profile : profile
+(** ~20 jobs/h off-peak, 3x during working hours, 550 users (the paper's
+    user count), 2% whole-cluster jobs. *)
+
+type t
+
+val start : ?profile:profile -> rng:Simkit.Prng.t -> Manager.t -> t
+(** Begin submitting jobs on the manager's engine; runs until the engine
+    stops being advanced. *)
+
+val stop : t -> unit
+val submitted : t -> int
+val profile : t -> profile

@@ -1,0 +1,1 @@
+lib/simkit/calendar.ml: Float Format

@@ -1,0 +1,1 @@
+lib/simkit/calendar.mli: Format

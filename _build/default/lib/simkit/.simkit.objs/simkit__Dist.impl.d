@@ -1,0 +1,1 @@
+lib/simkit/dist.ml: Array Float List Prng Stdlib

@@ -1,0 +1,1 @@
+lib/simkit/json.ml: Buffer Char Float List Printf String

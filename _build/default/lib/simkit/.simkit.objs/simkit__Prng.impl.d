@@ -1,0 +1,1 @@
+lib/simkit/prng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/simkit/table.ml: Buffer Float List Printf Stdlib String

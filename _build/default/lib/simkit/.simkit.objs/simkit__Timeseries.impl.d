@@ -1,0 +1,1 @@
+lib/simkit/timeseries.ml: Array Buffer Float List Stdlib String

@@ -1,0 +1,1 @@
+lib/simkit/tracelog.ml: Array Buffer Calendar Hashtbl List Option Printf Stdlib String

@@ -1,0 +1,85 @@
+type event = { id : int; action : t -> unit }
+
+and t = {
+  mutable clock : float;
+  queue : event Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  master_rng : Prng.t;
+  mutable next_id : int;
+  mutable executed : int;
+}
+
+type handle = int
+
+let create ?(seed = 42L) () =
+  {
+    clock = 0.0;
+    queue = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    master_rng = Prng.create seed;
+    next_id = 0;
+    executed = 0;
+  }
+
+let now t = t.clock
+let rng t = t.master_rng
+
+let schedule_at t ~time action =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let time = Float.max time t.clock in
+  Heap.push t.queue ~key:time { id; action };
+  id
+
+let schedule t ~delay action = schedule_at t ~time:(t.clock +. Float.max 0.0 delay) action
+
+let cancel t handle =
+  if handle >= 0 && handle < t.next_id then Hashtbl.replace t.cancelled handle ()
+
+let cancelled t handle = Hashtbl.mem t.cancelled handle
+
+let rec every t ~period ?(jitter = 0.0) f =
+  let reschedule engine =
+    if f engine then begin
+      let j = if jitter > 0.0 then Prng.float engine.master_rng *. jitter else 0.0 in
+      ignore (schedule engine ~delay:(period +. j) (fun e -> every_tick e ~period ~jitter f))
+    end
+  in
+  reschedule t
+
+and every_tick t ~period ~jitter f = every t ~period ~jitter f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+    if Hashtbl.mem t.cancelled ev.id then begin
+      Hashtbl.remove t.cancelled ev.id;
+      (* Skip silently; the clock does not advance for cancelled events
+         that would not have been reached yet, but advancing is harmless
+         and keeps [step] O(1): we only advance when executing. *)
+      true
+    end
+    else begin
+      t.clock <- Float.max t.clock time;
+      t.executed <- t.executed + 1;
+      ev.action t;
+      true
+    end
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some (time, _) when time <= horizon -> ignore (step t)
+    | _ -> continue := false
+  done;
+  t.clock <- Float.max t.clock horizon
+
+let run t = while step t do () done
+
+let pending t =
+  (* Cancelled events still sit in the heap until popped. *)
+  Heap.length t.queue - Hashtbl.length t.cancelled
+
+let events_executed t = t.executed

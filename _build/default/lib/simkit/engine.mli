@@ -1,0 +1,52 @@
+(** Discrete-event simulation engine.
+
+    Time is a float number of simulated seconds since the campaign epoch.
+    Events are closures scheduled at absolute times; same-time events fire
+    in scheduling order, making runs deterministic for a given seed. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine at time [0.].  [seed] (default [42L]) seeds the master
+    PRNG from which all simulation randomness is split. *)
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val rng : t -> Prng.t
+(** The engine's master PRNG stream.  Subsystems should [Prng.split] it
+    once at construction rather than sharing it. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. max 0. delay]. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> handle
+(** Absolute-time variant; times in the past fire at the current time. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val cancelled : t -> handle -> bool
+
+val every : t -> period:float -> ?jitter:float -> (t -> bool) -> unit
+(** [every t ~period f] runs [f] now and then every [period] seconds
+    (plus uniform jitter in [\[0, jitter\]]) until [f] returns [false]. *)
+
+val step : t -> bool
+(** Execute the next pending event.  [false] if the queue is empty. *)
+
+val run_until : t -> float -> unit
+(** Execute events up to and including time [t]; afterwards [now] equals
+    the given horizon even if the queue drained early. *)
+
+val run : t -> unit
+(** Drain the whole event queue. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-cancelled events. *)
+
+val events_executed : t -> int
+(** Total events executed so far (for engine benchmarks). *)

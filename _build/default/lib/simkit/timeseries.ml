@@ -1,0 +1,117 @@
+type t = {
+  series_name : string;
+  mutable times : float array;
+  mutable values : float array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) ~name () =
+  {
+    series_name = name;
+    times = Array.make (Stdlib.max 1 capacity) 0.0;
+    values = Array.make (Stdlib.max 1 capacity) 0.0;
+    size = 0;
+  }
+
+let name t = t.series_name
+let length t = t.size
+
+let add t ~time v =
+  if t.size > 0 && time < t.times.(t.size - 1) then
+    invalid_arg "Timeseries.add: time going backwards";
+  if t.size = Array.length t.times then begin
+    let ncap = 2 * Array.length t.times in
+    let ntimes = Array.make ncap 0.0 and nvalues = Array.make ncap 0.0 in
+    Array.blit t.times 0 ntimes 0 t.size;
+    Array.blit t.values 0 nvalues 0 t.size;
+    t.times <- ntimes;
+    t.values <- nvalues
+  end;
+  t.times.(t.size) <- time;
+  t.values.(t.size) <- v;
+  t.size <- t.size + 1
+
+let last t = if t.size = 0 then None else Some (t.times.(t.size - 1), t.values.(t.size - 1))
+
+let nth t i =
+  if i < 0 || i >= t.size then invalid_arg "Timeseries.nth";
+  (t.times.(i), t.values.(i))
+
+(* First index with time >= lo, by binary search. *)
+let lower_bound t lo =
+  let rec go a b =
+    if a >= b then a
+    else
+      let mid = (a + b) / 2 in
+      if t.times.(mid) < lo then go (mid + 1) b else go a mid
+  in
+  go 0 t.size
+
+let between t ~lo ~hi =
+  let start = lower_bound t lo in
+  let rec collect i acc =
+    if i >= t.size || t.times.(i) > hi then List.rev acc
+    else collect (i + 1) ((t.times.(i), t.values.(i)) :: acc)
+  in
+  collect start []
+
+let values_between t ~lo ~hi =
+  let pairs = between t ~lo ~hi in
+  Array.of_list (List.map snd pairs)
+
+let mean_between t ~lo ~hi =
+  let vs = values_between t ~lo ~hi in
+  if Array.length vs = 0 then nan
+  else Array.fold_left ( +. ) 0.0 vs /. float_of_int (Array.length vs)
+
+let downsample t ~bucket =
+  if bucket <= 0.0 then invalid_arg "Timeseries.downsample: bucket must be positive";
+  let out = ref [] in
+  let current_start = ref nan in
+  let acc = ref 0.0 in
+  let n = ref 0 in
+  let flush () =
+    if !n > 0 then out := (!current_start, !acc /. float_of_int !n) :: !out
+  in
+  for i = 0 to t.size - 1 do
+    let start = Float.of_int (int_of_float (t.times.(i) /. bucket)) *. bucket in
+    if Float.is_nan !current_start || start <> !current_start then begin
+      flush ();
+      current_start := start;
+      acc := 0.0;
+      n := 0
+    end;
+    acc := !acc +. t.values.(i);
+    incr n
+  done;
+  flush ();
+  List.rev !out
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.times.(i) t.values.(i)
+  done
+
+let sparkline t ~lo ~hi ~width =
+  let vs = values_between t ~lo ~hi in
+  if Array.length vs = 0 then String.make width ' '
+  else begin
+    let vmin = Array.fold_left Float.min infinity vs in
+    let vmax = Array.fold_left Float.max neg_infinity vs in
+    let glyphs = [| '_'; '.'; '-'; '='; '*'; '#' |] in
+    let pick v =
+      if vmax <= vmin then glyphs.(0)
+      else begin
+        let idx =
+          int_of_float ((v -. vmin) /. (vmax -. vmin) *. float_of_int (Array.length glyphs - 1))
+        in
+        glyphs.(Stdlib.min (Array.length glyphs - 1) (Stdlib.max 0 idx))
+      end
+    in
+    let buf = Buffer.create width in
+    for i = 0 to width - 1 do
+      let src = i * Array.length vs / width in
+      Buffer.add_char buf (pick vs.(src))
+    done;
+    Buffer.contents buf
+  end

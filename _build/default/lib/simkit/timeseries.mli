@@ -1,0 +1,31 @@
+(** Append-only time series, the storage behind the monitoring service
+    and the status page's historical view. *)
+
+type t
+
+val create : ?capacity:int -> name:string -> unit -> t
+val name : t -> string
+
+val add : t -> time:float -> float -> unit
+(** Samples must be appended in non-decreasing time order.
+    @raise Invalid_argument when going backwards. *)
+
+val length : t -> int
+val last : t -> (float * float) option
+val nth : t -> int -> float * float
+
+val between : t -> lo:float -> hi:float -> (float * float) list
+(** Samples with [lo <= time <= hi], in time order. *)
+
+val values_between : t -> lo:float -> hi:float -> float array
+
+val mean_between : t -> lo:float -> hi:float -> float
+(** [nan] when the window is empty. *)
+
+val downsample : t -> bucket:float -> (float * float) list
+(** Mean per [bucket]-second window, keyed by the window start. *)
+
+val iter : t -> (float -> float -> unit) -> unit
+
+val sparkline : t -> lo:float -> hi:float -> width:int -> string
+(** Tiny ASCII chart of the window, for live-visualisation displays. *)

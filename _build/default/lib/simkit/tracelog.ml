@@ -1,0 +1,65 @@
+type entry = { time : float; category : string; message : string }
+
+type t = {
+  ring : entry option array;
+  mutable next : int;  (* write cursor *)
+  mutable count : int;  (* total ever recorded *)
+}
+
+let create ?(capacity = 10_000) () =
+  if capacity <= 0 then invalid_arg "Tracelog.create: capacity must be positive";
+  { ring = Array.make capacity None; next = 0; count = 0 }
+
+let capacity t = Array.length t.ring
+let size t = Stdlib.min t.count (capacity t)
+let dropped t = Stdlib.max 0 (t.count - capacity t)
+
+let record t ~time ~category message =
+  t.ring.(t.next) <- Some { time; category; message };
+  t.next <- (t.next + 1) mod capacity t;
+  t.count <- t.count + 1
+
+let recordf t ~time ~category fmt = Printf.ksprintf (record t ~time ~category) fmt
+
+let entries t =
+  let cap = capacity t in
+  let n = size t in
+  let start = if t.count <= cap then 0 else t.next in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let by_category t category =
+  List.filter (fun e -> String.equal e.category category) (entries t)
+
+let between t ~lo ~hi =
+  List.filter (fun e -> e.time >= lo && e.time <= hi) (entries t)
+
+let categories t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace table e.category
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table e.category)))
+    (entries t);
+  Hashtbl.fold (fun category n acc -> (category, n) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let render ?(limit = 50) t =
+  let all = entries t in
+  let skip = Stdlib.max 0 (List.length all - limit) in
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i e ->
+      if i >= skip then
+        Buffer.add_string buf
+          (Printf.sprintf "[%s] %-12s %s\n" (Calendar.to_string e.time) e.category
+             e.message))
+    all;
+  Buffer.contents buf
+
+let clear t =
+  Array.fill t.ring 0 (capacity t) None;
+  t.next <- 0;
+  t.count <- 0

@@ -1,0 +1,44 @@
+(** Structured trace log for simulations.
+
+    A bounded ring of timestamped, categorised events.  Subsystems record
+    what happened ("deploy", "fault", "scheduler"...); tools query by
+    category or time window — the debugging companion to a
+    discrete-event simulation, and the backing store for the CLI's
+    verbose output. *)
+
+type entry = {
+  time : float;
+  category : string;
+  message : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of at most [capacity] entries (default 10_000): older entries
+    are dropped first. *)
+
+val record : t -> time:float -> category:string -> string -> unit
+
+val recordf :
+  t -> time:float -> category:string -> ('a, unit, string, unit) format4 -> 'a
+
+val size : t -> int
+val capacity : t -> int
+val dropped : t -> int
+(** Entries evicted so far. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val by_category : t -> string -> entry list
+
+val between : t -> lo:float -> hi:float -> entry list
+
+val categories : t -> (string * int) list
+(** Category histogram over retained entries, sorted by count. *)
+
+val render : ?limit:int -> t -> string
+(** Human-readable tail (most recent [limit] entries, default 50). *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/testbed/console.ml: Hardware Hashtbl List Node Option Printf Services String

@@ -1,0 +1,1 @@
+lib/testbed/console.mli: Node Services

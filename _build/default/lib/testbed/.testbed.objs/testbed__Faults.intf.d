@@ -1,0 +1,1 @@
+lib/testbed/faults.mli: Hashtbl Network Node Refapi Services Simkit

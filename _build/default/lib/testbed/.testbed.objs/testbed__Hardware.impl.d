@@ -1,0 +1,1 @@
+lib/testbed/hardware.ml: Format List Simkit String

@@ -1,0 +1,1 @@
+lib/testbed/hardware.mli: Format Simkit

@@ -1,0 +1,1 @@
+lib/testbed/instance.ml: Array Console Faults Format Hardware Hashtbl Inventory List Network Node Refapi Services Simkit String

@@ -1,0 +1,1 @@
+lib/testbed/instance.mli: Console Faults Format Hashtbl Network Node Refapi Services Simkit

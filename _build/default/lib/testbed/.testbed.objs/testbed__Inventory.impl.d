@@ -1,0 +1,1 @@
+lib/testbed/inventory.ml: Float Hardware List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/testbed/inventory.mli: Hardware

@@ -1,0 +1,1 @@
+lib/testbed/network.ml: Float Hardware Hashtbl List Node Option Printf String

@@ -1,0 +1,1 @@
+lib/testbed/network.mli: Node Simkit

@@ -1,0 +1,1 @@
+lib/testbed/node.mli: Format Hardware Simkit

@@ -1,0 +1,1 @@
+lib/testbed/refapi.ml: Hardware Hashtbl List Node Simkit String

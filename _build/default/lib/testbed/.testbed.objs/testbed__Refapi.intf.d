@@ -1,0 +1,1 @@
+lib/testbed/refapi.mli: Node Simkit

@@ -1,0 +1,1 @@
+lib/testbed/services.ml: Hashtbl List Option Simkit String

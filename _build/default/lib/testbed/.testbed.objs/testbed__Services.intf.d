@@ -1,0 +1,1 @@
+lib/testbed/services.mli: Simkit

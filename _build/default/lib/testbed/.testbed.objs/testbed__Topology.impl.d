@@ -1,0 +1,1 @@
+lib/testbed/topology.ml: Array Float Hardware Hashtbl Inventory List Network Node Option Simkit String

@@ -1,0 +1,1 @@
+lib/testbed/topology.mli: Network Node Simkit

@@ -1,0 +1,43 @@
+type t = { rings : (string, string list) Hashtbl.t }
+(* Rings are newest-first internally, capped. *)
+
+let cap = 200
+
+let create () = { rings = Hashtbl.create 1024 }
+
+let log_line t ~host line =
+  let ring = Option.value ~default:[] (Hashtbl.find_opt t.rings host) in
+  let ring = line :: ring in
+  let ring = if List.length ring > cap then List.filteri (fun i _ -> i < cap) ring else ring in
+  Hashtbl.replace t.rings host ring
+
+let log_boot t node =
+  let host = node.Node.host in
+  log_line t ~host (Printf.sprintf "[    0.000000] Linux version (%s)" node.Node.deployed_env);
+  log_line t ~host
+    (Printf.sprintf "[    2.345678] %s: %d cores, %d MB"
+       node.Node.actual.Hardware.cpu.Hardware.cpu_model
+       (Hardware.total_cores node.Node.actual)
+       (node.Node.actual.Hardware.memory.Hardware.ram_gb * 1024));
+  log_line t ~host (host ^ " login:")
+
+let tail t ~host n =
+  let ring = Option.value ~default:[] (Hashtbl.find_opt t.rings host) in
+  List.rev (List.filteri (fun i _ -> i < n) ring)
+
+let roundtrip t ~services node ~marker =
+  let host = node.Node.host in
+  let site = node.Node.site_name in
+  if node.Node.state = Node.Down then false
+  else if not (Services.use services ~site Services.Console) then false
+  else if node.Node.behaviour.Node.console_broken then begin
+    (* The connection opens but the line is dead: nothing echoes. *)
+    log_line t ~host "(no output)";
+    false
+  end
+  else begin
+    log_line t ~host marker;
+    match tail t ~host 1 with
+    | [ line ] -> String.equal line marker
+    | _ -> false
+  end

@@ -1,0 +1,26 @@
+(** Serial console service (conman substitute).
+
+    Every node's serial output is captured in a bounded ring: boot
+    banners, kernel lines, login prompt.  The [console] test family reads
+    the tail through the site service and checks that a freshly written
+    marker echoes back — a broken console (node-side fault or site
+    service outage) fails that round-trip. *)
+
+type t
+
+val create : unit -> t
+
+val log_line : t -> host:string -> string -> unit
+(** Append one line to the host's ring (capped at 200 lines). *)
+
+val log_boot : t -> Node.t -> unit
+(** Append the canonical boot banner of the node's current environment. *)
+
+val tail : t -> host:string -> int -> string list
+(** Last [n] captured lines (oldest first); empty for unknown hosts. *)
+
+val roundtrip :
+  t -> services:Services.t -> Node.t -> marker:string -> bool
+(** Write [marker] through the console and read it back: [false] when
+    the site console service is unusable, the node's console hardware is
+    broken, or the node is down. *)

@@ -1,0 +1,96 @@
+(** Fault injection: the ground-truth problems the testing framework is
+    supposed to uncover.
+
+    Every fault kind corresponds to a bug class the paper reports as
+    real: CPU settings drift (power management, hyperthreading, turbo
+    boost), disk firmware/cache differences, cabling issues (including
+    wrong monitoring attribution), RAM loss after maintenance, random
+    reboots, a kernel race delaying boots, OFED random start failures,
+    flapping services and stale descriptions. *)
+
+type kind =
+  | Cpu_cstates
+  | Cpu_hyperthreading
+  | Cpu_turbo
+  | Cpu_governor
+  | Bios_drift
+  | Disk_firmware
+  | Disk_write_cache
+  | Ram_dimm_loss
+  | Cabling_swap
+  | Kwapi_misattribution
+  | Random_reboots
+  | Kernel_boot_race
+  | Ofed_flaky
+  | Console_broken
+  | Service_outage
+  | Refapi_desync
+  | Oar_property_desync
+  | Env_image_corrupt
+
+type target =
+  | Host of string
+  | Host_pair of string * string
+  | Cluster of string
+  | Site_service of string * Services.kind
+  | Global of string  (** free-form, e.g. an environment image name *)
+
+type fault = {
+  id : int;
+  kind : kind;
+  target : target;
+  injected_at : float;
+  what : string;  (** human-readable description *)
+  mutable detected_at : float option;
+  mutable repaired_at : float option;
+}
+
+type ctx = {
+  nodes : Node.t array;
+  by_host : (string, Node.t) Hashtbl.t;
+  network : Network.t;
+  services : Services.t;
+  refapi : Refapi.t;
+  flags : (string, string) Hashtbl.t;
+      (** out-of-band degradations consulted by other subsystems, e.g.
+          ["oar_desync:<host>"] or ["env_corrupt:<image>"] *)
+}
+
+type t
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+
+val category : kind -> string
+(** Coarse bug category used by the results table of the paper
+    (["cpu-settings"], ["disk"], ["cabling"], ["infrastructure"],
+    ["description"], ["services"], ["software"]). *)
+
+val create : rng:Simkit.Prng.t -> ctx -> t
+val context : t -> ctx
+
+val inject : t -> now:float -> kind -> fault option
+(** Pick a suitable random target (weighted towards older hardware for
+    hardware kinds), apply the effect, and record the fault.  [None] when
+    no suitable target exists (e.g. OFED fault with no IB cluster left
+    unaffected). *)
+
+val inject_on : t -> now:float -> kind -> target -> fault option
+(** Deterministic-target variant for tests; validates the target. *)
+
+val repair : t -> now:float -> fault -> unit
+(** Undo the fault's effect (operator action).  Idempotent. *)
+
+val mark_detected : t -> now:float -> fault -> unit
+(** First detection time; later calls keep the earliest. *)
+
+val active : t -> fault list
+(** Unrepaired faults, oldest first. *)
+
+val history : t -> fault list
+(** All faults ever injected, oldest first. *)
+
+val active_on_host : t -> string -> fault list
+
+val flag : ctx -> string -> string option
+(** Lookup of an out-of-band degradation flag. *)

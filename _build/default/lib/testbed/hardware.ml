@@ -1,0 +1,144 @@
+type vendor = Dell | Hp | Bull | Sun | Carri | Xyratex
+
+type cpu = {
+  cpu_model : string;
+  microarch : string;
+  cores_per_cpu : int;
+  base_freq_ghz : float;
+}
+
+type cpu_settings = {
+  c_states : bool;
+  hyperthreading : bool;
+  turbo_boost : bool;
+  power_governor : string;
+}
+
+type disk = {
+  disk_model : string;
+  size_gb : int;
+  firmware : string;
+  write_cache : bool;
+  read_cache : bool;
+  nominal_mb_s : float;
+}
+
+type nic = {
+  nic_model : string;
+  device : string;
+  rate_gbps : float;
+  nic_driver : string;
+  nic_firmware : string;
+}
+
+type infiniband = { ib_rate_gbps : float; ofed_version : string }
+type memory = { ram_gb : int; dimm_count : int }
+type bios = { bios_version : string; bios_vendor : vendor; boot_mode : string }
+
+type t = {
+  cpu : cpu;
+  cpu_count : int;
+  settings : cpu_settings;
+  memory : memory;
+  disks : disk list;
+  nics : nic list;
+  bios : bios;
+  gpu : bool;
+  ib : infiniband option;
+}
+
+let vendor_to_string = function
+  | Dell -> "dell"
+  | Hp -> "hp"
+  | Bull -> "bull"
+  | Sun -> "sun"
+  | Carri -> "carri"
+  | Xyratex -> "xyratex"
+
+let total_cores t = t.cpu_count * t.cpu.cores_per_cpu
+
+let default_settings =
+  { c_states = false; hyperthreading = false; turbo_boost = false;
+    power_governor = "performance" }
+
+let cpu_perf_factor s =
+  (* Each drifted setting perturbs measured compute performance by a few
+     percent.  Turbo boost *increases* burst throughput (and variance),
+     which is just as harmful to reproducibility as a slowdown. *)
+  let f = 1.0 in
+  let f = if s.c_states then f *. 0.95 else f in
+  let f = if s.hyperthreading then f *. 0.97 else f in
+  let f = if s.turbo_boost then f *. 1.06 else f in
+  let f = if not (String.equal s.power_governor "performance") then f *. 0.93 else f in
+  f
+
+let disk_bandwidth d =
+  let f = 1.0 in
+  let f = if not d.write_cache then f *. 0.55 else f in
+  let f = if not d.read_cache then f *. 0.85 else f in
+  (* Firmware revisions other than the qualified one lose ~18%, the class
+     of bug the paper reports as "different disk performance due to
+     different disk firmware versions". *)
+  let f = if String.length d.firmware > 0 && d.firmware.[0] = '~' then f *. 0.82 else f in
+  d.nominal_mb_s *. f
+
+let settings_to_json s =
+  Simkit.Json.Obj
+    [ ("c_states", Simkit.Json.Bool s.c_states);
+      ("hyperthreading", Simkit.Json.Bool s.hyperthreading);
+      ("turbo_boost", Simkit.Json.Bool s.turbo_boost);
+      ("power_governor", Simkit.Json.String s.power_governor) ]
+
+let disk_to_json d =
+  Simkit.Json.Obj
+    [ ("model", Simkit.Json.String d.disk_model);
+      ("size_gb", Simkit.Json.Int d.size_gb);
+      ("firmware", Simkit.Json.String d.firmware);
+      ("write_cache", Simkit.Json.Bool d.write_cache);
+      ("read_cache", Simkit.Json.Bool d.read_cache) ]
+
+let nic_to_json n =
+  Simkit.Json.Obj
+    [ ("model", Simkit.Json.String n.nic_model);
+      ("device", Simkit.Json.String n.device);
+      ("rate_gbps", Simkit.Json.Float n.rate_gbps);
+      ("driver", Simkit.Json.String n.nic_driver);
+      ("firmware", Simkit.Json.String n.nic_firmware) ]
+
+let to_json t =
+  let open Simkit.Json in
+  Obj
+    [ ( "cpu",
+        Obj
+          [ ("model", String t.cpu.cpu_model);
+            ("microarch", String t.cpu.microarch);
+            ("cores_per_cpu", Int t.cpu.cores_per_cpu);
+            ("base_freq_ghz", Float t.cpu.base_freq_ghz);
+            ("count", Int t.cpu_count) ] );
+      ("settings", settings_to_json t.settings);
+      ( "memory",
+        Obj [ ("ram_gb", Int t.memory.ram_gb); ("dimm_count", Int t.memory.dimm_count) ] );
+      ("disks", List (List.map disk_to_json t.disks));
+      ("nics", List (List.map nic_to_json t.nics));
+      ( "bios",
+        Obj
+          [ ("version", String t.bios.bios_version);
+            ("vendor", String (vendor_to_string t.bios.bios_vendor));
+            ("boot_mode", String t.bios.boot_mode) ] );
+      ("gpu", Bool t.gpu);
+      ( "infiniband",
+        match t.ib with
+        | None -> Null
+        | Some ib ->
+          Obj
+            [ ("rate_gbps", Float ib.ib_rate_gbps);
+              ("ofed_version", String ib.ofed_version) ] ) ]
+
+let equal a b = Simkit.Json.equal (to_json a) (to_json b)
+
+let pp ppf t =
+  Format.fprintf ppf "%dx %s (%d cores, %.1f GHz), %d GB RAM, %d disks, %d nics%s%s"
+    t.cpu_count t.cpu.cpu_model (total_cores t) t.cpu.base_freq_ghz t.memory.ram_gb
+    (List.length t.disks) (List.length t.nics)
+    (if t.gpu then ", gpu" else "")
+    (match t.ib with Some _ -> ", infiniband" | None -> "")

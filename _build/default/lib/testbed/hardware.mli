@@ -1,0 +1,88 @@
+(** Hardware description of a testbed node.
+
+    Two copies of this description exist for every node: the {e reference}
+    one, published by the Reference API, and the {e actual} one, mutated by
+    the fault-injection engine.  g5k-checks compares the two; performance
+    tests observe the actual one through timing models. *)
+
+type vendor = Dell | Hp | Bull | Sun | Carri | Xyratex
+(** Chassis vendor.  [dellbios] checks only run on {!Dell} clusters. *)
+
+type cpu = {
+  cpu_model : string;
+  microarch : string;
+  cores_per_cpu : int;
+  base_freq_ghz : float;
+}
+
+type cpu_settings = {
+  c_states : bool;  (** power-saving C-states enabled *)
+  hyperthreading : bool;
+  turbo_boost : bool;
+  power_governor : string;  (** ["performance"] or ["ondemand"] *)
+}
+
+type disk = {
+  disk_model : string;
+  size_gb : int;
+  firmware : string;
+  write_cache : bool;
+  read_cache : bool;
+  nominal_mb_s : float;  (** healthy sequential bandwidth *)
+}
+
+type nic = {
+  nic_model : string;
+  device : string;  (** e.g. ["eth0"] *)
+  rate_gbps : float;
+  nic_driver : string;
+  nic_firmware : string;
+}
+
+type infiniband = {
+  ib_rate_gbps : float;
+  ofed_version : string;
+}
+
+type memory = { ram_gb : int; dimm_count : int }
+
+type bios = { bios_version : string; bios_vendor : vendor; boot_mode : string }
+
+type t = {
+  cpu : cpu;
+  cpu_count : int;
+  settings : cpu_settings;
+  memory : memory;
+  disks : disk list;
+  nics : nic list;
+  bios : bios;
+  gpu : bool;
+  ib : infiniband option;
+}
+
+val vendor_to_string : vendor -> string
+
+val total_cores : t -> int
+(** [cpu_count * cores_per_cpu]. *)
+
+val default_settings : cpu_settings
+(** The policy-mandated settings: C-states off, HT off, turbo off,
+    performance governor — the configuration experimenters expect. *)
+
+val cpu_perf_factor : cpu_settings -> float
+(** Multiplicative factor on compute throughput relative to the mandated
+    settings; the drifted configurations of the paper's bug list cost a
+    few percent each (the "5% decrease ⇒ wrong conclusions" scenario). *)
+
+val disk_bandwidth : disk -> float
+(** Observable sequential bandwidth in MB/s given firmware and cache
+    configuration.  Old firmware and disabled write cache each cut
+    throughput, which is how the [disk] test detects them. *)
+
+val to_json : t -> Simkit.Json.t
+(** Canonical JSON rendering, the format served by the Reference API and
+    re-acquired by the g5k-checks OHAI substitute. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

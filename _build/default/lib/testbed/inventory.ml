@@ -1,0 +1,235 @@
+type cluster_spec = {
+  cluster : string;
+  site : string;
+  vendor : Hardware.vendor;
+  nodes : int;
+  cpus : int;
+  cores_per_cpu : int;
+  freq_ghz : float;
+  cpu_model : string;
+  microarch : string;
+  ram_gb : int;
+  disk_count : int;
+  disk_model : string;
+  disk_size_gb : int;
+  disk_firmware : string;
+  nic_rate_gbps : float;
+  has_ib : bool;
+  has_gpu : bool;
+  year : int;
+}
+
+let sites =
+  [ "grenoble"; "lille"; "luxembourg"; "lyon"; "nancy"; "nantes"; "rennes"; "sophia" ]
+
+let wattmeter_sites = [ "grenoble"; "lyon"; "nancy"; "nantes"; "rennes"; "sophia" ]
+
+let spec ~cluster ~site ~vendor ~nodes ~cpus ~cores_per_cpu ~freq_ghz ~cpu_model
+    ~microarch ~ram_gb ~disk_count ~disk_model ~disk_size_gb ~disk_firmware
+    ~nic_rate_gbps ~has_ib ~has_gpu ~year =
+  {
+    cluster; site; vendor; nodes; cpus; cores_per_cpu; freq_ghz; cpu_model;
+    microarch; ram_gb; disk_count; disk_model; disk_size_gb; disk_firmware;
+    nic_rate_gbps; has_ib; has_gpu; year;
+  }
+
+(* 32 clusters; sums are pinned by tests: 894 nodes, 8490 cores. *)
+let clusters =
+  [
+    (* grenoble *)
+    spec ~cluster:"genepi" ~site:"grenoble" ~vendor:Hardware.Bull ~nodes:34 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.5 ~cpu_model:"Xeon E5420" ~microarch:"Harpertown"
+      ~ram_gb:8 ~disk_count:1 ~disk_model:"ST3160815AS" ~disk_size_gb:160
+      ~disk_firmware:"GA0D" ~nic_rate_gbps:1.0 ~has_ib:true ~has_gpu:false ~year:2008;
+    spec ~cluster:"edel" ~site:"grenoble" ~vendor:Hardware.Bull ~nodes:40 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.27 ~cpu_model:"Xeon E5520" ~microarch:"Nehalem"
+      ~ram_gb:24 ~disk_count:1 ~disk_model:"C400-MTFDDAA064MAM" ~disk_size_gb:64
+      ~disk_firmware:"040H" ~nic_rate_gbps:1.0 ~has_ib:true ~has_gpu:false ~year:2009;
+    spec ~cluster:"adonis" ~site:"grenoble" ~vendor:Hardware.Bull ~nodes:10 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.27 ~cpu_model:"Xeon E5520" ~microarch:"Nehalem"
+      ~ram_gb:24 ~disk_count:1 ~disk_model:"WD2502ABYS" ~disk_size_gb:250
+      ~disk_firmware:"02.03B03" ~nic_rate_gbps:1.0 ~has_ib:true ~has_gpu:true ~year:2009;
+    (* lille *)
+    spec ~cluster:"chetemi" ~site:"lille" ~vendor:Hardware.Dell ~nodes:15 ~cpus:2
+      ~cores_per_cpu:10 ~freq_ghz:2.2 ~cpu_model:"Xeon E5-2630 v4" ~microarch:"Broadwell"
+      ~ram_gb:256 ~disk_count:2 ~disk_model:"ST600MM0088" ~disk_size_gb:600
+      ~disk_firmware:"N004" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2016;
+    spec ~cluster:"chifflet" ~site:"lille" ~vendor:Hardware.Dell ~nodes:8 ~cpus:2
+      ~cores_per_cpu:14 ~freq_ghz:2.4 ~cpu_model:"Xeon E5-2680 v4" ~microarch:"Broadwell"
+      ~ram_gb:768 ~disk_count:2 ~disk_model:"ST600MM0088" ~disk_size_gb:600
+      ~disk_firmware:"N004" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:true ~year:2016;
+    spec ~cluster:"chinqchint" ~site:"lille" ~vendor:Hardware.Dell ~nodes:40 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.83 ~cpu_model:"Xeon E5440" ~microarch:"Harpertown"
+      ~ram_gb:8 ~disk_count:1 ~disk_model:"WD2502ABYS" ~disk_size_gb:250
+      ~disk_firmware:"02.03B03" ~nic_rate_gbps:1.0 ~has_ib:false ~has_gpu:false ~year:2008;
+    spec ~cluster:"chimint" ~site:"lille" ~vendor:Hardware.Hp ~nodes:9 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.4 ~cpu_model:"Xeon E5530" ~microarch:"Nehalem"
+      ~ram_gb:16 ~disk_count:1 ~disk_model:"MBD2300RC" ~disk_size_gb:300
+      ~disk_firmware:"5601" ~nic_rate_gbps:1.0 ~has_ib:false ~has_gpu:false ~year:2009;
+    (* luxembourg *)
+    spec ~cluster:"granduc" ~site:"luxembourg" ~vendor:Hardware.Dell ~nodes:16 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.0 ~cpu_model:"Xeon L5335" ~microarch:"Clovertown"
+      ~ram_gb:16 ~disk_count:1 ~disk_model:"ST9250610NS" ~disk_size_gb:250
+      ~disk_firmware:"AA0B" ~nic_rate_gbps:1.0 ~has_ib:false ~has_gpu:false ~year:2008;
+    spec ~cluster:"petitprince" ~site:"luxembourg" ~vendor:Hardware.Dell ~nodes:16 ~cpus:2
+      ~cores_per_cpu:6 ~freq_ghz:2.0 ~cpu_model:"Xeon E5-2630L" ~microarch:"SandyBridge"
+      ~ram_gb:32 ~disk_count:1 ~disk_model:"ST9250610NS" ~disk_size_gb:250
+      ~disk_firmware:"AA0B" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2013;
+    spec ~cluster:"nyx" ~site:"luxembourg" ~vendor:Hardware.Hp ~nodes:8 ~cpus:1
+      ~cores_per_cpu:4 ~freq_ghz:2.26 ~cpu_model:"Xeon X3440" ~microarch:"Lynnfield"
+      ~ram_gb:16 ~disk_count:1 ~disk_model:"MM0500EANCR" ~disk_size_gb:500
+      ~disk_firmware:"HPG2" ~nic_rate_gbps:1.0 ~has_ib:false ~has_gpu:false ~year:2010;
+    (* lyon *)
+    spec ~cluster:"sagittaire" ~site:"lyon" ~vendor:Hardware.Sun ~nodes:79 ~cpus:2
+      ~cores_per_cpu:1 ~freq_ghz:2.4 ~cpu_model:"Opteron 250" ~microarch:"K8"
+      ~ram_gb:2 ~disk_count:1 ~disk_model:"ST373207LW" ~disk_size_gb:73
+      ~disk_firmware:"0003" ~nic_rate_gbps:1.0 ~has_ib:false ~has_gpu:false ~year:2006;
+    spec ~cluster:"taurus" ~site:"lyon" ~vendor:Hardware.Dell ~nodes:16 ~cpus:2
+      ~cores_per_cpu:6 ~freq_ghz:2.3 ~cpu_model:"Xeon E5-2630" ~microarch:"SandyBridge"
+      ~ram_gb:32 ~disk_count:2 ~disk_model:"WD3000BKHG" ~disk_size_gb:300
+      ~disk_firmware:"D1S4" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2012;
+    spec ~cluster:"orion" ~site:"lyon" ~vendor:Hardware.Dell ~nodes:4 ~cpus:2
+      ~cores_per_cpu:6 ~freq_ghz:2.3 ~cpu_model:"Xeon E5-2630" ~microarch:"SandyBridge"
+      ~ram_gb:32 ~disk_count:2 ~disk_model:"WD3000BKHG" ~disk_size_gb:300
+      ~disk_firmware:"D1S4" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:true ~year:2012;
+    spec ~cluster:"hercule" ~site:"lyon" ~vendor:Hardware.Dell ~nodes:4 ~cpus:2
+      ~cores_per_cpu:6 ~freq_ghz:2.3 ~cpu_model:"Xeon E5-2620" ~microarch:"SandyBridge"
+      ~ram_gb:32 ~disk_count:2 ~disk_model:"WD3000BKHG" ~disk_size_gb:300
+      ~disk_firmware:"D1S4" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2012;
+    spec ~cluster:"nova" ~site:"lyon" ~vendor:Hardware.Dell ~nodes:23 ~cpus:2
+      ~cores_per_cpu:8 ~freq_ghz:2.1 ~cpu_model:"Xeon E5-2620 v4" ~microarch:"Broadwell"
+      ~ram_gb:64 ~disk_count:1 ~disk_model:"ST600MM0088" ~disk_size_gb:600
+      ~disk_firmware:"N004" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2016;
+    (* nancy *)
+    spec ~cluster:"graphene" ~site:"nancy" ~vendor:Hardware.Carri ~nodes:60 ~cpus:1
+      ~cores_per_cpu:4 ~freq_ghz:2.53 ~cpu_model:"Xeon X3440" ~microarch:"Lynnfield"
+      ~ram_gb:16 ~disk_count:1 ~disk_model:"ST3320418AS" ~disk_size_gb:320
+      ~disk_firmware:"CC38" ~nic_rate_gbps:1.0 ~has_ib:true ~has_gpu:false ~year:2010;
+    spec ~cluster:"griffon" ~site:"nancy" ~vendor:Hardware.Carri ~nodes:50 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.5 ~cpu_model:"Xeon L5420" ~microarch:"Harpertown"
+      ~ram_gb:16 ~disk_count:1 ~disk_model:"ST3320620AS" ~disk_size_gb:320
+      ~disk_firmware:"3.AAK" ~nic_rate_gbps:1.0 ~has_ib:true ~has_gpu:false ~year:2009;
+    spec ~cluster:"graphite" ~site:"nancy" ~vendor:Hardware.Xyratex ~nodes:4 ~cpus:2
+      ~cores_per_cpu:8 ~freq_ghz:2.0 ~cpu_model:"Xeon E5-2650" ~microarch:"SandyBridge"
+      ~ram_gb:256 ~disk_count:1 ~disk_model:"INTEL SSDSC2BB30" ~disk_size_gb:300
+      ~disk_firmware:"D2010370" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2013;
+    spec ~cluster:"grimoire" ~site:"nancy" ~vendor:Hardware.Dell ~nodes:8 ~cpus:2
+      ~cores_per_cpu:8 ~freq_ghz:2.4 ~cpu_model:"Xeon E5-2630 v3" ~microarch:"Haswell"
+      ~ram_gb:128 ~disk_count:5 ~disk_model:"ST600MM0088" ~disk_size_gb:600
+      ~disk_firmware:"N004" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2015;
+    spec ~cluster:"grisou" ~site:"nancy" ~vendor:Hardware.Dell ~nodes:51 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.4 ~cpu_model:"Xeon E5-2620 v3" ~microarch:"Haswell"
+      ~ram_gb:128 ~disk_count:2 ~disk_model:"ST600MM0088" ~disk_size_gb:600
+      ~disk_firmware:"N004" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2015;
+    spec ~cluster:"graoully" ~site:"nancy" ~vendor:Hardware.Dell ~nodes:16 ~cpus:2
+      ~cores_per_cpu:8 ~freq_ghz:2.4 ~cpu_model:"Xeon E5-2630 v3" ~microarch:"Haswell"
+      ~ram_gb:128 ~disk_count:2 ~disk_model:"ST600MM0088" ~disk_size_gb:600
+      ~disk_firmware:"N004" ~nic_rate_gbps:10.0 ~has_ib:true ~has_gpu:false ~year:2015;
+    spec ~cluster:"grele" ~site:"nancy" ~vendor:Hardware.Dell ~nodes:14 ~cpus:2
+      ~cores_per_cpu:12 ~freq_ghz:2.2 ~cpu_model:"Xeon E5-2650 v4" ~microarch:"Broadwell"
+      ~ram_gb:128 ~disk_count:2 ~disk_model:"ST600MM0099" ~disk_size_gb:600
+      ~disk_firmware:"ST31" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:true ~year:2017;
+    spec ~cluster:"grimani" ~site:"nancy" ~vendor:Hardware.Dell ~nodes:6 ~cpus:2
+      ~cores_per_cpu:6 ~freq_ghz:2.2 ~cpu_model:"Xeon E5-2603 v4" ~microarch:"Broadwell"
+      ~ram_gb:64 ~disk_count:1 ~disk_model:"ST1000NX0423" ~disk_size_gb:1000
+      ~disk_firmware:"NA05" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:true ~year:2016;
+    (* nantes *)
+    spec ~cluster:"econome" ~site:"nantes" ~vendor:Hardware.Dell ~nodes:22 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.2 ~cpu_model:"Xeon E5-2660" ~microarch:"SandyBridge"
+      ~ram_gb:64 ~disk_count:1 ~disk_model:"WD2000FYYZ" ~disk_size_gb:2000
+      ~disk_firmware:"01.01K03" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2013;
+    spec ~cluster:"ecotype" ~site:"nantes" ~vendor:Hardware.Dell ~nodes:48 ~cpus:2
+      ~cores_per_cpu:6 ~freq_ghz:1.8 ~cpu_model:"Xeon E5-2630L v4" ~microarch:"Broadwell"
+      ~ram_gb:128 ~disk_count:1 ~disk_model:"SSDSC2BB40" ~disk_size_gb:400
+      ~disk_firmware:"D2010370" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2017;
+    (* rennes *)
+    spec ~cluster:"paravance" ~site:"rennes" ~vendor:Hardware.Dell ~nodes:60 ~cpus:2
+      ~cores_per_cpu:6 ~freq_ghz:2.4 ~cpu_model:"Xeon E5-2630 v3" ~microarch:"Haswell"
+      ~ram_gb:128 ~disk_count:2 ~disk_model:"ST600MM0088" ~disk_size_gb:600
+      ~disk_firmware:"N004" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2014;
+    spec ~cluster:"parapluie" ~site:"rennes" ~vendor:Hardware.Hp ~nodes:40 ~cpus:2
+      ~cores_per_cpu:8 ~freq_ghz:1.7 ~cpu_model:"Opteron 6164 HE" ~microarch:"MagnyCours"
+      ~ram_gb:48 ~disk_count:1 ~disk_model:"MM0500EANCR" ~disk_size_gb:500
+      ~disk_firmware:"HPG2" ~nic_rate_gbps:1.0 ~has_ib:true ~has_gpu:false ~year:2010;
+    spec ~cluster:"parapide" ~site:"rennes" ~vendor:Hardware.Sun ~nodes:20 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.93 ~cpu_model:"Xeon X5570" ~microarch:"Nehalem"
+      ~ram_gb:24 ~disk_count:1 ~disk_model:"ST9500530NS" ~disk_size_gb:500
+      ~disk_firmware:"SN03" ~nic_rate_gbps:1.0 ~has_ib:true ~has_gpu:false ~year:2009;
+    spec ~cluster:"parasilo" ~site:"rennes" ~vendor:Hardware.Dell ~nodes:28 ~cpus:2
+      ~cores_per_cpu:8 ~freq_ghz:2.4 ~cpu_model:"Xeon E5-2630 v3" ~microarch:"Haswell"
+      ~ram_gb:128 ~disk_count:6 ~disk_model:"ST600MM0088" ~disk_size_gb:600
+      ~disk_firmware:"N004" ~nic_rate_gbps:10.0 ~has_ib:false ~has_gpu:false ~year:2015;
+    (* sophia *)
+    spec ~cluster:"suno" ~site:"sophia" ~vendor:Hardware.Sun ~nodes:45 ~cpus:2
+      ~cores_per_cpu:4 ~freq_ghz:2.26 ~cpu_model:"Xeon E5520" ~microarch:"Nehalem"
+      ~ram_gb:32 ~disk_count:1 ~disk_model:"ST9500530NS" ~disk_size_gb:500
+      ~disk_firmware:"SN03" ~nic_rate_gbps:1.0 ~has_ib:true ~has_gpu:false ~year:2009;
+    spec ~cluster:"uvb" ~site:"sophia" ~vendor:Hardware.Sun ~nodes:44 ~cpus:2
+      ~cores_per_cpu:6 ~freq_ghz:2.53 ~cpu_model:"Xeon X5670" ~microarch:"Westmere"
+      ~ram_gb:96 ~disk_count:1 ~disk_model:"ST9250610NS" ~disk_size_gb:250
+      ~disk_firmware:"AA0B" ~nic_rate_gbps:1.0 ~has_ib:true ~has_gpu:false ~year:2011;
+    spec ~cluster:"helios" ~site:"sophia" ~vendor:Hardware.Sun ~nodes:56 ~cpus:2
+      ~cores_per_cpu:2 ~freq_ghz:2.2 ~cpu_model:"Opteron 275" ~microarch:"K8"
+      ~ram_gb:4 ~disk_count:1 ~disk_model:"ST373207LW" ~disk_size_gb:73
+      ~disk_firmware:"0003" ~nic_rate_gbps:1.0 ~has_ib:false ~has_gpu:false ~year:2006;
+  ]
+
+let clusters_of_site site = List.filter (fun c -> String.equal c.site site) clusters
+let find_cluster name = List.find_opt (fun c -> String.equal c.cluster name) clusters
+let total_nodes = List.fold_left (fun acc c -> acc + c.nodes) 0 clusters
+
+let total_cores =
+  List.fold_left (fun acc c -> acc + (c.nodes * c.cpus * c.cores_per_cpu)) 0 clusters
+
+let node_hardware s =
+  (* Bind every spec field before opening [Hardware]: both record types
+     share field names (disk_model, ...), and the open would win. *)
+  let { cluster = _; site = _; vendor; nodes = _; cpus; cores_per_cpu; freq_ghz;
+        cpu_model = model; microarch = arch; ram_gb = ram; disk_count;
+        disk_model = dmodel; disk_size_gb = dsize; disk_firmware = dfw;
+        nic_rate_gbps = rate; has_ib; has_gpu; year } = s
+  in
+  let open Hardware in
+  let disk i =
+    {
+      disk_model = dmodel;
+      size_gb = dsize;
+      firmware = dfw;
+      write_cache = true;
+      read_cache = true;
+      nominal_mb_s = (if i = 0 then 130.0 else 120.0) +. (10.0 *. float_of_int (year - 2006));
+    }
+  in
+  let nic i =
+    {
+      nic_model = (if rate >= 10.0 then "Intel 82599ES" else "Broadcom BCM5716");
+      device = Printf.sprintf "eth%d" i;
+      rate_gbps = rate;
+      nic_driver = (if rate >= 10.0 then "ixgbe" else "bnx2");
+      nic_firmware = "7.10.18";
+    }
+  in
+  {
+    cpu =
+      { cpu_model = model; microarch = arch; cores_per_cpu; base_freq_ghz = freq_ghz };
+    cpu_count = cpus;
+    settings = default_settings;
+    memory = { ram_gb = ram; dimm_count = Stdlib.max 2 (ram / 8) };
+    disks = List.init disk_count disk;
+    nics = List.init 2 nic;
+    bios =
+      {
+        bios_version = Printf.sprintf "%d.%d.%d" (year mod 10) 2 1;
+        bios_vendor = vendor;
+        boot_mode = "bios";
+      };
+    gpu = has_gpu;
+    ib =
+      (if has_ib then
+         Some { ib_rate_gbps = (if year >= 2014 then 56.0 else 20.0); ofed_version = "3.1" }
+       else None);
+  }
+
+let age_factor spec =
+  let age = Stdlib.max 0 (2017 - spec.year) in
+  Float.min 3.0 (1.0 +. (0.2 *. float_of_int age))

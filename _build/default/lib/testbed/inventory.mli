@@ -1,0 +1,52 @@
+(** Static description of the simulated Grid'5000 instance, frozen at the
+    paper's 2017 inventory: 8 sites, 32 clusters, 894 nodes, 8490 cores.
+
+    The numbers are synthetic (the real per-cluster inventory is not in
+    the paper) but constrained to reproduce every aggregate the paper
+    states, plus the family cardinalities needed for the 751-configuration
+    test catalog: 18 Dell clusters (dellbios), 10 InfiniBand clusters
+    (mpigraph), wattmeters on 6 sites (kwapi). *)
+
+type cluster_spec = {
+  cluster : string;
+  site : string;
+  vendor : Hardware.vendor;
+  nodes : int;
+  cpus : int;  (** sockets per node *)
+  cores_per_cpu : int;
+  freq_ghz : float;
+  cpu_model : string;
+  microarch : string;
+  ram_gb : int;
+  disk_count : int;
+  disk_model : string;
+  disk_size_gb : int;
+  disk_firmware : string;
+  nic_rate_gbps : float;
+  has_ib : bool;
+  has_gpu : bool;
+  year : int;  (** installation year; older hardware is more fault-prone *)
+}
+
+val sites : string list
+(** The 8 sites in canonical order. *)
+
+val wattmeter_sites : string list
+(** The 6 sites instrumented with Kwapi power probes. *)
+
+val clusters : cluster_spec list
+(** All 32 cluster specifications. *)
+
+val clusters_of_site : string -> cluster_spec list
+
+val find_cluster : string -> cluster_spec option
+
+val total_nodes : int
+val total_cores : int
+
+val node_hardware : cluster_spec -> Hardware.t
+(** Reference hardware of a (healthy) node of this cluster. *)
+
+val age_factor : cluster_spec -> float
+(** Fault-susceptibility multiplier in [\[1, 3\]]; grows with hardware
+    age, reflecting "hardware of different age, from different vendors". *)

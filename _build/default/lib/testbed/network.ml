@@ -1,0 +1,108 @@
+type port = { switch : string; port_no : int }
+
+type t = {
+  reference : (string, port) Hashtbl.t;
+  actual : (string, port) Hashtbl.t;
+  site_of_host : (string, string) Hashtbl.t;
+  backbone : float;
+}
+
+let ports_per_switch = 48
+
+let build ~rng:_ nodes =
+  let t =
+    {
+      reference = Hashtbl.create 1024;
+      actual = Hashtbl.create 1024;
+      site_of_host = Hashtbl.create 1024;
+      backbone = 10.0;
+    }
+  in
+  (* Group nodes per site, in deterministic order, and fill switches
+     sequentially: gw-<site>-<k> port 1..48. *)
+  let by_site = Hashtbl.create 8 in
+  List.iter
+    (fun node ->
+      let site = node.Node.site_name in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_site site) in
+      Hashtbl.replace by_site site (node :: existing))
+    nodes;
+  Hashtbl.iter
+    (fun site site_nodes ->
+      let site_nodes = List.rev site_nodes in
+      List.iteri
+        (fun i node ->
+          let port =
+            { switch = Printf.sprintf "gw-%s-%d" site (i / ports_per_switch);
+              port_no = (i mod ports_per_switch) + 1 }
+          in
+          Hashtbl.replace t.reference node.Node.host port;
+          Hashtbl.replace t.actual node.Node.host port;
+          Hashtbl.replace t.site_of_host node.Node.host site)
+        site_nodes)
+    by_site;
+  t
+
+let reference_port t host = Hashtbl.find_opt t.reference host
+let actual_port t host = Hashtbl.find_opt t.actual host
+
+let swap_cables t host_a host_b =
+  match (Hashtbl.find_opt t.actual host_a, Hashtbl.find_opt t.actual host_b) with
+  | Some pa, Some pb ->
+    if not (String.equal host_a host_b) then begin
+      Hashtbl.replace t.actual host_a pb;
+      Hashtbl.replace t.actual host_b pa
+    end
+  | _ -> invalid_arg "Network.swap_cables: unknown host"
+
+let cabling_consistent t host =
+  match (reference_port t host, actual_port t host) with
+  | Some r, Some a -> r = a
+  | _ -> false
+
+let miswired_hosts t =
+  Hashtbl.fold
+    (fun host _ acc -> if cabling_consistent t host then acc else host :: acc)
+    t.reference []
+  |> List.sort String.compare
+
+let repair_host t host =
+  match reference_port t host with
+  | Some r -> Hashtbl.replace t.actual host r
+  | None -> ()
+
+(* Deterministic pseudo-noise from the pair of host names, so repeated
+   measurements of the same path agree (no PRNG consumption). *)
+let pair_noise a b =
+  let h = Hashtbl.hash (a, b) land 0xFFFF in
+  float_of_int h /. 65535.0
+
+let latency_ms t na nb =
+  let ha = na.Node.host and hb = nb.Node.host in
+  if String.equal ha hb then 0.01
+  else begin
+    let same_site = String.equal na.Node.site_name nb.Node.site_name in
+    let same_switch =
+      match (actual_port t ha, actual_port t hb) with
+      | Some pa, Some pb -> String.equal pa.switch pb.switch
+      | _ -> false
+    in
+    let base = if same_switch then 0.05 else if same_site then 0.2 else 10.0 in
+    base *. (1.0 +. (0.1 *. pair_noise ha hb))
+  end
+
+let nic_rate node =
+  match node.Node.actual.Hardware.nics with
+  | [] -> 0.0
+  | nic :: _ -> nic.Hardware.rate_gbps
+
+let bandwidth_gbps t na nb =
+  let path = Float.min (nic_rate na) (nic_rate nb) in
+  let path =
+    if String.equal na.Node.site_name nb.Node.site_name then path
+    else Float.min path t.backbone
+  in
+  (* TCP efficiency ~94%. *)
+  path *. 0.94
+
+let backbone_gbps t = t.backbone

@@ -1,0 +1,45 @@
+(** Network and cabling model.
+
+    Each node has a cable into a port of its site's switch; the Reference
+    API describes that mapping.  The cabling fault of the paper ("cabling
+    issue ⇒ wrong measurements by testbed monitoring service") is modelled
+    by swapping two nodes' actual ports while the description keeps the
+    old mapping.  A dedicated 10-Gbps backbone connects the sites. *)
+
+type port = { switch : string; port_no : int }
+
+type t
+
+val build : rng:Simkit.Prng.t -> Node.t list -> t
+(** Wire every node: one switch per group of up to 48 nodes per site,
+    actual cabling initially equal to the reference. *)
+
+val reference_port : t -> string -> port option
+(** Described port of a host. *)
+
+val actual_port : t -> string -> port option
+(** Ground-truth port of a host (differs after a cabling fault). *)
+
+val swap_cables : t -> string -> string -> unit
+(** [swap_cables t host_a host_b] exchanges the two hosts' actual ports.
+    Swapping a host with itself is a no-op.
+    @raise Invalid_argument if either host is unknown. *)
+
+val cabling_consistent : t -> string -> bool
+(** Whether the host's actual port matches the description. *)
+
+val miswired_hosts : t -> string list
+(** All hosts whose cabling deviates from the description. *)
+
+val repair_host : t -> string -> unit
+(** Restore a host's actual port to the reference mapping. *)
+
+val latency_ms : t -> Node.t -> Node.t -> float
+(** One-way latency: ~0.05 ms same switch, ~0.2 ms same site,
+    ~10 ms across the backbone (deterministic per pair). *)
+
+val bandwidth_gbps : t -> Node.t -> Node.t -> float
+(** End-to-end TCP-visible bandwidth, limited by the slower NIC and by
+    the 10-Gbps backbone across sites. *)
+
+val backbone_gbps : t -> float

@@ -1,0 +1,95 @@
+type state = Alive | Rebooting | Deploying | Down
+
+type behaviour = {
+  mutable random_reboot_mtbf : float option;
+  mutable boot_race : bool;
+  mutable ofed_flaky : bool;
+  mutable console_broken : bool;
+}
+
+type t = {
+  name : string;
+  host : string;
+  site_name : string;
+  cluster_name : string;
+  index : int;
+  reference : Hardware.t;
+  mutable actual : Hardware.t;
+  mutable state : state;
+  mutable deployed_env : string;
+  mutable vlan : int;
+  behaviour : behaviour;
+  rng : Simkit.Prng.t;
+  mutable boot_count : int;
+  mutable unexpected_reboots : int;
+}
+
+let make ~rng ~site ~cluster ~index hw =
+  let name = Printf.sprintf "%s-%d" cluster index in
+  {
+    name;
+    host = Printf.sprintf "%s.%s" name site;
+    site_name = site;
+    cluster_name = cluster;
+    index;
+    reference = hw;
+    actual = hw;
+    state = Alive;
+    deployed_env = "std";
+    vlan = 0;
+    behaviour =
+      { random_reboot_mtbf = None; boot_race = false; ofed_flaky = false;
+        console_broken = false };
+    rng;
+    boot_count = 0;
+    unexpected_reboots = 0;
+  }
+
+let state_to_string = function
+  | Alive -> "alive"
+  | Rebooting -> "rebooting"
+  | Deploying -> "deploying"
+  | Down -> "down"
+
+let is_available t = t.state = Alive
+
+let boot_duration t =
+  let base = Float.max 30.0 (Simkit.Dist.normal t.rng ~mu:120.0 ~sigma:15.0) in
+  if t.behaviour.boot_race && Simkit.Prng.chance t.rng 0.30 then
+    base +. Simkit.Dist.exponential t.rng ~mean:300.0
+  else base
+
+let boot_fails t =
+  let p = if t.behaviour.random_reboot_mtbf <> None then 0.05 else 0.004 in
+  Simkit.Prng.chance t.rng p
+
+let cpu_benchmark t =
+  let hw = t.actual in
+  let nominal = 1000.0 *. (hw.Hardware.cpu.Hardware.base_freq_ghz /. 2.0) in
+  let factor = Hardware.cpu_perf_factor hw.Hardware.settings in
+  let noise = Simkit.Dist.normal t.rng ~mu:1.0 ~sigma:0.01 in
+  nominal *. factor *. noise
+
+let disk_benchmark t =
+  match t.actual.Hardware.disks with
+  | [] -> invalid_arg "Node.disk_benchmark: node has no disk"
+  | disk :: _ ->
+    let noise = Simkit.Dist.normal t.rng ~mu:1.0 ~sigma:0.02 in
+    Hardware.disk_bandwidth disk *. noise
+
+let ib_start_ok t =
+  match t.actual.Hardware.ib with
+  | None -> true
+  | Some _ -> if t.behaviour.ofed_flaky then not (Simkit.Prng.chance t.rng 0.35) else true
+
+let reset_to_reference t =
+  t.actual <- t.reference;
+  t.behaviour.random_reboot_mtbf <- None;
+  t.behaviour.boot_race <- false;
+  t.behaviour.ofed_flaky <- false;
+  t.behaviour.console_broken <- false;
+  if t.state = Down then t.state <- Alive
+
+let pp ppf t =
+  Format.fprintf ppf "%s [%s] env=%s vlan=%d %a" t.host (state_to_string t.state)
+    t.deployed_env t.vlan Hardware.pp t.actual

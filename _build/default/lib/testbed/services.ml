@@ -1,0 +1,52 @@
+type kind = Oar | Kadeploy | Kavlan | Console | Kwapi | Api | Frontend
+type state = Up | Degraded | Down
+
+type t = {
+  table : (string * kind, state) Hashtbl.t;
+  rng : Simkit.Prng.t;
+  sites : string list;
+}
+
+let all_kinds = [ Oar; Kadeploy; Kavlan; Console; Kwapi; Api; Frontend ]
+
+let kind_to_string = function
+  | Oar -> "oar"
+  | Kadeploy -> "kadeploy"
+  | Kavlan -> "kavlan"
+  | Console -> "console"
+  | Kwapi -> "kwapi"
+  | Api -> "api"
+  | Frontend -> "frontend"
+
+let is_experimental = function Kavlan | Kwapi -> true | _ -> false
+
+let create ~rng ~sites =
+  let t = { table = Hashtbl.create 64; rng; sites } in
+  List.iter
+    (fun site -> List.iter (fun k -> Hashtbl.replace t.table (site, k) Up) all_kinds)
+    sites;
+  t
+
+let state t ~site kind =
+  Option.value ~default:Down (Hashtbl.find_opt t.table (site, kind))
+
+let set_state t ~site kind s = Hashtbl.replace t.table (site, kind) s
+
+let use t ~site kind =
+  match state t ~site kind with
+  | Up -> true
+  | Degraded -> not (Simkit.Prng.chance t.rng 0.4)
+  | Down -> false
+
+let degraded_or_down t =
+  let entries =
+    Hashtbl.fold
+      (fun (site, kind) s acc -> if s = Up then acc else (site, kind, s) :: acc)
+      t.table []
+  in
+  List.sort
+    (fun (sa, ka, _) (sb, kb, _) ->
+      match String.compare sa sb with 0 -> compare ka kb | c -> c)
+    entries
+
+let repair t ~site kind = set_state t ~site kind Up

@@ -1,0 +1,40 @@
+(** Site-level infrastructure services.
+
+    The paper distinguishes well-tested core services from experimental
+    ones ("testbeds are always trying to innovate, but adoption is
+    generally slow"); experimental services flap more.  Tests exercise
+    services through {!use}, which samples a success depending on the
+    service's current state. *)
+
+type kind =
+  | Oar  (** resource manager front-end *)
+  | Kadeploy
+  | Kavlan
+  | Console  (** serial console (conman) *)
+  | Kwapi  (** power monitoring *)
+  | Api  (** site REST API *)
+  | Frontend  (** ssh front-end + command-line tools *)
+
+type state = Up | Degraded | Down
+
+type t
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+val is_experimental : kind -> bool
+(** Kavlan and Kwapi are the experimental ones in 2017. *)
+
+val create : rng:Simkit.Prng.t -> sites:string list -> t
+
+val state : t -> site:string -> kind -> state
+val set_state : t -> site:string -> kind -> state -> unit
+
+val use : t -> site:string -> kind -> bool
+(** One interaction with the service: always succeeds when {!Up}, fails
+    with probability 0.4 when {!Degraded}, always fails when {!Down}. *)
+
+val degraded_or_down : t -> (string * kind * state) list
+(** All non-Up service instances, sorted. *)
+
+val repair : t -> site:string -> kind -> unit
+(** Operator action: back to {!Up}. *)

@@ -1,0 +1,162 @@
+type device = Host of string | Switch of string | Router of string
+
+type link = { link_from : device; link_to : device; capacity_gbps : float }
+
+type t = {
+  host_switch : (string, string) Hashtbl.t;  (* host -> ToR name *)
+  host_rate : (string, float) Hashtbl.t;  (* host NIC rate *)
+  switch_router : (string, string) Hashtbl.t;  (* ToR -> router *)
+  ring : string array;  (* routers in site order *)
+  site_of_router : (string, string) Hashtbl.t;
+}
+
+let device_name = function Host h -> h | Switch s -> s | Router r -> r
+
+let router_of_site site = "router-" ^ site
+
+let build network nodes =
+  let t =
+    {
+      host_switch = Hashtbl.create 1024;
+      host_rate = Hashtbl.create 1024;
+      switch_router = Hashtbl.create 64;
+      ring = Array.of_list (List.map router_of_site Inventory.sites);
+      site_of_router = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun site -> Hashtbl.replace t.site_of_router (router_of_site site) site)
+    Inventory.sites;
+  List.iter
+    (fun node ->
+      let host = node.Node.host in
+      (match Network.actual_port network host with
+       | Some port ->
+         Hashtbl.replace t.host_switch host port.Network.switch;
+         (* The ToR belongs to the site encoded in its name gw-<site>-k. *)
+         (match String.split_on_char '-' port.Network.switch with
+          | "gw" :: site :: _ ->
+            Hashtbl.replace t.switch_router port.Network.switch (router_of_site site)
+          | _ -> ())
+       | None -> ());
+      let rate =
+        match node.Node.actual.Hardware.nics with
+        | nic :: _ -> nic.Hardware.rate_gbps
+        | [] -> 1.0
+      in
+      Hashtbl.replace t.host_rate host rate)
+    nodes;
+  t
+
+let switch_of t host =
+  match Hashtbl.find_opt t.host_switch host with
+  | Some s -> s
+  | None -> raise Not_found
+
+let router_of_switch t switch =
+  match Hashtbl.find_opt t.switch_router switch with
+  | Some r -> r
+  | None -> raise Not_found
+
+let ring_index t router =
+  let rec find i =
+    if i >= Array.length t.ring then raise Not_found
+    else if String.equal t.ring.(i) router then i
+    else find (i + 1)
+  in
+  find 0
+
+(* Routers between two ring positions, travelling the shorter way. *)
+let ring_path t from_router to_router =
+  if String.equal from_router to_router then [ from_router ]
+  else begin
+    let n = Array.length t.ring in
+    let a = ring_index t from_router and b = ring_index t to_router in
+    let clockwise = (b - a + n) mod n in
+    let counter = (a - b + n) mod n in
+    let step, count = if clockwise <= counter then (1, clockwise) else (n - 1, counter) in
+    List.init (count + 1) (fun i -> t.ring.((a + (i * step)) mod n))
+  end
+
+let path t ~from ~to_ =
+  if String.equal from to_ then [ Host from ]
+  else begin
+    let sw_a = switch_of t from and sw_b = switch_of t to_ in
+    if String.equal sw_a sw_b then [ Host from; Switch sw_a; Host to_ ]
+    else begin
+      let r_a = router_of_switch t sw_a and r_b = router_of_switch t sw_b in
+      let routers = List.map (fun r -> Router r) (ring_path t r_a r_b) in
+      (Host from :: Switch sw_a :: routers) @ [ Switch sw_b; Host to_ ]
+    end
+  end
+
+let hops t ~from ~to_ = List.length (path t ~from ~to_) - 1
+
+let host_rate t host = Option.value ~default:1.0 (Hashtbl.find_opt t.host_rate host)
+
+(* Capacities: host-ToR link = NIC rate; ToR-router uplink = 40 Gbps;
+   backbone segments = 10 Gbps. *)
+let links_of_path t devices =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.map
+    (fun (a, b) ->
+      let capacity_gbps =
+        match (a, b) with
+        | Host h, Switch _ | Switch _, Host h -> host_rate t h
+        | Switch _, Router _ | Router _, Switch _ -> 40.0
+        | Router _, Router _ -> 10.0
+        | _ -> 10.0
+      in
+      { link_from = a; link_to = b; capacity_gbps })
+    (pairs devices)
+
+let bottleneck_gbps t ~from ~to_ =
+  match links_of_path t (path t ~from ~to_) with
+  | [] -> infinity
+  | links -> List.fold_left (fun acc l -> Float.min acc l.capacity_gbps) infinity links
+
+let latency_estimate_ms t ~from ~to_ =
+  let devices = path t ~from ~to_ in
+  let backbone =
+    let rec count = function
+      | Router _ :: (Router _ :: _ as rest) -> 1 + count rest
+      | _ :: rest -> count rest
+      | [] -> 0
+    in
+    count devices
+  in
+  (0.05 *. float_of_int (List.length devices - 1)) +. (2.5 *. float_of_int backbone)
+
+let backbone_segments t =
+  let n = Array.length t.ring in
+  List.init n (fun i -> (t.ring.(i), t.ring.((i + 1) mod n)))
+
+let switches t =
+  Hashtbl.fold (fun s _ acc -> s :: acc) t.switch_router [] |> List.sort String.compare
+
+let routers t = Array.to_list t.ring
+
+let to_json t =
+  let open Simkit.Json in
+  Obj
+    [ ( "switches",
+        List
+          (List.map
+             (fun s ->
+               Obj
+                 [ ("uid", String s);
+                   ("kind", String "tor");
+                   ( "uplink",
+                     String (Option.value ~default:"" (Hashtbl.find_opt t.switch_router s))
+                   ) ])
+             (switches t)) );
+      ("routers", List (List.map (fun r -> String r) (routers t)));
+      ( "backbone",
+        List
+          (List.map
+             (fun (a, b) ->
+               Obj [ ("from", String a); ("to", String b); ("gbps", Float 10.0) ])
+             (backbone_segments t)) ) ]

@@ -1,0 +1,53 @@
+(** Explicit network topology.
+
+    The Reference API "covers nodes, network equipment, topology"; this
+    module materialises that description: per site, hosts attach to their
+    top-of-rack switch (from the cabling model), ToR switches uplink to a
+    site router, and site routers form the dedicated 10-Gbps backbone
+    ring.  Paths, hop counts and bottleneck capacities are computable,
+    and the whole graph serialises to the Reference API's JSON. *)
+
+type device =
+  | Host of string
+  | Switch of string  (** top-of-rack, e.g. ["gw-nancy-0"] *)
+  | Router of string  (** site router, e.g. ["router-nancy"] *)
+
+type link = {
+  link_from : device;
+  link_to : device;
+  capacity_gbps : float;
+}
+
+type t
+
+val build : Network.t -> Node.t list -> t
+(** Derive the topology from the current {e actual} cabling (so a cabling
+    fault moves the host under the wrong ToR, exactly as the description
+    comparison expects). *)
+
+val device_name : device -> string
+
+val path : t -> from:string -> to_:string -> device list
+(** Device sequence from one host to another, inclusive.  Within a site:
+    host-ToR-(router-ToR)-host; across sites: through the backbone ring
+    in the shorter direction.  @raise Not_found for unknown hosts. *)
+
+val hops : t -> from:string -> to_:string -> int
+(** [List.length (path ...) - 1]; 0 for a host to itself. *)
+
+val bottleneck_gbps : t -> from:string -> to_:string -> float
+(** Minimum link capacity along the path (infinity for a host to
+    itself). *)
+
+val latency_estimate_ms : t -> from:string -> to_:string -> float
+(** Structural latency: 0.05 ms per switch/router hop plus 2.5 ms per
+    backbone segment. *)
+
+val backbone_segments : t -> (string * string) list
+(** Router pairs of the ring, in site order. *)
+
+val switches : t -> string list
+val routers : t -> string list
+
+val to_json : t -> Simkit.Json.t
+(** Devices and links in Reference-API style. *)

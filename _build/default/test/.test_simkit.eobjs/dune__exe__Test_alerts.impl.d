@@ -1,0 +1,1 @@
+test/test_alerts.ml: Alcotest List Monitoring Simkit String Testbed

@@ -1,0 +1,1 @@
+test/test_ci.ml: Alcotest Ci List Simkit

@@ -1,0 +1,1 @@
+test/test_console.ml: Alcotest List Simkit String Testbed

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Ci Framework List Simkit Testbed

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Ci Framework List Oar Simkit String Testbed

@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Ci Framework Kadeploy List Oar Option Printf Simkit String Testbed

@@ -1,0 +1,1 @@
+test/test_g5kchecks.ml: Alcotest Array G5kchecks List Option QCheck QCheck_alcotest Simkit String Testbed

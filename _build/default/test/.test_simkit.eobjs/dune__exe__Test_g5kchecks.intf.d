@@ -1,0 +1,1 @@
+test/test_g5kchecks.mli:

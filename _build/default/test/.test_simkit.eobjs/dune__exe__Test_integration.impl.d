@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ci Framework List Oar Option Simkit String Testbed

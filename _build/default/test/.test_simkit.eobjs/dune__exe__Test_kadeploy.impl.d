@@ -1,0 +1,1 @@
+test/test_kadeploy.ml: Alcotest Fun Hashtbl Kadeploy List Printf QCheck QCheck_alcotest Simkit String Testbed

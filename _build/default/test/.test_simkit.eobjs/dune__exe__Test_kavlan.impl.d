@@ -1,0 +1,1 @@
+test/test_kavlan.ml: Alcotest Kavlan List Simkit Testbed

@@ -1,0 +1,1 @@
+test/test_monitoring.ml: Alcotest Float List Monitoring Simkit String Testbed

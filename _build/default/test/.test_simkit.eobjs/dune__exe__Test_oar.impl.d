@@ -1,0 +1,1 @@
+test/test_oar.ml: Alcotest Hashtbl List Oar Printf QCheck QCheck_alcotest Simkit String Testbed

@@ -1,0 +1,1 @@
+test/test_oar2.ml: Alcotest Float Hashtbl List Oar Simkit Stdlib String Testbed

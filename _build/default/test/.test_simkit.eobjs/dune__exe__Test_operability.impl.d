@@ -1,0 +1,1 @@
+test/test_operability.ml: Alcotest Array Ci Float Framework List Oar Simkit String Testbed

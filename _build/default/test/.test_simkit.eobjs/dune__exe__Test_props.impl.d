@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Ci Float Hashtbl List Oar Printf QCheck QCheck_alcotest Simkit Stdlib String

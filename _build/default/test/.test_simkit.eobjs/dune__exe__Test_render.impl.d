@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Ci Framework List Oar Printf Simkit String Testbed

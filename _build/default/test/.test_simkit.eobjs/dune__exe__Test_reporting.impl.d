@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alcotest Ci Float Framework Hashtbl Kadeploy Lazy List Oar Option Printf Simkit String Testbed

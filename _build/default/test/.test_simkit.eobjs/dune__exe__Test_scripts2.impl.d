@@ -1,0 +1,1 @@
+test/test_scripts2.ml: Alcotest Ci Framework Kadeploy Kavlan List Option Printf Simkit String Testbed

@@ -1,0 +1,1 @@
+test/test_simkit.ml: Alcotest Array Float Fun List Printf QCheck QCheck_alcotest Simkit String

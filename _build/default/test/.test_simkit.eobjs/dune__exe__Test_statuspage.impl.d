@@ -1,0 +1,1 @@
+test/test_statuspage.ml: Alcotest Ci Framework List Simkit String Testbed

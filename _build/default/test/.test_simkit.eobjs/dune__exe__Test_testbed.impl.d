@@ -1,0 +1,1 @@
+test/test_testbed.ml: Alcotest Array Format Int64 List Option QCheck QCheck_alcotest Simkit String Testbed

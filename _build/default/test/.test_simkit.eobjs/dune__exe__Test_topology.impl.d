@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List Option QCheck QCheck_alcotest Simkit Testbed

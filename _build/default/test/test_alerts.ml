@@ -1,0 +1,129 @@
+(* Tests for the Prometheus-style alerting rules. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let mk () =
+  let instance = Testbed.Instance.build ~seed:606L () in
+  let collector = Monitoring.Collector.create instance in
+  (instance, collector, Monitoring.Alerts.create collector)
+
+let power_rule ?(name = "high-power") ?(condition = Monitoring.Alerts.Above 0.0) host =
+  {
+    Monitoring.Alerts.rule_name = name;
+    host;
+    metric = Monitoring.Collector.Power_w;
+    window = 60.0;
+    aggregation = Monitoring.Alerts.Mean;
+    condition;
+  }
+
+let test_threshold_fires_and_resolves () =
+  let instance, collector, alerts = mk () in
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 120.0;
+  (* Load model drives cpu_load; force it high, alert on it, then idle. *)
+  Monitoring.Collector.set_load_model collector (fun ~host:_ ~time:_ -> 0.8);
+  Monitoring.Alerts.add_rule alerts
+    {
+      Monitoring.Alerts.rule_name = "cpu-hot";
+      host = "grisou-1.nancy";
+      metric = Monitoring.Collector.Cpu_load;
+      window = 60.0;
+      aggregation = Monitoring.Alerts.Mean;
+      condition = Monitoring.Alerts.Above 0.5;
+    };
+  let fired = Monitoring.Alerts.evaluate alerts ~now:120.0 in
+  checki "one alert fired" 1 (List.length fired);
+  checki "firing" 1 (List.length (Monitoring.Alerts.firing alerts));
+  (* Second evaluation while still hot: no duplicate. *)
+  checki "no duplicate" 0 (List.length (Monitoring.Alerts.evaluate alerts ~now:180.0));
+  (* Load drops: the alert resolves. *)
+  Monitoring.Collector.set_load_model collector (fun ~host:_ ~time:_ -> 0.0);
+  checki "nothing new fires" 0 (List.length (Monitoring.Alerts.evaluate alerts ~now:240.0));
+  checki "resolved" 0 (List.length (Monitoring.Alerts.firing alerts));
+  checki "history keeps it" 1 (List.length (Monitoring.Alerts.history alerts))
+
+let test_absence_rule_detects_dead_node () =
+  let instance, _collector, alerts = mk () in
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 120.0;
+  Monitoring.Alerts.add_rule alerts
+    {
+      Monitoring.Alerts.rule_name = "node-silent";
+      host = "grisou-2.nancy";
+      metric = Monitoring.Collector.Cpu_load;
+      window = 60.0;
+      aggregation = Monitoring.Alerts.Mean;
+      condition = Monitoring.Alerts.Absent;
+    };
+  checki "healthy node reports" 0 (List.length (Monitoring.Alerts.evaluate alerts ~now:120.0));
+  (Testbed.Instance.node instance "grisou-2.nancy").Testbed.Node.state <-
+    Testbed.Node.Down;
+  let fired = Monitoring.Alerts.evaluate alerts ~now:200.0 in
+  checki "silence fires" 1 (List.length fired);
+  (match fired with
+   | [ a ] -> checkb "no value for absence" true (a.Monitoring.Alerts.value = None)
+   | _ -> ())
+
+let test_below_rule_catches_cstates_drift () =
+  (* The power signature of re-enabled C-states: idle draw drops below the
+     mandated envelope.  This is the alerting analogue of the kwapi test. *)
+  let instance, collector, alerts = mk () in
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 120.0;
+  Monitoring.Collector.set_load_model collector (fun ~host:_ ~time:_ -> 0.0);
+  let node = Testbed.Instance.node instance "grisou-3.nancy" in
+  let idle_ref =
+    Monitoring.Power.idle_of_hardware node.Testbed.Node.reference
+  in
+  Monitoring.Alerts.add_rule alerts
+    (power_rule ~name:"idle-too-low"
+       ~condition:(Monitoring.Alerts.Below (0.95 *. idle_ref))
+       "grisou-3.nancy");
+  checki "healthy: quiet" 0 (List.length (Monitoring.Alerts.evaluate alerts ~now:120.0));
+  ignore
+    (Testbed.Faults.inject_on instance.Testbed.Instance.faults ~now:120.0
+       Testbed.Faults.Cpu_cstates (Testbed.Faults.Host "grisou-3.nancy"));
+  checki "drift fires" 1 (List.length (Monitoring.Alerts.evaluate alerts ~now:200.0))
+
+let test_rules_accumulate_and_render () =
+  let _, _, alerts = mk () in
+  Monitoring.Alerts.add_rule alerts (power_rule "grisou-1.nancy");
+  Monitoring.Alerts.add_rule alerts (power_rule ~name:"second" "grisou-2.nancy");
+  checki "two rules" 2 (List.length (Monitoring.Alerts.rules alerts));
+  checkb "render works with no alerts" true
+    (String.length (Monitoring.Alerts.render alerts) > 0)
+
+let test_refire_after_resolution () =
+  let instance, collector, alerts = mk () in
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 120.0;
+  Monitoring.Alerts.add_rule alerts
+    {
+      Monitoring.Alerts.rule_name = "flap";
+      host = "grisou-4.nancy";
+      metric = Monitoring.Collector.Cpu_load;
+      window = 30.0;
+      aggregation = Monitoring.Alerts.Max;
+      condition = Monitoring.Alerts.Above 0.5;
+    };
+  Monitoring.Collector.set_load_model collector (fun ~host:_ ~time:_ -> 0.9);
+  checki "fires" 1 (List.length (Monitoring.Alerts.evaluate alerts ~now:120.0));
+  Monitoring.Collector.set_load_model collector (fun ~host:_ ~time:_ -> 0.1);
+  ignore (Monitoring.Alerts.evaluate alerts ~now:180.0);
+  Monitoring.Collector.set_load_model collector (fun ~host:_ ~time:_ -> 0.9);
+  checki "fires again after resolving" 1
+    (List.length (Monitoring.Alerts.evaluate alerts ~now:240.0));
+  checki "two alerts in history" 2 (List.length (Monitoring.Alerts.history alerts))
+
+let () =
+  Alcotest.run "alerts"
+    [
+      ( "alerts",
+        [ Alcotest.test_case "threshold fire/resolve" `Quick
+            test_threshold_fires_and_resolves;
+          Alcotest.test_case "absence detects dead node" `Quick
+            test_absence_rule_detects_dead_node;
+          Alcotest.test_case "below catches c-states" `Quick
+            test_below_rule_catches_cstates_drift;
+          Alcotest.test_case "rules + render" `Quick test_rules_accumulate_and_render;
+          Alcotest.test_case "refire after resolution" `Quick
+            test_refire_after_resolution ] );
+    ]

@@ -1,0 +1,234 @@
+(* Tests for the extension features: per-node scheduling (the paper's
+   open question), user-experiment regression tests (the paper's future
+   work), and the CI weather report. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- Per-node scheduling -------------------------------------------------- *)
+
+let mk_env seed = Framework.Env.create ~seed ()
+
+let test_pernode_idle_cluster_both_strategies_cover () =
+  (* On an idle testbed both strategies reach full coverage quickly. *)
+  List.iter
+    (fun strategy ->
+      let env = mk_env 3001L in
+      let tracker = Framework.Pernode.create env ~strategy ~cluster:"graphite" in
+      Framework.Pernode.start tracker ~period:600.0;
+      Framework.Env.run_until env (2.0 *. Simkit.Calendar.day);
+      checkb "covered" true (Framework.Pernode.time_to_coverage tracker <> None))
+    [ Framework.Pernode.Whole_cluster; Framework.Pernode.Per_node ]
+
+let test_pernode_progresses_under_partial_occupation () =
+  (* Permanently occupy 2 of graphite's 4 nodes: whole-cluster can never
+     run; per-node still covers the remaining free nodes. *)
+  let env = mk_env 3002L in
+  (match
+     Oar.Manager.submit env.Framework.Env.oar
+       (Oar.Request.nodes ~filter:"cluster='graphite'" (`N 2)
+          ~walltime:(30.0 *. Simkit.Calendar.day))
+   with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "setup reservation failed");
+  let whole =
+    Framework.Pernode.create env ~strategy:Framework.Pernode.Whole_cluster
+      ~cluster:"graphite"
+  in
+  let per_node =
+    Framework.Pernode.create env ~strategy:Framework.Pernode.Per_node ~cluster:"graphite"
+  in
+  Framework.Pernode.start whole ~period:600.0;
+  Framework.Pernode.start per_node ~period:600.0;
+  Framework.Env.run_until env (5.0 *. Simkit.Calendar.day);
+  checkb "whole-cluster starves" true (Framework.Pernode.time_to_coverage whole = None);
+  let sweep = Framework.Pernode.current_sweep per_node in
+  checkb "per-node made progress anyway" true
+    (List.length sweep.Framework.Pernode.covered >= 1
+    || Framework.Pernode.time_to_coverage per_node <> None)
+
+let test_pernode_finds_disk_anomaly () =
+  let env = mk_env 3003L in
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Disk_write_cache (Testbed.Faults.Host "graphite-2.nancy"));
+  let tracker =
+    Framework.Pernode.create env ~strategy:Framework.Pernode.Per_node ~cluster:"graphite"
+  in
+  Framework.Pernode.start tracker ~period:600.0;
+  Framework.Env.run_until env (2.0 *. Simkit.Calendar.day);
+  checkb "anomaly reported" true
+    (List.exists
+       (fun (e : Framework.Bugtracker.evidence) ->
+         e.Framework.Bugtracker.signature = "disk:graphite-2.nancy")
+       (Framework.Pernode.evidences tracker))
+
+let test_pernode_no_duplicate_coverage () =
+  let env = mk_env 3004L in
+  let tracker =
+    Framework.Pernode.create env ~strategy:Framework.Pernode.Per_node ~cluster:"nyx"
+  in
+  Framework.Pernode.start tracker ~period:600.0;
+  Framework.Env.run_until env (2.0 *. Simkit.Calendar.day);
+  List.iter
+    (fun sweep ->
+      let covered = sweep.Framework.Pernode.covered in
+      checki "each host covered once per sweep"
+        (List.length covered)
+        (List.length (List.sort_uniq compare covered)))
+    (Framework.Pernode.completed_sweeps tracker)
+
+(* ---- Regression experiments -------------------------------------------------- *)
+
+let run_regression env experiment =
+  let build =
+    {
+      Ci.Build.job_name = "regression_" ^ Framework.Regression.name experiment;
+      number = 1;
+      axes = [];
+      cause = "test";
+      queued_at = Framework.Env.now env;
+      started_at = Some (Framework.Env.now env);
+      finished_at = None;
+      result = None;
+      log = [];
+      artifacts = [];
+    }
+  in
+  let outcome = ref None in
+  Framework.Regression.run env experiment ~build ~finish:(fun o -> outcome := Some o);
+  Framework.Env.run_until env (Framework.Env.now env +. (6.0 *. Simkit.Calendar.hour));
+  match !outcome with Some o -> o | None -> Alcotest.fail "experiment never finished"
+
+let test_regression_all_pass_when_healthy () =
+  let env = mk_env 3010L in
+  List.iter
+    (fun experiment ->
+      let outcome = run_regression env experiment in
+      checkb
+        (Framework.Regression.name experiment ^ " passes")
+        true
+        (outcome.Framework.Scripts.result = Ci.Build.Success))
+    Framework.Regression.all
+
+let test_regression_mpi_catches_ofed () =
+  let env = mk_env 3011L in
+  (* Break every IB cluster so whichever the reservation picks is flaky. *)
+  List.iter
+    (fun spec ->
+      if spec.Testbed.Inventory.has_ib then
+        ignore
+          (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+             Testbed.Faults.Ofed_flaky
+             (Testbed.Faults.Cluster spec.Testbed.Inventory.cluster)))
+    Testbed.Inventory.clusters;
+  (* The OFED failure is probabilistic (35% per node): try a few times. *)
+  let caught = ref false in
+  for _ = 1 to 6 do
+    if not !caught then begin
+      let outcome = run_regression env Framework.Regression.Mpi_pingpong in
+      if outcome.Framework.Scripts.result = Ci.Build.Failure then caught := true
+    end
+  done;
+  checkb "ofed caught by the user experiment" true !caught
+
+let test_regression_linktest_catches_cabling () =
+  let env = mk_env 3012L in
+  (* Miswire many nancy nodes so the reserved ones are affected. *)
+  let nodes = Testbed.Instance.nodes_of_cluster env.Framework.Env.instance "grisou" in
+  let rec swap_pairs = function
+    | a :: b :: rest ->
+      ignore
+        (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+           Testbed.Faults.Cabling_swap
+           (Testbed.Faults.Host_pair (a.Testbed.Node.host, b.Testbed.Node.host)));
+      swap_pairs rest
+    | _ -> ()
+  in
+  swap_pairs nodes;
+  (* Also miswire every other nancy cluster to be safe. *)
+  List.iter
+    (fun cluster ->
+      match Testbed.Instance.nodes_of_cluster env.Framework.Env.instance cluster with
+      | a :: b :: _ ->
+        ignore
+          (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+             Testbed.Faults.Cabling_swap
+             (Testbed.Faults.Host_pair (a.Testbed.Node.host, b.Testbed.Node.host)))
+      | _ -> ())
+    [ "graphene"; "griffon"; "graphite"; "grimoire"; "graoully"; "grele"; "grimani" ];
+  let outcome = run_regression env Framework.Regression.Linktest in
+  checkb "cabling caught by linktest" true
+    (outcome.Framework.Scripts.result = Ci.Build.Failure)
+
+let test_regression_jobs_defined () =
+  let env = mk_env 3013L in
+  Framework.Regression.define_jobs env ~on_evidence:(fun _ -> ());
+  List.iter
+    (fun experiment ->
+      checkb "job exists" true
+        (Ci.Server.find_job env.Framework.Env.ci
+           ("regression_" ^ Framework.Regression.name experiment)
+         <> None))
+    Framework.Regression.all
+
+(* ---- Weather report ------------------------------------------------------------ *)
+
+let test_weather_scores () =
+  let engine = Simkit.Engine.create () in
+  let ci = Ci.Server.create engine in
+  let flaky = ref 0 in
+  Ci.Server.define ci
+    (Ci.Jobdef.freestyle ~name:"flaky" (fun ~engine ~build:_ ~finish ->
+         incr flaky;
+         let result = if !flaky mod 5 = 0 then Ci.Build.Failure else Ci.Build.Success in
+         ignore (Simkit.Engine.schedule engine ~delay:1.0 (fun _ -> finish result))));
+  Ci.Server.define ci
+    (Ci.Jobdef.freestyle ~name:"broken" (fun ~engine ~build:_ ~finish ->
+         ignore (Simkit.Engine.schedule engine ~delay:1.0 (fun _ -> finish Ci.Build.Failure))));
+  for _ = 1 to 10 do
+    ignore (Ci.Server.trigger ci "flaky");
+    ignore (Ci.Server.trigger ci "broken");
+    Simkit.Engine.run engine
+  done;
+  (match Ci.Weather.score ci "flaky" with
+   | Some s -> checkb "flaky mostly sunny" true (s >= 0.6)
+   | None -> Alcotest.fail "no score");
+  (match Ci.Weather.score ci "broken" with
+   | Some s ->
+     Alcotest.(check (float 1e-9)) "broken storms" 0.0 s;
+     Alcotest.(check string) "storm icon" "storm" (Ci.Weather.icon s)
+   | None -> Alcotest.fail "no score");
+  checkb "unbuilt job unscored" true (Ci.Weather.score ci "nosuch" = None);
+  checki "report covers all jobs" 2 (List.length (Ci.Weather.report ci));
+  checkb "render non-empty" true (String.length (Ci.Weather.render ci) > 0)
+
+let test_weather_icon_bands () =
+  Alcotest.(check string) "sunny" "sunny" (Ci.Weather.icon 1.0);
+  Alcotest.(check string) "partly" "partly-cloudy" (Ci.Weather.icon 0.7);
+  Alcotest.(check string) "cloudy" "cloudy" (Ci.Weather.icon 0.5);
+  Alcotest.(check string) "rain" "rain" (Ci.Weather.icon 0.3);
+  Alcotest.(check string) "storm" "storm" (Ci.Weather.icon 0.0)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "pernode",
+        [ Alcotest.test_case "idle cluster coverage" `Quick
+            test_pernode_idle_cluster_both_strategies_cover;
+          Alcotest.test_case "partial occupation" `Quick
+            test_pernode_progresses_under_partial_occupation;
+          Alcotest.test_case "finds disk anomaly" `Quick test_pernode_finds_disk_anomaly;
+          Alcotest.test_case "no duplicate coverage" `Quick
+            test_pernode_no_duplicate_coverage ] );
+      ( "regression",
+        [ Alcotest.test_case "all pass when healthy" `Quick
+            test_regression_all_pass_when_healthy;
+          Alcotest.test_case "mpi catches ofed" `Quick test_regression_mpi_catches_ofed;
+          Alcotest.test_case "linktest catches cabling" `Quick
+            test_regression_linktest_catches_cabling;
+          Alcotest.test_case "jobs defined" `Quick test_regression_jobs_defined ] );
+      ( "weather",
+        [ Alcotest.test_case "scores" `Quick test_weather_scores;
+          Alcotest.test_case "icon bands" `Quick test_weather_icon_bands ] );
+    ]

@@ -1,0 +1,176 @@
+(* End-to-end integration tests: the full closed loop (faults -> tests ->
+   bugs -> fixes -> reliability), plus cross-module pipelines. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- detection pipeline: fault -> CI build -> evidence -> bug ----------------- *)
+
+let test_detection_pipeline_through_ci () =
+  let env = Framework.Env.create ~seed:808L () in
+  let tracker = Framework.Bugtracker.create () in
+  Framework.Jobs.define_all env ~on_evidence:(fun evidence ->
+      ignore (Framework.Bugtracker.file tracker ~now:(Framework.Env.now env) evidence));
+  let fault =
+    Option.get
+      (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+         Testbed.Faults.Disk_firmware (Testbed.Faults.Host "graphite-2.nancy"))
+  in
+  (match
+     Ci.Server.trigger_subset env.Framework.Env.ci "test_refapi"
+       ~axes:[ [ ("cluster", "graphite") ] ]
+   with
+   | Ci.Server.Queued _ -> ()
+   | _ -> Alcotest.fail "trigger failed");
+  Framework.Env.run_until env 7200.0;
+  (* The CI build failed, evidence was filed as a bug, and the ground
+     truth fault is marked detected. *)
+  (match Ci.Server.last_completed env.Framework.Env.ci "test_refapi" with
+   | Some b -> checkb "build failed" true (b.Ci.Build.result = Some Ci.Build.Failure)
+   | None -> Alcotest.fail "no build");
+  checki "one bug filed" 1 (fst (Framework.Bugtracker.counts tracker));
+  checkb "fault detected" true (fault.Testbed.Faults.detected_at <> None);
+  let bug = List.hd (Framework.Bugtracker.all tracker) in
+  checkb "bug links the fault" true
+    (List.mem fault.Testbed.Faults.id bug.Framework.Bugtracker.fault_ids)
+
+let test_fix_closes_the_loop () =
+  let env = Framework.Env.create ~seed:809L () in
+  let tracker = Framework.Bugtracker.create () in
+  Framework.Jobs.define_all env ~on_evidence:(fun evidence ->
+      ignore (Framework.Bugtracker.file tracker ~now:(Framework.Env.now env) evidence));
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Cpu_governor (Testbed.Faults.Host "nova-2.lyon"));
+  ignore
+    (Ci.Server.trigger_subset env.Framework.Env.ci "test_refapi"
+       ~axes:[ [ ("cluster", "nova") ] ]);
+  Framework.Env.run_until env 7200.0;
+  (* Operator fixes the bug; the next run of the same test passes. *)
+  let op =
+    Framework.Operator.start
+      ~config:
+        { Framework.Operator.default_config with
+          Framework.Operator.fix_capacity_per_day = 50.0;
+          triage_delay = 0.0;
+        }
+      env tracker
+  in
+  Framework.Env.run_until env (Simkit.Calendar.day *. 2.0);
+  Framework.Operator.stop op;
+  checki "bug fixed" 1 (snd (Framework.Bugtracker.counts tracker));
+  ignore
+    (Ci.Server.trigger_subset env.Framework.Env.ci "test_refapi"
+       ~axes:[ [ ("cluster", "nova") ] ]);
+  Framework.Env.run_until env (Framework.Env.now env +. 7200.0);
+  match Ci.Server.last_completed env.Framework.Env.ci "test_refapi" with
+  | Some b -> checkb "green after the fix" true (b.Ci.Build.result = Some Ci.Build.Success)
+  | None -> Alcotest.fail "no build"
+
+(* ---- short campaign ------------------------------------------------------------ *)
+
+let light_workload =
+  { Oar.Workload.default_profile with Oar.Workload.base_rate_per_hour = 8.0 }
+
+let test_one_month_campaign_shape () =
+  let report =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with
+        Framework.Campaign.months = 1;
+        seed = 11L;
+        workload = Some light_workload;
+      }
+  in
+  checkb "hundreds of builds ran" true (report.Framework.Campaign.builds_total > 1000);
+  checkb "bugs were filed" true (report.Framework.Campaign.bugs_filed > 20);
+  checkb "some bugs fixed" true (report.Framework.Campaign.bugs_fixed > 0);
+  checkb "most detected faults correlate to injections" true
+    (report.Framework.Campaign.faults_detected
+     <= report.Framework.Campaign.faults_injected);
+  (match report.Framework.Campaign.monthly with
+   | [ m ] ->
+     checkb "success ratio in a plausible band" true
+       (m.Framework.Campaign.success_ratio > 0.5
+       && m.Framework.Campaign.success_ratio <= 1.0);
+     checki "month index" 0 m.Framework.Campaign.month
+   | _ -> Alcotest.fail "expected exactly one monthly row");
+  (* The status page rendering mentions the history section. *)
+  let contains haystack needle =
+    let n = String.length needle and m = String.length haystack in
+    let rec scan i = i + n <= m && (String.sub haystack i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  checkb "statuspage rendered" true
+    (contains report.Framework.Campaign.statuspage "History")
+
+let test_campaign_deterministic () =
+  let cfg =
+    { Framework.Campaign.default_config with
+      Framework.Campaign.months = 1;
+      seed = 21L;
+      workload = Some light_workload;
+    }
+  in
+  let a = Framework.Campaign.run cfg in
+  let b = Framework.Campaign.run cfg in
+  checki "same builds" a.Framework.Campaign.builds_total b.Framework.Campaign.builds_total;
+  checki "same bugs" a.Framework.Campaign.bugs_filed b.Framework.Campaign.bugs_filed;
+  checki "same faults" a.Framework.Campaign.faults_injected
+    b.Framework.Campaign.faults_injected
+
+let test_campaign_testing_beats_no_testing () =
+  (* Ablation: with the framework, faults get repaired; without it, they
+     accumulate (only rare user complaints clear them). *)
+  let base =
+    { Framework.Campaign.default_config with
+      Framework.Campaign.months = 2;
+      seed = 31L;
+      workload = None;
+    }
+  in
+  let with_testing = Framework.Campaign.run base in
+  let without_testing =
+    Framework.Campaign.run { base with Framework.Campaign.enable_testing = false }
+  in
+  checkb "testing repairs faults" true
+    (with_testing.Framework.Campaign.faults_repaired
+     > 2 * without_testing.Framework.Campaign.faults_repaired);
+  checkb "mean active faults lower with testing" true
+    (with_testing.Framework.Campaign.mean_active_faults
+     < without_testing.Framework.Campaign.mean_active_faults)
+
+let test_campaign_scheduler_stats_consistent () =
+  let report =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with
+        Framework.Campaign.months = 1;
+        seed = 41L;
+        workload = Some light_workload;
+      }
+  in
+  match report.Framework.Campaign.scheduler_stats with
+  | Some s ->
+    let completed =
+      s.Framework.Scheduler.completed_success + s.Framework.Scheduler.completed_failure
+      + s.Framework.Scheduler.completed_unstable
+    in
+    checkb "completions below triggers" true (completed <= s.Framework.Scheduler.triggered);
+    checkb "triggered roughly equals CI builds" true
+      (abs (s.Framework.Scheduler.triggered - report.Framework.Campaign.builds_total) < 50);
+    checkb "polls happened" true (s.Framework.Scheduler.polls > 1000)
+  | None -> Alcotest.fail "scheduler stats missing"
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [ Alcotest.test_case "fault->build->bug" `Quick test_detection_pipeline_through_ci;
+          Alcotest.test_case "fix closes the loop" `Quick test_fix_closes_the_loop ] );
+      ( "campaign",
+        [ Alcotest.test_case "one month shape" `Slow test_one_month_campaign_shape;
+          Alcotest.test_case "deterministic" `Slow test_campaign_deterministic;
+          Alcotest.test_case "testing beats no testing" `Slow
+            test_campaign_testing_beats_no_testing;
+          Alcotest.test_case "scheduler stats" `Slow
+            test_campaign_scheduler_stats_consistent ] );
+    ]

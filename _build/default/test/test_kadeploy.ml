@@ -1,0 +1,183 @@
+(* Tests for the Kadeploy substitute: images, recipes, deployment engine. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let mk () =
+  let instance = Testbed.Instance.build ~seed:321L () in
+  let registry =
+    Kadeploy.Image.registry (Testbed.Faults.context instance.Testbed.Instance.faults)
+  in
+  (instance, registry)
+
+(* ---- Kameleon ----------------------------------------------------------------- *)
+
+let test_recipe_structure () =
+  let recipe = Kadeploy.Kameleon.make ~name:"img" ~base:"debian/jessie" [ "install x" ] in
+  checki "bootstrap + setup + export" 5 (Kadeploy.Kameleon.step_count recipe);
+  checks "name" "img" recipe.Kadeploy.Kameleon.recipe_name
+
+let test_recipe_checksum_traceability () =
+  let a = Kadeploy.Kameleon.make ~name:"img" ~base:"debian/jessie" [ "install x" ] in
+  let b = Kadeploy.Kameleon.make ~name:"img" ~base:"debian/jessie" [ "install x" ] in
+  let c = Kadeploy.Kameleon.make ~name:"img" ~base:"debian/jessie" [ "install y" ] in
+  checks "same recipe, same checksum" (Kadeploy.Kameleon.checksum a)
+    (Kadeploy.Kameleon.checksum b);
+  checkb "different recipe, different checksum" true
+    (Kadeploy.Kameleon.checksum a <> Kadeploy.Kameleon.checksum c)
+
+(* ---- Images ------------------------------------------------------------------- *)
+
+let test_fourteen_standard_images () =
+  checki "the paper's 14 environments" 14 Kadeploy.Image.count;
+  let names = List.map (fun i -> i.Kadeploy.Image.name) Kadeploy.Image.standard in
+  checki "unique names" 14 (List.length (List.sort_uniq compare names));
+  let indices = List.map (fun i -> i.Kadeploy.Image.index) Kadeploy.Image.standard in
+  Alcotest.(check (list int)) "stable indices" (List.init 14 Fun.id) indices
+
+let test_image_find () =
+  checkb "std env exists" true (Kadeploy.Image.find "debian8-x64-std" <> None);
+  checkb "unknown image" true (Kadeploy.Image.find "windows95" = None);
+  checks "std_env name" "debian8-x64-std" Kadeploy.Image.std_env.Kadeploy.Image.name
+
+let test_image_corruption_flag () =
+  let instance, registry = mk () in
+  let img = Kadeploy.Image.std_env in
+  checkb "initially sound" false (Kadeploy.Image.is_corrupt registry img);
+  let ctx = Testbed.Faults.context instance.Testbed.Instance.faults in
+  Hashtbl.replace ctx.Testbed.Faults.flags
+    (Printf.sprintf "env_corrupt:%d" img.Kadeploy.Image.index)
+    "x";
+  checkb "flag detected" true (Kadeploy.Image.is_corrupt registry img)
+
+(* ---- Deployment --------------------------------------------------------------- *)
+
+let run_deploy instance registry ~image nodes =
+  let result = ref None in
+  Kadeploy.Deploy.run instance ~registry ~image ~nodes ~on_done:(fun r -> result := Some r);
+  Simkit.Engine.run_until instance.Testbed.Instance.engine
+    (Simkit.Engine.now instance.Testbed.Instance.engine +. 7200.0);
+  match !result with Some r -> r | None -> Alcotest.fail "deployment never completed"
+
+let test_deploy_single_node () =
+  let instance, registry = mk () in
+  let node = Testbed.Instance.node instance "grisou-1.nancy" in
+  let r = run_deploy instance registry ~image:"debian8-x64-min" [ node ] in
+  checkb "deployed" true (Kadeploy.Deploy.all_deployed r);
+  checks "environment switched" "debian8-x64-min" node.Testbed.Node.deployed_env;
+  checkb "node alive" true (node.Testbed.Node.state = Testbed.Node.Alive);
+  let elapsed = r.Kadeploy.Deploy.finished_at -. r.Kadeploy.Deploy.started_at in
+  checkb "takes a few minutes" true (elapsed > 120.0 && elapsed < 1200.0)
+
+let test_deploy_200_nodes_in_about_five_minutes () =
+  (* The paper's headline Kadeploy figure. *)
+  let instance, registry = mk () in
+  let nodes =
+    (Testbed.Instance.nodes_of_cluster instance "graphene"
+    @ Testbed.Instance.nodes_of_cluster instance "griffon"
+    @ Testbed.Instance.nodes_of_cluster instance "grisou"
+    @ Testbed.Instance.nodes_of_cluster instance "paravance")
+    |> List.filteri (fun i _ -> i < 200)
+  in
+  checki "200 nodes" 200 (List.length nodes);
+  let r = run_deploy instance registry ~image:"debian8-x64-std" nodes in
+  let elapsed = r.Kadeploy.Deploy.finished_at -. r.Kadeploy.Deploy.started_at in
+  checkb "~5 minutes (within [3, 12] min incl. retries)" true
+    (elapsed > 180.0 && elapsed < 720.0);
+  checkb "almost all nodes deployed" true (Kadeploy.Deploy.success_count r >= 195)
+
+let test_deploy_scaling_sublinear () =
+  let d1 = Kadeploy.Deploy.expected_duration ~nodes:1 ~image_mb:1200 in
+  let d200 = Kadeploy.Deploy.expected_duration ~nodes:200 ~image_mb:1200 in
+  checkb "broadcast makes 200 nodes barely slower than 1" true (d200 < d1 *. 1.2);
+  checkb "monotone" true (d200 > d1)
+
+let test_deploy_corrupt_image_fails_everywhere () =
+  let instance, registry = mk () in
+  let img = Kadeploy.Image.std_env in
+  let ctx = Testbed.Faults.context instance.Testbed.Instance.faults in
+  Hashtbl.replace ctx.Testbed.Faults.flags
+    (Printf.sprintf "env_corrupt:%d" img.Kadeploy.Image.index)
+    "x";
+  let nodes =
+    Testbed.Instance.nodes_of_cluster instance "graphite" |> List.filteri (fun i _ -> i < 3)
+  in
+  let r = run_deploy instance registry ~image:img.Kadeploy.Image.name nodes in
+  checki "no success" 0 (Kadeploy.Deploy.success_count r);
+  List.iter
+    (fun (_, outcome) ->
+      match outcome with
+      | Kadeploy.Deploy.Failed reason ->
+        checkb "postinstall blamed" true
+          (String.length reason >= 11 && String.sub reason 0 11 = "postinstall")
+      | Kadeploy.Deploy.Deployed -> Alcotest.fail "should not deploy")
+    r.Kadeploy.Deploy.outcomes
+
+let test_deploy_unknown_image () =
+  let instance, registry = mk () in
+  let node = Testbed.Instance.node instance "grisou-2.nancy" in
+  let result = ref None in
+  Kadeploy.Deploy.run instance ~registry ~image:"nosuch" ~nodes:[ node ]
+    ~on_done:(fun r -> result := Some r);
+  (* Completes synchronously. *)
+  match !result with
+  | Some r -> checki "failed" 0 (Kadeploy.Deploy.success_count r)
+  | None -> Alcotest.fail "expected immediate completion"
+
+let test_deploy_service_down () =
+  let instance, registry = mk () in
+  Testbed.Services.set_state instance.Testbed.Instance.services ~site:"nancy"
+    Testbed.Services.Kadeploy Testbed.Services.Down;
+  let node = Testbed.Instance.node instance "grisou-3.nancy" in
+  let result = ref None in
+  Kadeploy.Deploy.run instance ~registry ~image:"debian8-x64-min" ~nodes:[ node ]
+    ~on_done:(fun r -> result := Some r);
+  match !result with
+  | Some r ->
+    checki "failed" 0 (Kadeploy.Deploy.success_count r);
+    checkb "node untouched" true (node.Testbed.Node.deployed_env = "std")
+  | None -> Alcotest.fail "expected immediate completion"
+
+let test_deploy_nodes_deploying_during () =
+  let instance, registry = mk () in
+  let node = Testbed.Instance.node instance "grisou-4.nancy" in
+  Kadeploy.Deploy.run instance ~registry ~image:"debian8-x64-min" ~nodes:[ node ]
+    ~on_done:(fun _ -> ());
+  checkb "deploying state" true (node.Testbed.Node.state = Testbed.Node.Deploying);
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 7200.0;
+  checkb "settled" true (node.Testbed.Node.state <> Testbed.Node.Deploying)
+
+let prop_expected_duration_monotone =
+  QCheck.Test.make ~name:"expected duration monotone in nodes and size" ~count:100
+    QCheck.(pair (int_range 1 500) (int_range 100 4000))
+    (fun (nodes, image_mb) ->
+      Kadeploy.Deploy.expected_duration ~nodes:(nodes + 1) ~image_mb
+      >= Kadeploy.Deploy.expected_duration ~nodes ~image_mb
+      && Kadeploy.Deploy.expected_duration ~nodes ~image_mb:(image_mb + 100)
+         >= Kadeploy.Deploy.expected_duration ~nodes ~image_mb)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "kadeploy"
+    [
+      ( "kameleon",
+        [ Alcotest.test_case "structure" `Quick test_recipe_structure;
+          Alcotest.test_case "checksum traceability" `Quick
+            test_recipe_checksum_traceability ] );
+      ( "images",
+        [ Alcotest.test_case "14 standard" `Quick test_fourteen_standard_images;
+          Alcotest.test_case "find" `Quick test_image_find;
+          Alcotest.test_case "corruption flag" `Quick test_image_corruption_flag ] );
+      ( "deploy",
+        [ Alcotest.test_case "single node" `Quick test_deploy_single_node;
+          Alcotest.test_case "200 nodes ~5 min" `Quick
+            test_deploy_200_nodes_in_about_five_minutes;
+          Alcotest.test_case "sublinear scaling" `Quick test_deploy_scaling_sublinear;
+          Alcotest.test_case "corrupt image" `Quick
+            test_deploy_corrupt_image_fails_everywhere;
+          Alcotest.test_case "unknown image" `Quick test_deploy_unknown_image;
+          Alcotest.test_case "service down" `Quick test_deploy_service_down;
+          Alcotest.test_case "deploying state" `Quick test_deploy_nodes_deploying_during;
+          qc prop_expected_duration_monotone ] );
+    ]

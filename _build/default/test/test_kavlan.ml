@@ -1,0 +1,134 @@
+(* Tests for the KaVLAN substitute. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let mk () = Testbed.Instance.build ~seed:55L ()
+
+let set_vlan instance nodes vlan =
+  let result = ref None in
+  Kavlan.set_vlan instance ~nodes ~vlan ~on_done:(fun r -> result := Some r);
+  Simkit.Engine.run_until instance.Testbed.Instance.engine
+    (Simkit.Engine.now instance.Testbed.Instance.engine +. 600.0);
+  match !result with Some r -> r | None -> Alcotest.fail "vlan change never completed"
+
+let test_thirteen_standard_vlans () =
+  (* 8 local + 4 routed + 1 global: the kavlan test family's 13 configs. *)
+  checki "13 vlans" 13 (List.length Kavlan.standard_vlans);
+  let locals = List.filter (fun v -> v.Kavlan.flavour = Kavlan.Local) Kavlan.standard_vlans in
+  let routed = List.filter (fun v -> v.Kavlan.flavour = Kavlan.Routed) Kavlan.standard_vlans in
+  let global = List.filter (fun v -> v.Kavlan.flavour = Kavlan.Global) Kavlan.standard_vlans in
+  checki "8 local" 8 (List.length locals);
+  checki "4 routed" 4 (List.length routed);
+  checki "1 global" 1 (List.length global);
+  List.iter
+    (fun v -> checkb "local vlan tied to a site" true (v.Kavlan.vlan_site <> None))
+    locals
+
+let test_find_vlan () =
+  checkb "default is vlan 0" true (Kavlan.find_vlan 0 = Some Kavlan.default_vlan);
+  checkb "global is 300" true
+    (match Kavlan.find_vlan 300 with
+     | Some v -> v.Kavlan.flavour = Kavlan.Global
+     | None -> false);
+  checkb "unknown id" true (Kavlan.find_vlan 999 = None)
+
+let test_default_reachability () =
+  let t = mk () in
+  let a = Testbed.Instance.node t "grisou-1.nancy" in
+  let b = Testbed.Instance.node t "helios-1.sophia" in
+  checkb "default vlan routed across sites" true (Kavlan.reachable t a b)
+
+let test_local_vlan_isolation () =
+  let t = mk () in
+  let a = Testbed.Instance.node t "grisou-1.nancy" in
+  let b = Testbed.Instance.node t "grisou-2.nancy" in
+  let c = Testbed.Instance.node t "grisou-3.nancy" in
+  let local =
+    List.find
+      (fun v -> v.Kavlan.flavour = Kavlan.Local && v.Kavlan.vlan_site = Some "nancy")
+      Kavlan.standard_vlans
+  in
+  (match set_vlan t [ a; b ] local with
+   | Kavlan.Changed -> ()
+   | Kavlan.Service_failed -> Alcotest.fail "vlan change failed");
+  checkb "pair reachable inside local vlan" true (Kavlan.reachable t a b);
+  checkb "isolated from production" false (Kavlan.reachable t a c);
+  checkb "reachable through ssh gateway only" true (Kavlan.gateway_reachable a);
+  checkb "isolation invariant holds" true (Kavlan.isolation_invariant t [ a; b; c ])
+
+let test_routed_vlan_reachability () =
+  let t = mk () in
+  let a = Testbed.Instance.node t "grisou-1.nancy" in
+  let b = Testbed.Instance.node t "grisou-2.nancy" in
+  let c = Testbed.Instance.node t "graphene-1.nancy" in
+  let routed = List.find (fun v -> v.Kavlan.flavour = Kavlan.Routed) Kavlan.standard_vlans in
+  (match set_vlan t [ a; b ] routed with
+   | Kavlan.Changed -> ()
+   | Kavlan.Service_failed -> Alcotest.fail "vlan change failed");
+  checkb "pair reachable" true (Kavlan.reachable t a b);
+  checkb "routed vlan reaches production" true (Kavlan.reachable t a c);
+  checkb "not a gateway-only vlan" false (Kavlan.gateway_reachable a)
+
+let test_global_vlan_spans_sites () =
+  let t = mk () in
+  let a = Testbed.Instance.node t "grisou-1.nancy" in
+  let b = Testbed.Instance.node t "helios-1.sophia" in
+  let global = List.find (fun v -> v.Kavlan.flavour = Kavlan.Global) Kavlan.standard_vlans in
+  (match set_vlan t [ a; b ] global with
+   | Kavlan.Changed -> ()
+   | Kavlan.Service_failed -> Alcotest.fail "vlan change failed");
+  checkb "level-2 across sites" true (Kavlan.reachable t a b)
+
+let test_vlan_change_speed () =
+  (* "Almost no overhead": reconfiguring a whole cluster takes seconds. *)
+  let t = mk () in
+  let nodes = Testbed.Instance.nodes_of_cluster t "grisou" in
+  let local =
+    List.find
+      (fun v -> v.Kavlan.flavour = Kavlan.Local && v.Kavlan.vlan_site = Some "nancy")
+      Kavlan.standard_vlans
+  in
+  let started = Simkit.Engine.now t.Testbed.Instance.engine in
+  let result = ref None in
+  Kavlan.set_vlan t ~nodes ~vlan:local ~on_done:(fun r ->
+      result := Some (r, Simkit.Engine.now t.Testbed.Instance.engine -. started));
+  Simkit.Engine.run_until t.Testbed.Instance.engine 600.0;
+  match !result with
+  | Some (Kavlan.Changed, elapsed) -> checkb "under a minute" true (elapsed < 60.0)
+  | _ -> Alcotest.fail "vlan change failed"
+
+let test_vlan_service_failure_atomic () =
+  let t = mk () in
+  Testbed.Services.set_state t.Testbed.Instance.services ~site:"nancy"
+    Testbed.Services.Kavlan Testbed.Services.Down;
+  let a = Testbed.Instance.node t "grisou-1.nancy" in
+  let local = List.find (fun v -> v.Kavlan.flavour = Kavlan.Local) Kavlan.standard_vlans in
+  (match set_vlan t [ a ] local with
+   | Kavlan.Service_failed -> ()
+   | Kavlan.Changed -> Alcotest.fail "should have failed");
+  checki "node kept its vlan" 0 a.Testbed.Node.vlan
+
+let test_back_to_default () =
+  let t = mk () in
+  let a = Testbed.Instance.node t "grisou-1.nancy" in
+  let local = List.find (fun v -> v.Kavlan.flavour = Kavlan.Local) Kavlan.standard_vlans in
+  ignore (set_vlan t [ a ] local);
+  ignore (set_vlan t [ a ] Kavlan.default_vlan);
+  checki "back in production" 0 a.Testbed.Node.vlan
+
+let () =
+  Alcotest.run "kavlan"
+    [
+      ( "kavlan",
+        [ Alcotest.test_case "13 standard vlans" `Quick test_thirteen_standard_vlans;
+          Alcotest.test_case "find vlan" `Quick test_find_vlan;
+          Alcotest.test_case "default reachability" `Quick test_default_reachability;
+          Alcotest.test_case "local isolation" `Quick test_local_vlan_isolation;
+          Alcotest.test_case "routed reachability" `Quick test_routed_vlan_reachability;
+          Alcotest.test_case "global spans sites" `Quick test_global_vlan_spans_sites;
+          Alcotest.test_case "change speed" `Quick test_vlan_change_speed;
+          Alcotest.test_case "service failure atomic" `Quick
+            test_vlan_service_failure_atomic;
+          Alcotest.test_case "back to default" `Quick test_back_to_default ] );
+    ]

@@ -1,0 +1,191 @@
+(* Tests for the monitoring substitute: power model, 1 Hz probes, REST API. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let mk () =
+  let instance = Testbed.Instance.build ~seed:777L () in
+  (instance, Monitoring.Collector.create instance)
+
+(* ---- Power model ----------------------------------------------------------- *)
+
+let test_power_ordering () =
+  let instance, _ = mk () in
+  let node = Testbed.Instance.node instance "grisou-1.nancy" in
+  let idle = Monitoring.Power.idle_watts node in
+  let peak = Monitoring.Power.peak_watts node in
+  checkb "positive idle" true (idle > 50.0);
+  checkb "peak above idle" true (peak > idle);
+  checkb "load interpolates" true
+    (Monitoring.Power.watts node ~load:0.5 > idle
+    && Monitoring.Power.watts node ~load:0.5 < peak);
+  Alcotest.(check (float 1e-9)) "clamped load" peak (Monitoring.Power.watts node ~load:2.0)
+
+let test_power_bigger_nodes_draw_more () =
+  let instance, _ = mk () in
+  let small = Testbed.Instance.node instance "sagittaire-1.lyon" in
+  let big = Testbed.Instance.node instance "chifflet-1.lille" in
+  checkb "28-core node above 2-core node" true
+    (Monitoring.Power.idle_watts big > Monitoring.Power.idle_watts small)
+
+let test_power_cstates_signature () =
+  let instance, _ = mk () in
+  let node = Testbed.Instance.node instance "grisou-2.nancy" in
+  let mandated = Monitoring.Power.idle_watts node in
+  let hw = node.Testbed.Node.actual in
+  node.Testbed.Node.actual <-
+    { hw with
+      Testbed.Hardware.settings =
+        { hw.Testbed.Hardware.settings with Testbed.Hardware.c_states = true } };
+  let drifted = Monitoring.Power.idle_watts node in
+  checkb "c-states lower idle draw" true (drifted < mandated)
+
+(* ---- Probes ------------------------------------------------------------------ *)
+
+let test_one_hertz_sampling () =
+  let instance, collector = mk () in
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 120.0;
+  let series =
+    Monitoring.Collector.sample_window collector ~host:"grisou-1.nancy"
+      Monitoring.Collector.Cpu_load ~lo:60.0 ~hi:119.0
+  in
+  let freq = Monitoring.Collector.achieved_frequency_hz series ~lo:60.0 ~hi:119.0 in
+  checkb "~1 Hz as the paper advertises" true (freq >= 0.95 && freq <= 1.1)
+
+let test_probe_value_ranges () =
+  let instance, collector = mk () in
+  let host = "grisou-1.nancy" in
+  let series metric = Monitoring.Collector.sample_window collector ~host metric ~lo:0.0 ~hi:60.0 in
+  Simkit.Timeseries.iter (series Monitoring.Collector.Cpu_load) (fun _ v ->
+      checkb "load in [0,1]" true (v >= 0.0 && v <= 1.0));
+  Simkit.Timeseries.iter (series Monitoring.Collector.Power_w) (fun _ v ->
+      checkb "plausible wattage" true (v > 30.0 && v < 2000.0));
+  ignore instance
+
+let test_power_needs_wattmeter () =
+  let _, collector = mk () in
+  (* Lille has no wattmeter. *)
+  let series =
+    Monitoring.Collector.sample_window collector ~host:"chetemi-1.lille"
+      Monitoring.Collector.Power_w ~lo:0.0 ~hi:60.0
+  in
+  checki "no samples without wattmeter" 0 (Simkit.Timeseries.length series);
+  checkb "has_wattmeter reflects sites" true
+    (Monitoring.Collector.has_wattmeter collector ~host:"grisou-1.nancy");
+  checkb "lille excluded" false
+    (Monitoring.Collector.has_wattmeter collector ~host:"chetemi-1.lille")
+
+let test_down_node_stops_reporting () =
+  let instance, collector = mk () in
+  let node = Testbed.Instance.node instance "grisou-3.nancy" in
+  node.Testbed.Node.state <- Testbed.Node.Down;
+  let system =
+    Monitoring.Collector.sample_window collector ~host:node.Testbed.Node.host
+      Monitoring.Collector.Cpu_load ~lo:0.0 ~hi:60.0
+  in
+  checki "no system metrics from a dead node" 0 (Simkit.Timeseries.length system);
+  let power =
+    Monitoring.Collector.sample_window collector ~host:node.Testbed.Node.host
+      Monitoring.Collector.Power_w ~lo:0.0 ~hi:60.0
+  in
+  checkb "wattmeter keeps reporting (external probe)" true
+    (Simkit.Timeseries.length power > 0)
+
+let test_misattribution_changes_series () =
+  let instance, collector = mk () in
+  (* Swap the wattmeter channels of a tiny node and a big node. *)
+  let small = "sagittaire-1.lyon" and big = "nova-1.lyon" in
+  let mean host =
+    let series =
+      Monitoring.Collector.sample_window collector ~host Monitoring.Collector.Power_w
+        ~lo:0.0 ~hi:60.0
+    in
+    Simkit.Timeseries.mean_between series ~lo:0.0 ~hi:60.0
+  in
+  let small_before = mean small in
+  let faults = instance.Testbed.Instance.faults in
+  ignore
+    (Testbed.Faults.inject_on faults ~now:0.0 Testbed.Faults.Kwapi_misattribution
+       (Testbed.Faults.Host_pair (small, big)));
+  let small_after = mean small in
+  checkb "channel now reports the other node" true
+    (Float.abs (small_after -. small_before) > 20.0)
+
+let test_custom_load_model () =
+  let instance, collector = mk () in
+  Monitoring.Collector.set_load_model collector (fun ~host:_ ~time:_ -> 0.0);
+  let series =
+    Monitoring.Collector.sample_window collector ~host:"grisou-1.nancy"
+      Monitoring.Collector.Cpu_load ~lo:0.0 ~hi:10.0
+  in
+  Simkit.Timeseries.iter series (fun _ v -> Alcotest.(check (float 1e-9)) "idle" 0.0 v);
+  ignore instance
+
+let test_live_view_width () =
+  let _, collector = mk () in
+  let view =
+    Monitoring.Collector.live_view collector ~host:"grisou-1.nancy"
+      Monitoring.Collector.Power_w ~at:120.0 ~width:40
+  in
+  checki "sparkline width" 40 (String.length view)
+
+(* ---- REST API ------------------------------------------------------------------ *)
+
+let test_rest_sites () =
+  let _, collector = mk () in
+  match Monitoring.Collector.rest_get collector "/sites" with
+  | Ok (Simkit.Json.List sites) -> checki "8 sites" 8 (List.length sites)
+  | _ -> Alcotest.fail "bad /sites answer"
+
+let test_rest_metrics () =
+  let _, collector = mk () in
+  match Monitoring.Collector.rest_get collector "/sites/nancy/metrics" with
+  | Ok (Simkit.Json.List metrics) -> checki "4 metrics" 4 (List.length metrics)
+  | _ -> Alcotest.fail "bad metrics answer"
+
+let test_rest_timeseries () =
+  let instance, collector = mk () in
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 100.0;
+  match
+    Monitoring.Collector.rest_get collector
+      "/sites/nancy/metrics/power_w/timeseries/grisou-1.nancy?from=10&to=20"
+  with
+  | Ok doc ->
+    (match Simkit.Json.list_member "samples" doc with
+     | Some samples -> checki "11 samples at 1 Hz" 11 (List.length samples)
+     | None -> Alcotest.fail "no samples member")
+  | Error e -> Alcotest.fail e
+
+let test_rest_errors () =
+  let _, collector = mk () in
+  let expect_error path =
+    match Monitoring.Collector.rest_get collector path with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected error for %s" path
+  in
+  expect_error "/sites/atlantis/metrics";
+  expect_error "/sites/nancy/metrics/nosuch/timeseries/grisou-1.nancy";
+  expect_error "/sites/lyon/metrics/power_w/timeseries/grisou-1.nancy";
+  expect_error "/nothing/here"
+
+let () =
+  Alcotest.run "monitoring"
+    [
+      ( "power",
+        [ Alcotest.test_case "ordering" `Quick test_power_ordering;
+          Alcotest.test_case "size scaling" `Quick test_power_bigger_nodes_draw_more;
+          Alcotest.test_case "c-states signature" `Quick test_power_cstates_signature ] );
+      ( "probes",
+        [ Alcotest.test_case "1 Hz sampling" `Quick test_one_hertz_sampling;
+          Alcotest.test_case "value ranges" `Quick test_probe_value_ranges;
+          Alcotest.test_case "wattmeter coverage" `Quick test_power_needs_wattmeter;
+          Alcotest.test_case "down node silent" `Quick test_down_node_stops_reporting;
+          Alcotest.test_case "misattribution" `Quick test_misattribution_changes_series;
+          Alcotest.test_case "custom load model" `Quick test_custom_load_model;
+          Alcotest.test_case "live view" `Quick test_live_view_width ] );
+      ( "rest",
+        [ Alcotest.test_case "/sites" `Quick test_rest_sites;
+          Alcotest.test_case "metrics" `Quick test_rest_metrics;
+          Alcotest.test_case "timeseries" `Quick test_rest_timeseries;
+          Alcotest.test_case "errors" `Quick test_rest_errors ] );
+    ]

@@ -1,0 +1,196 @@
+(* Additional OAR coverage: walltime enforcement, best-effort ordering,
+   service outages, multi-group estimates, cache behaviour, accounting
+   integration with the workload generator. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let mk () =
+  let instance = Testbed.Instance.build ~seed:1234L () in
+  (instance, Oar.Manager.create instance)
+
+(* ---- walltime enforcement ------------------------------------------------- *)
+
+let test_walltime_truncates_long_jobs () =
+  let instance, oar = mk () in
+  (* The user asks for 1 h but the workload would run 10 h: OAR kills the
+     job at the walltime. *)
+  let job =
+    match
+      Oar.Manager.submit oar ~duration:36000.0
+        (Oar.Request.nodes ~filter:"cluster='nyx'" (`N 1) ~walltime:3600.0)
+    with
+    | Ok job -> job
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 7200.0;
+  checkb "terminated at the walltime" true (job.Oar.Job.state = Oar.Job.Terminated);
+  match (job.Oar.Job.started_at, job.Oar.Job.ended_at) with
+  | Some start, Some stop -> checkb "ran exactly one hour" true (Float.abs (stop -. start -. 3600.0) < 1.0)
+  | _ -> Alcotest.fail "missing timestamps"
+
+let test_short_jobs_end_early () =
+  let instance, oar = mk () in
+  let job =
+    match
+      Oar.Manager.submit oar ~duration:600.0
+        (Oar.Request.nodes ~filter:"cluster='nyx'" (`N 1) ~walltime:3600.0)
+    with
+    | Ok job -> job
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 1000.0;
+  checkb "ended at its duration, not the walltime" true
+    (job.Oar.Job.state = Oar.Job.Terminated)
+
+(* ---- best-effort ordering ---------------------------------------------------- *)
+
+let test_besteffort_scheduled_last () =
+  let _, oar = mk () in
+  (* Fill nyx, then queue one besteffort and one default job; the default
+     job must get the earlier future slot. *)
+  ignore
+    (Oar.Manager.submit oar ~duration:3600.0
+       (Oar.Request.nodes ~filter:"cluster='nyx'" `All ~walltime:3600.0));
+  let besteffort =
+    match
+      Oar.Manager.submit oar ~jtype:Oar.Job.Besteffort ~duration:3600.0
+        (Oar.Request.nodes ~filter:"cluster='nyx'" `All ~walltime:3600.0)
+    with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "besteffort submit"
+  in
+  let default_job =
+    match
+      Oar.Manager.submit oar ~duration:3600.0
+        (Oar.Request.nodes ~filter:"cluster='nyx'" `All ~walltime:3600.0)
+    with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "default submit"
+  in
+  checkb "both scheduled in the future" true
+    (besteffort.Oar.Job.state = Oar.Job.Scheduled
+    && default_job.Oar.Job.state = Oar.Job.Scheduled);
+  checkb "default precedes besteffort" true
+    (default_job.Oar.Job.scheduled_start < besteffort.Oar.Job.scheduled_start)
+
+(* ---- service outage ------------------------------------------------------------ *)
+
+let test_submit_fails_when_all_oar_down () =
+  let instance, oar = mk () in
+  List.iter
+    (fun site ->
+      Testbed.Services.set_state instance.Testbed.Instance.services ~site
+        Testbed.Services.Oar Testbed.Services.Down)
+    Testbed.Inventory.sites;
+  match
+    Oar.Manager.submit oar (Oar.Request.nodes ~filter:"cluster='nyx'" (`N 1) ~walltime:600.0)
+  with
+  | Error Oar.Manager.Service_unavailable -> ()
+  | _ -> Alcotest.fail "expected Service_unavailable"
+
+(* ---- multi-group estimates ------------------------------------------------------- *)
+
+let test_estimate_multi_group () =
+  let _, oar = mk () in
+  let request =
+    Oar.Request.parse_exn
+      "cluster='nyx'/nodes=2+cluster='graphite'/nodes=2,walltime=1"
+  in
+  (match Oar.Manager.estimate_start oar request with
+   | Some at -> checkb "both groups free now" true (at < 1.0)
+   | None -> Alcotest.fail "estimate failed");
+  (* Saturate one group: the common start moves. *)
+  ignore
+    (Oar.Manager.submit oar ~duration:7200.0
+       (Oar.Request.nodes ~filter:"cluster='graphite'" `All ~walltime:7200.0));
+  match Oar.Manager.estimate_start oar request with
+  | Some at -> checkb "pushed behind the graphite job" true (at >= 7200.0)
+  | None -> Alcotest.fail "estimate failed under load"
+
+(* ---- property cache invalidation --------------------------------------------------- *)
+
+let test_filter_cache_invalidated_on_refresh () =
+  let instance, oar = mk () in
+  let filter = Oar.Expr.parse_exn "gpu='YES'" in
+  let before = List.length (Oar.Manager.matching_hosts oar filter) in
+  checkb "gpu hosts exist" true (before > 0);
+  (* Corrupt one gpu host's OAR row, refresh, re-query through the same
+     (cached) filter. *)
+  let ctx = Testbed.Faults.context instance.Testbed.Instance.faults in
+  Hashtbl.replace ctx.Testbed.Faults.flags "oar_desync:orion-1.lyon" "x";
+  Oar.Manager.refresh_properties oar;
+  let after = List.length (Oar.Manager.matching_hosts oar filter) in
+  checki "one gpu host lost its property" (before - 1) after
+
+(* ---- exact-host requests ------------------------------------------------------------ *)
+
+let test_exact_host_reservation () =
+  let _, oar = mk () in
+  let request =
+    Oar.Request.nodes ~filter:"host='grisou-7.nancy' or host='grisou-9.nancy'" (`N 2)
+      ~walltime:600.0
+  in
+  match Oar.Manager.submit oar ~immediate:true request with
+  | Ok job ->
+    Alcotest.(check (list string))
+      "exactly the requested hosts"
+      [ "grisou-7.nancy"; "grisou-9.nancy" ]
+      (List.sort String.compare job.Oar.Job.assigned)
+  | Error _ -> Alcotest.fail "exact-host reservation failed"
+
+(* ---- workload + accounting integration ----------------------------------------------- *)
+
+let test_workload_respects_diurnal_profile () =
+  let instance, oar = mk () in
+  let rng = Simkit.Prng.create 4321L in
+  let w = Oar.Workload.start ~rng oar in
+  (* Run over exactly one week and compare peak vs night submissions. *)
+  Simkit.Engine.run_until instance.Testbed.Instance.engine Simkit.Calendar.week;
+  Oar.Workload.stop w;
+  let jobs = Oar.Manager.jobs oar in
+  let user_jobs =
+    List.filter (fun j -> j.Oar.Job.user <> "g5k-tests") jobs
+  in
+  let peak, off =
+    List.fold_left
+      (fun (peak, off) j ->
+        if Simkit.Calendar.is_peak_hours j.Oar.Job.submitted_at then (peak + 1, off)
+        else (peak, off + 1))
+      (0, 0) user_jobs
+  in
+  (* Peak window = 55 h of 168; with a 3x rate multiplier it should hold
+     roughly half the submissions — definitely more than a third. *)
+  checkb "peak hours denser than off-peak" true
+    (float_of_int peak /. float_of_int (Stdlib.max 1 (peak + off)) > 0.33)
+
+let test_accounting_under_workload () =
+  let instance, oar = mk () in
+  let accounting = Oar.Accounting.create oar in
+  let rng = Simkit.Prng.create 4322L in
+  let w = Oar.Workload.start ~rng oar in
+  Simkit.Engine.run_until instance.Testbed.Instance.engine (2.0 *. Simkit.Calendar.day);
+  Oar.Workload.stop w;
+  checkb "many jobs accounted" true (Oar.Accounting.jobs_seen accounting > 100);
+  checkb "several users in the report" true
+    (List.length (Oar.Accounting.user_report accounting) > 10);
+  checkb "usage attributed to clusters" true
+    (List.length (Oar.Accounting.cluster_report accounting) > 3)
+
+let () =
+  Alcotest.run "oar2"
+    [
+      ( "walltime",
+        [ Alcotest.test_case "truncates long jobs" `Quick test_walltime_truncates_long_jobs;
+          Alcotest.test_case "short jobs end early" `Quick test_short_jobs_end_early ] );
+      ( "scheduling",
+        [ Alcotest.test_case "besteffort last" `Quick test_besteffort_scheduled_last;
+          Alcotest.test_case "all OAR down" `Quick test_submit_fails_when_all_oar_down;
+          Alcotest.test_case "multi-group estimate" `Quick test_estimate_multi_group;
+          Alcotest.test_case "exact hosts" `Quick test_exact_host_reservation;
+          Alcotest.test_case "cache invalidation" `Quick
+            test_filter_cache_invalidated_on_refresh ] );
+      ( "workload",
+        [ Alcotest.test_case "diurnal profile" `Slow test_workload_respects_diurnal_profile;
+          Alcotest.test_case "accounting integration" `Slow test_accounting_under_workload ] );
+    ]

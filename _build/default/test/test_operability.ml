@@ -1,0 +1,204 @@
+(* Tests for the operability layer added on top of the paper's core:
+   OAR accounting, CI log search and artifacts, bug notifications. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ---- OAR accounting -------------------------------------------------------- *)
+
+let test_accounting_tracks_usage () =
+  let instance = Testbed.Instance.build ~seed:7001L () in
+  let oar = Oar.Manager.create instance in
+  let accounting = Oar.Accounting.create oar in
+  let submit user nodes duration =
+    match
+      Oar.Manager.submit oar ~user ~duration
+        (Oar.Request.nodes ~filter:"cluster='grisou'" (`N nodes) ~walltime:7200.0)
+    with
+    | Ok job -> job
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  ignore (submit "alice" 4 3600.0);
+  ignore (submit "alice" 2 1800.0);
+  ignore (submit "bob" 1 600.0);
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 20000.0;
+  checki "three jobs recorded" 3 (Oar.Accounting.jobs_seen accounting);
+  (match Oar.Accounting.user_report accounting with
+   | top :: _ ->
+     checks "alice is the heaviest user" "alice" top.Oar.Accounting.user;
+     checki "alice's jobs" 2 top.Oar.Accounting.jobs;
+     checkb "node-seconds ~ 4*3600 + 2*1800" true
+       (Float.abs (top.Oar.Accounting.node_seconds -. 18000.0) < 10.0)
+   | [] -> Alcotest.fail "empty report");
+  (match Oar.Accounting.cluster_report accounting with
+   | [ row ] -> checks "all on grisou" "grisou" row.Oar.Accounting.acc_cluster
+   | _ -> Alcotest.fail "one cluster expected");
+  checkb "total usage positive" true
+    (Oar.Accounting.utilisation_node_seconds accounting > 0.0)
+
+let test_accounting_wait_times () =
+  let instance = Testbed.Instance.build ~seed:7002L () in
+  let oar = Oar.Manager.create instance in
+  let accounting = Oar.Accounting.create oar in
+  (* Saturate nyx so the second job waits a full hour. *)
+  let submit () =
+    Oar.Manager.submit oar ~user:"u" ~duration:3600.0
+      (Oar.Request.nodes ~filter:"cluster='nyx'" `All ~walltime:3600.0)
+  in
+  ignore (submit ());
+  ignore (submit ());
+  Simkit.Engine.run_until instance.Testbed.Instance.engine 10000.0;
+  let waits = Oar.Accounting.wait_times accounting in
+  checki "two started jobs" 2 (Array.length waits);
+  checkb "first ran immediately" true (waits.(0) < 1.0);
+  checkb "second waited ~1h" true (Float.abs (waits.(1) -. 3600.0) < 5.0);
+  checkb "p99 reflects the queue" true (Oar.Accounting.wait_percentile accounting 0.99 > 3000.0);
+  checkb "render mentions waits" true
+    (String.length (Oar.Accounting.render accounting) > 0)
+
+let test_accounting_empty () =
+  let instance = Testbed.Instance.build ~seed:7003L () in
+  let oar = Oar.Manager.create instance in
+  let accounting = Oar.Accounting.create oar in
+  checki "nothing seen" 0 (Oar.Accounting.jobs_seen accounting);
+  checkb "percentile nan" true (Float.is_nan (Oar.Accounting.wait_percentile accounting 0.5))
+
+(* ---- CI log search and artifacts ---------------------------------------------- *)
+
+let test_log_search () =
+  let engine = Simkit.Engine.create () in
+  let ci = Ci.Server.create engine in
+  Ci.Server.define ci
+    (Ci.Jobdef.freestyle ~name:"chatty" (fun ~engine ~build ~finish ->
+         Ci.Build.append_log build "checking node graphene-12.nancy";
+         Ci.Build.append_log build "all good";
+         ignore (Simkit.Engine.schedule engine ~delay:1.0 (fun _ -> finish Ci.Build.Success))));
+  for _ = 1 to 3 do
+    ignore (Ci.Server.trigger ci "chatty");
+    Simkit.Engine.run engine
+  done;
+  let hits = Ci.Server.search_logs ci ~pattern:"graphene-12" in
+  checki "one hit per build" 3 (List.length hits);
+  (match hits with
+   | (build, line) :: _ ->
+     checks "from the right job" "chatty" build.Ci.Build.job_name;
+     checkb "line matched" true (String.length line > 0)
+   | [] -> Alcotest.fail "hits expected");
+  checki "no hits for other hosts" 0
+    (List.length (Ci.Server.search_logs ci ~pattern:"helios-1"));
+  checki "limit respected" 2
+    (List.length (Ci.Server.search_logs ~limit:2 ci ~pattern:"graphene-12"))
+
+let test_artifacts_roundtrip () =
+  let engine = Simkit.Engine.create () in
+  let ci = Ci.Server.create engine in
+  Ci.Server.define ci
+    (Ci.Jobdef.freestyle ~name:"measuring" (fun ~engine ~build ~finish ->
+         Ci.Build.attach_artifact build ~name:"data.csv" "host,value\na,1\n";
+         ignore (Simkit.Engine.schedule engine ~delay:1.0 (fun _ -> finish Ci.Build.Success))));
+  ignore (Ci.Server.trigger ci "measuring");
+  Simkit.Engine.run engine;
+  match Ci.Server.last_completed ci "measuring" with
+  | Some build -> (
+    match Ci.Build.artifact build "data.csv" with
+    | Some content -> checkb "stored" true (String.length content > 5)
+    | None -> Alcotest.fail "artifact missing")
+  | None -> Alcotest.fail "no build"
+
+let test_disk_script_attaches_artifact () =
+  let env = Framework.Env.create ~seed:7004L () in
+  Framework.Jobs.define_all env ~on_evidence:(fun _ -> ());
+  ignore
+    (Ci.Server.trigger_subset env.Framework.Env.ci "test_disk"
+       ~axes:[ [ ("cluster", "graphite") ] ]);
+  Framework.Env.run_until env (4.0 *. Simkit.Calendar.hour);
+  match Ci.Server.last_completed env.Framework.Env.ci "test_disk" with
+  | Some build -> (
+    match Ci.Build.artifact build "disk_bandwidth.csv" with
+    | Some csv ->
+      checkb "csv has a row per node (4 + header)" true
+        (List.length (String.split_on_char '\n' csv) >= 5)
+    | None -> Alcotest.fail "disk artifact missing")
+  | None -> Alcotest.fail "disk build missing"
+
+(* ---- Notifications -------------------------------------------------------------- *)
+
+let file_bug tracker ~signature ~category =
+  match
+    Framework.Bugtracker.file tracker ~now:0.0
+      {
+        Framework.Bugtracker.signature;
+        summary = "something broke";
+        category;
+        source_test = "test";
+        fault_ids = [];
+      }
+  with
+  | `New bug -> bug
+  | `Duplicate _ -> Alcotest.fail "new bug expected"
+
+let test_notify_routes_to_site_team () =
+  let env = Framework.Env.create ~seed:7005L () in
+  let notify = Framework.Notify.create env in
+  let tracker = Framework.Bugtracker.create () in
+  let bug = file_bug tracker ~signature:"disk:grisou-3.nancy" ~category:"disk" in
+  let message = Framework.Notify.notify_bug notify bug in
+  checks "routed to nancy admins" "admins@nancy" message.Framework.Notify.mailbox;
+  checkb "immediate urgency" true (message.Framework.Notify.urgency = Framework.Notify.Immediate);
+  checki "delivered at once" 1 (List.length (Framework.Notify.inbox notify "admins@nancy"))
+
+let test_notify_digest_batching () =
+  let env = Framework.Env.create ~seed:7006L () in
+  let notify = Framework.Notify.create env in
+  let tracker = Framework.Bugtracker.create () in
+  let b1 = file_bug tracker ~signature:"sidapi:lyon" ~category:"services" in
+  let b2 = file_bug tracker ~signature:"env:foo:postinstall" ~category:"software" in
+  ignore (Framework.Notify.notify_bug notify b1);
+  ignore (Framework.Notify.notify_bug notify b2);
+  checki "nothing delivered yet" 0 (List.length (Framework.Notify.sent notify));
+  let digests = Framework.Notify.flush_digests notify ~now:86400.0 in
+  checki "one digest mailbox" 1 (List.length digests);
+  (match digests with
+   | [ d ] ->
+     checks "tools team" "tools-team" d.Framework.Notify.mailbox;
+     checkb "two items inside" true
+       (String.length d.Framework.Notify.body > 0
+       && List.length (String.split_on_char '\n' d.Framework.Notify.body) = 2)
+   | _ -> ());
+  checki "digest delivered" 1 (List.length (Framework.Notify.sent notify));
+  checki "second flush empty" 0
+    (List.length (Framework.Notify.flush_digests notify ~now:172800.0))
+
+let test_notify_body_is_full_report () =
+  let env = Framework.Env.create ~seed:7007L () in
+  let notify = Framework.Notify.create env in
+  let tracker = Framework.Bugtracker.create () in
+  let bug = file_bug tracker ~signature:"refapi:helios-2.sophia:x" ~category:"cpu-settings" in
+  let message = Framework.Notify.notify_bug notify bug in
+  let contains needle =
+    let h = message.Framework.Notify.body in
+    let n = String.length needle and m = String.length h in
+    let rec scan i = i + n <= m && (String.sub h i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  checkb "body embeds the operator report" true (contains "suggested");
+  checks "sophia team" "admins@sophia" message.Framework.Notify.mailbox
+
+let () =
+  Alcotest.run "operability"
+    [
+      ( "accounting",
+        [ Alcotest.test_case "usage tracking" `Quick test_accounting_tracks_usage;
+          Alcotest.test_case "wait times" `Quick test_accounting_wait_times;
+          Alcotest.test_case "empty" `Quick test_accounting_empty ] );
+      ( "ci-logs",
+        [ Alcotest.test_case "log search" `Quick test_log_search;
+          Alcotest.test_case "artifacts" `Quick test_artifacts_roundtrip;
+          Alcotest.test_case "disk script artifact" `Quick
+            test_disk_script_attaches_artifact ] );
+      ( "notify",
+        [ Alcotest.test_case "site routing" `Quick test_notify_routes_to_site_team;
+          Alcotest.test_case "digest batching" `Quick test_notify_digest_batching;
+          Alcotest.test_case "full report body" `Quick test_notify_body_is_full_report ] );
+    ]

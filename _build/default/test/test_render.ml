@@ -1,0 +1,108 @@
+(* Tests for the user-facing renderers: HTML status page, oarstat and
+   oarnodes output. *)
+
+let checkb = Alcotest.(check bool)
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec scan i = i + n <= m && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+(* ---- webstatus ---------------------------------------------------------------- *)
+
+let test_html_escape () =
+  Alcotest.(check string) "escapes" "a&lt;b&gt;&amp;&quot;c"
+    (Framework.Webstatus.html_escape "a<b>&\"c")
+
+let test_cell_classes () =
+  Alcotest.(check string) "ok" "ok" (Framework.Webstatus.cell_class Framework.Statuspage.Ok_);
+  Alcotest.(check string) "ko" "ko" (Framework.Webstatus.cell_class Framework.Statuspage.Ko);
+  Alcotest.(check string) "unstable" "unstable"
+    (Framework.Webstatus.cell_class Framework.Statuspage.Unst);
+  Alcotest.(check string) "missing" "missing"
+    (Framework.Webstatus.cell_class Framework.Statuspage.Missing)
+
+let test_html_document_structure () =
+  let env = Framework.Env.create ~seed:8001L () in
+  let page = Framework.Statuspage.create env in
+  Framework.Jobs.define_all env ~on_evidence:(fun _ -> ());
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Cpu_cstates (Testbed.Faults.Host "grisou-1.nancy"));
+  ignore
+    (Ci.Server.trigger_subset env.Framework.Env.ci "test_refapi"
+       ~axes:[ [ ("cluster", "grisou") ] ]);
+  ignore
+    (Ci.Server.trigger_subset env.Framework.Env.ci "test_refapi"
+       ~axes:[ [ ("cluster", "nyx") ] ]);
+  Framework.Env.run_until env (4.0 *. Simkit.Calendar.hour);
+  let html = Framework.Webstatus.render page in
+  checkb "doctype" true (contains html "<!DOCTYPE html>");
+  checkb "closes" true (contains html "</html>");
+  checkb "red cell for the drifted cluster" true (contains html "class=\"ko\"");
+  checkb "green cell for the healthy one" true (contains html "class=\"ok\"");
+  checkb "all sites in the header" true
+    (List.for_all (fun site -> contains html ("<th>" ^ site ^ "</th>"))
+       Testbed.Inventory.sites);
+  checkb "confidence section" true (contains html "Cluster confidence");
+  checkb "history section" true (contains html "History")
+
+(* ---- oarstat / oarnodes --------------------------------------------------------- *)
+
+let test_oarstat_lists_jobs () =
+  let instance = Testbed.Instance.build ~seed:8002L () in
+  let oar = Oar.Manager.create instance in
+  (match
+     Oar.Manager.submit oar ~user:"alice" ~duration:3600.0
+       (Oar.Request.nodes ~filter:"cluster='nyx'" (`N 2) ~walltime:3600.0)
+   with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "submit failed");
+  let out = Oar.Oarstat.oarstat oar in
+  checkb "user shown" true (contains out "alice");
+  checkb "running state shown" true (contains out "Running")
+
+let test_oarstat_job_details () =
+  let instance = Testbed.Instance.build ~seed:8003L () in
+  let oar = Oar.Manager.create instance in
+  let job =
+    match
+      Oar.Manager.submit oar ~user:"bob" ~jtype:Oar.Job.Deploy ~duration:600.0
+        (Oar.Request.nodes ~filter:"cluster='graphite'" (`N 1) ~walltime:3600.0)
+    with
+    | Ok job -> job
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  (match Oar.Oarstat.oarstat_job oar job.Oar.Job.id with
+   | Some details ->
+     checkb "owner" true (contains details "bob");
+     checkb "type" true (contains details "deploy");
+     checkb "assigned host" true (contains details "graphite-");
+     checkb "request echoed" true (contains details "cluster='graphite'")
+   | None -> Alcotest.fail "job details missing");
+  checkb "unknown id" true (Oar.Oarstat.oarstat_job oar 9999 = None)
+
+let test_oarnodes_table () =
+  let instance = Testbed.Instance.build ~seed:8004L () in
+  let oar = Oar.Manager.create instance in
+  (Testbed.Instance.node instance "graphite-2.nancy").Testbed.Node.state <-
+    Testbed.Node.Down;
+  let out = Oar.Oarstat.oarnodes oar ~cluster:"graphite" in
+  checkb "all four nodes" true
+    (List.for_all (fun i -> contains out (Printf.sprintf "graphite-%d.nancy" i))
+       [ 1; 2; 3; 4 ]);
+  checkb "down state visible" true (contains out "down");
+  checkb "cores column populated" true (contains out "16")
+
+let () =
+  Alcotest.run "render"
+    [
+      ( "webstatus",
+        [ Alcotest.test_case "escape" `Quick test_html_escape;
+          Alcotest.test_case "cell classes" `Quick test_cell_classes;
+          Alcotest.test_case "document structure" `Quick test_html_document_structure ] );
+      ( "oarstat",
+        [ Alcotest.test_case "job table" `Quick test_oarstat_lists_jobs;
+          Alcotest.test_case "job details" `Quick test_oarstat_job_details;
+          Alcotest.test_case "oarnodes" `Quick test_oarnodes_table ] );
+    ]

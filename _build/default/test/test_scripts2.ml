@@ -1,0 +1,264 @@
+(* Completion of the per-family fault-detection matrix: every test family
+   is shown to catch the fault classes it exists for (complementing
+   test_framework's cases), plus cross-family interactions. *)
+
+let checkb = Alcotest.(check bool)
+
+let mk () = Framework.Env.create ~seed:9001L ()
+
+let run_script env config =
+  let build =
+    {
+      Ci.Build.job_name = Framework.Jobs.job_name config.Framework.Testdef.family;
+      number = 1;
+      axes = Framework.Testdef.axes_of_config config;
+      cause = "test";
+      queued_at = Framework.Env.now env;
+      started_at = Some (Framework.Env.now env);
+      finished_at = None;
+      result = None;
+      log = [];
+      artifacts = [];
+    }
+  in
+  let outcome = ref None in
+  Framework.Scripts.run env config ~build ~finish:(fun o -> outcome := Some o);
+  Simkit.Engine.run_until (Framework.Env.engine env)
+    (Framework.Env.now env +. (6.0 *. Simkit.Calendar.hour));
+  match !outcome with Some o -> o | None -> Alcotest.fail "script never finished"
+
+let config_exn family ~id =
+  match
+    List.find_opt
+      (fun c -> String.equal c.Framework.Testdef.config_id id)
+      (Framework.Testdef.expand family)
+  with
+  | Some c -> c
+  | None -> Alcotest.failf "no config %s" id
+
+let result_of env family ~id = (run_script env (config_exn family ~id)).Framework.Scripts.result
+
+(* ---- stdenv: kernel boot race shows up as slow boots ------------------------- *)
+
+let test_stdenv_catches_boot_race () =
+  let env = mk () in
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Kernel_boot_race (Testbed.Faults.Cluster "sagittaire"));
+  (* The delay tail is probabilistic (30% per boot): repeat until caught. *)
+  let caught = ref false in
+  for _ = 1 to 12 do
+    if (not !caught)
+       && result_of env Framework.Testdef.Stdenv ~id:"stdenv:sagittaire"
+          = Ci.Build.Failure
+    then caught := true
+  done;
+  checkb "slow boots eventually flagged" true !caught
+
+(* ---- multireboot: random reboots lose nodes ------------------------------------ *)
+
+let test_multireboot_catches_random_reboots () =
+  let env = mk () in
+  (* Several flaky nodes raise the chance a reboot storm loses one. *)
+  List.iter
+    (fun i ->
+      ignore
+        (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+           Testbed.Faults.Random_reboots
+           (Testbed.Faults.Host (Printf.sprintf "sagittaire-%d.lyon" i))))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  let caught = ref false in
+  for _ = 1 to 6 do
+    if (not !caught)
+       && result_of env Framework.Testdef.Multireboot ~id:"multireboot:sagittaire"
+          = Ci.Build.Failure
+    then caught := true
+  done;
+  checkb "lost nodes flagged" true !caught
+
+(* ---- multideploy: corrupt std image fails both rounds --------------------------- *)
+
+let test_multideploy_catches_corrupt_std () =
+  let env = mk () in
+  let img = Kadeploy.Image.std_env in
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Env_image_corrupt
+       (Testbed.Faults.Global (Printf.sprintf "env_corrupt:%d" img.Kadeploy.Image.index)));
+  checkb "corrupt std env flagged" true
+    (result_of env Framework.Testdef.Multideploy ~id:"multideploy:graphite"
+     = Ci.Build.Failure)
+
+(* ---- paralleldeploy: kadeploy outage on the site --------------------------------- *)
+
+let test_paralleldeploy_catches_kadeploy_outage () =
+  let env = mk () in
+  Testbed.Services.set_state env.Framework.Env.instance.Testbed.Instance.services
+    ~site:"nantes" Testbed.Services.Kadeploy Testbed.Services.Down;
+  checkb "site-wide deployment failure flagged" true
+    (result_of env Framework.Testdef.Paralleldeploy ~id:"paralleldeploy:nantes"
+     = Ci.Build.Failure)
+
+(* ---- sidapi: API service outage ---------------------------------------------------- *)
+
+let test_sidapi_catches_api_outage () =
+  let env = mk () in
+  Testbed.Services.set_state env.Framework.Env.instance.Testbed.Instance.services
+    ~site:"rennes" Testbed.Services.Api Testbed.Services.Down;
+  checkb "api outage flagged" true
+    (result_of env Framework.Testdef.Sidapi ~id:"sidapi:rennes" = Ci.Build.Failure)
+
+(* ---- oarstate: OAR down on the site ------------------------------------------------- *)
+
+let test_oarstate_catches_oar_down () =
+  let env = mk () in
+  Testbed.Services.set_state env.Framework.Env.instance.Testbed.Instance.services
+    ~site:"grenoble" Testbed.Services.Oar Testbed.Services.Down;
+  checkb "oar outage flagged" true
+    (result_of env Framework.Testdef.Oarstate ~id:"oarstate:grenoble" = Ci.Build.Failure)
+
+(* ---- kavlan: service failure surfaces ------------------------------------------------ *)
+
+let test_kavlan_catches_service_failure () =
+  let env = mk () in
+  Testbed.Services.set_state env.Framework.Env.instance.Testbed.Instance.services
+    ~site:"lille" Testbed.Services.Kavlan Testbed.Services.Down;
+  (* VLAN 101 is lille's local VLAN (sites in order). *)
+  let lille_vlan =
+    List.find
+      (fun v -> v.Kavlan.vlan_site = Some "lille" && v.Kavlan.flavour = Kavlan.Local)
+      Kavlan.standard_vlans
+  in
+  checkb "kavlan outage flagged" true
+    (result_of env Framework.Testdef.Kavlan
+       ~id:(Printf.sprintf "kavlan:%d" lille_vlan.Kavlan.vlan_id)
+     = Ci.Build.Failure)
+
+(* ---- environments: boot-race cluster fails deployments ------------------------------- *)
+
+let test_environments_affected_by_boot_race () =
+  let env = mk () in
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Kernel_boot_race (Testbed.Faults.Cluster "helios"));
+  (* Deployments reboot twice; with 30% tail each boot, some runs still
+     pass — the campaign relies on repetition, so do we. *)
+  let failures = ref 0 in
+  for _ = 1 to 10 do
+    if
+      result_of env Framework.Testdef.Environments
+        ~id:"environments:debian8-x64-min:helios"
+      <> Ci.Build.Success
+    then incr failures
+  done;
+  (* Boot race delays boots rather than failing them: deployments get
+     slower, not broken — so most runs still pass.  What must NOT happen
+     is a crash; and the slow boots must be visible to stdenv instead. *)
+  checkb "no spurious mass failure" true (!failures <= 5)
+
+(* ---- cross-family: one fault, multiple detectors -------------------------------------- *)
+
+let test_disk_fault_seen_by_refapi_and_disk () =
+  let env = mk () in
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Disk_firmware (Testbed.Faults.Host "graphite-1.nancy"));
+  checkb "refapi sees the firmware string" true
+    (result_of env Framework.Testdef.Refapi ~id:"refapi:graphite" = Ci.Build.Failure);
+  checkb "disk sees the performance loss" true
+    (result_of env Framework.Testdef.Disk ~id:"disk:graphite" = Ci.Build.Failure)
+
+let test_repair_clears_all_detectors () =
+  let env = mk () in
+  let fault =
+    Option.get
+      (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+         Testbed.Faults.Disk_firmware (Testbed.Faults.Host "graphite-1.nancy"))
+  in
+  checkb "failing before repair" true
+    (result_of env Framework.Testdef.Disk ~id:"disk:graphite" = Ci.Build.Failure);
+  Testbed.Faults.repair (Framework.Env.faults env) ~now:(Framework.Env.now env) fault;
+  checkb "green after repair" true
+    (result_of env Framework.Testdef.Refapi ~id:"refapi:graphite" = Ci.Build.Success);
+  checkb "disk green after repair" true
+    (result_of env Framework.Testdef.Disk ~id:"disk:graphite" = Ci.Build.Success)
+
+(* ---- evidence quality ------------------------------------------------------------------ *)
+
+let test_every_failure_carries_evidence () =
+  let env = mk () in
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Cpu_governor (Testbed.Faults.Host "nova-1.lyon"));
+  let outcome = run_script env (config_exn Framework.Testdef.Refapi ~id:"refapi:nova") in
+  checkb "failure" true (outcome.Framework.Scripts.result = Ci.Build.Failure);
+  List.iter
+    (fun (e : Framework.Bugtracker.evidence) ->
+      checkb "signature non-empty" true (String.length e.Framework.Bugtracker.signature > 0);
+      checkb "summary non-empty" true (String.length e.Framework.Bugtracker.summary > 0);
+      checkb "source test recorded" true
+        (String.length e.Framework.Bugtracker.source_test > 0);
+      checkb "fault correlated" true (e.Framework.Bugtracker.fault_ids <> []))
+    outcome.Framework.Scripts.evidences
+
+let test_scripts_log_for_operators () =
+  let env = mk () in
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Disk_write_cache (Testbed.Faults.Host "graphite-2.nancy"));
+  let config = config_exn Framework.Testdef.Disk ~id:"disk:graphite" in
+  let build =
+    {
+      Ci.Build.job_name = "test_disk";
+      number = 1;
+      axes = Framework.Testdef.axes_of_config config;
+      cause = "test";
+      queued_at = 0.0;
+      started_at = Some 0.0;
+      finished_at = None;
+      result = None;
+      log = [];
+      artifacts = [];
+    }
+  in
+  let finished = ref false in
+  Framework.Scripts.run env config ~build ~finish:(fun _ -> finished := true);
+  Framework.Env.run_until env (6.0 *. Simkit.Calendar.hour);
+  checkb "finished" true !finished;
+  (* KISS: the log names the offending host and the numbers. *)
+  checkb "log names the host" true
+    (List.exists
+       (fun line ->
+         let needle = "graphite-2.nancy" in
+         let n = String.length needle and m = String.length line in
+         let rec scan i = i + n <= m && (String.sub line i n = needle || scan (i + 1)) in
+         scan 0)
+       build.Ci.Build.log)
+
+let () =
+  Alcotest.run "scripts2"
+    [
+      ( "per-family-detection",
+        [ Alcotest.test_case "stdenv: boot race" `Slow test_stdenv_catches_boot_race;
+          Alcotest.test_case "multireboot: random reboots" `Slow
+            test_multireboot_catches_random_reboots;
+          Alcotest.test_case "multideploy: corrupt std" `Quick
+            test_multideploy_catches_corrupt_std;
+          Alcotest.test_case "paralleldeploy: kadeploy down" `Quick
+            test_paralleldeploy_catches_kadeploy_outage;
+          Alcotest.test_case "sidapi: api down" `Quick test_sidapi_catches_api_outage;
+          Alcotest.test_case "oarstate: oar down" `Quick test_oarstate_catches_oar_down;
+          Alcotest.test_case "kavlan: service down" `Quick
+            test_kavlan_catches_service_failure;
+          Alcotest.test_case "environments vs boot race" `Slow
+            test_environments_affected_by_boot_race ] );
+      ( "cross-family",
+        [ Alcotest.test_case "two detectors, one fault" `Quick
+            test_disk_fault_seen_by_refapi_and_disk;
+          Alcotest.test_case "repair clears detectors" `Quick
+            test_repair_clears_all_detectors ] );
+      ( "evidence",
+        [ Alcotest.test_case "failures carry evidence" `Quick
+            test_every_failure_carries_evidence;
+          Alcotest.test_case "logs for operators" `Quick test_scripts_log_for_operators ] );
+    ]

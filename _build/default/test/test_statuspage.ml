@@ -1,0 +1,143 @@
+(* Focused tests for the status page views and the campaign's regression
+   integration. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec scan i = i + n <= m && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let mk () =
+  let env = Framework.Env.create ~seed:6001L () in
+  let page = Framework.Statuspage.create env in
+  Framework.Jobs.define_all env ~on_evidence:(fun _ -> ());
+  (env, page)
+
+let run_build env family axes =
+  ignore
+    (Ci.Server.trigger_subset env.Framework.Env.ci (Framework.Jobs.job_name family)
+       ~axes:[ axes ]);
+  Framework.Env.run_until env (Framework.Env.now env +. (4.0 *. Simkit.Calendar.hour))
+
+(* ---- cell semantics --------------------------------------------------------- *)
+
+let test_cells_default_missing () =
+  let _, page = mk () in
+  List.iter
+    (fun family ->
+      checkb "missing before any run" true
+        (Framework.Statuspage.latest page ~family ~scope:"graphene"
+         = Framework.Statuspage.Missing))
+    Framework.Testdef.all_families
+
+let test_latest_overwrites () =
+  let env, page = mk () in
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Cpu_turbo (Testbed.Faults.Host "nyx-1.luxembourg"));
+  run_build env Framework.Testdef.Refapi [ ("cluster", "nyx") ];
+  checkb "red after the failing run" true
+    (Framework.Statuspage.latest page ~family:Framework.Testdef.Refapi ~scope:"nyx"
+     = Framework.Statuspage.Ko);
+  (* Fix and re-run: the cell turns green — the paper's test-driven
+     operations loop at the page level. *)
+  let fault = List.hd (Testbed.Faults.history (Framework.Env.faults env)) in
+  Testbed.Faults.repair (Framework.Env.faults env) ~now:(Framework.Env.now env) fault;
+  run_build env Framework.Testdef.Refapi [ ("cluster", "nyx") ];
+  checkb "green after repair" true
+    (Framework.Statuspage.latest page ~family:Framework.Testdef.Refapi ~scope:"nyx"
+     = Framework.Statuspage.Ok_)
+
+let test_site_rollup_worst_of () =
+  let env, page = mk () in
+  (* Two luxembourg clusters: one green, one red -> site cell red. *)
+  ignore
+    (Testbed.Faults.inject_on (Framework.Env.faults env) ~now:0.0
+       Testbed.Faults.Cpu_turbo (Testbed.Faults.Host "granduc-1.luxembourg"));
+  run_build env Framework.Testdef.Refapi [ ("cluster", "nyx") ];
+  run_build env Framework.Testdef.Refapi [ ("cluster", "granduc") ];
+  checkb "nyx green" true
+    (Framework.Statuspage.latest page ~family:Framework.Testdef.Refapi ~scope:"nyx"
+     = Framework.Statuspage.Ok_);
+  checkb "site shows the worst cluster" true
+    (Framework.Statuspage.site_status page ~family:Framework.Testdef.Refapi
+       ~site:"luxembourg"
+     = Framework.Statuspage.Ko)
+
+let test_summary_rows_accumulate () =
+  let env, page = mk () in
+  run_build env Framework.Testdef.Oarstate [ ("site", "lyon") ];
+  run_build env Framework.Testdef.Oarstate [ ("site", "nancy") ];
+  match
+    List.find_opt (fun (name, _, _, _, _) -> name = "oarstate")
+      (Framework.Statuspage.summary_rows page)
+  with
+  | Some (_, ok, ko, unstable, ratio) ->
+    checki "two ok" 2 ok;
+    checki "no ko" 0 ko;
+    checki "no unstable" 0 unstable;
+    Alcotest.(check (float 1e-9)) "ratio" 1.0 ratio
+  | None -> Alcotest.fail "oarstate row missing"
+
+let test_per_cluster_matrix_renders () =
+  let env, page = mk () in
+  run_build env Framework.Testdef.Refapi [ ("cluster", "grisou") ];
+  let matrix = Framework.Statuspage.per_cluster_matrix page ~site:"nancy" in
+  checkb "mentions grisou" true (contains matrix "grisou");
+  checkb "mentions refapi" true (contains matrix "refapi");
+  (* Site-scoped families (oarstate, cmdline...) are excluded from the
+     per-cluster view. *)
+  checkb "no oarstate row" false (contains matrix "oarstate")
+
+let test_overview_includes_weather () =
+  let env, page = mk () in
+  run_build env Framework.Testdef.Sidapi [ ("site", "rennes") ];
+  let overview = Framework.Statuspage.render_overview page in
+  checkb "weather section" true (contains overview "weather");
+  checkb "history section" true (contains overview "History")
+
+(* ---- campaign regression integration -------------------------------------------- *)
+
+let test_campaign_with_regression_jobs () =
+  let report =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with
+        Framework.Campaign.months = 1;
+        seed = 6002L;
+        workload = None;
+        enable_regression = true;
+      }
+  in
+  (* Nightly regression builds add to the total (4 jobs x ~30 nights),
+     beyond what the catalog scheduler triggers. *)
+  checkb "campaign ran" true (report.Framework.Campaign.builds_total > 0);
+  let without =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with
+        Framework.Campaign.months = 1;
+        seed = 6002L;
+        workload = None;
+        enable_regression = false;
+      }
+  in
+  checkb "regression adds ~120 nightly builds" true
+    (report.Framework.Campaign.builds_total
+     - without.Framework.Campaign.builds_total
+     >= 100)
+
+let () =
+  Alcotest.run "statuspage"
+    [
+      ( "cells",
+        [ Alcotest.test_case "default missing" `Quick test_cells_default_missing;
+          Alcotest.test_case "latest overwrites" `Quick test_latest_overwrites;
+          Alcotest.test_case "site rollup" `Quick test_site_rollup_worst_of;
+          Alcotest.test_case "summary rows" `Quick test_summary_rows_accumulate;
+          Alcotest.test_case "per-cluster matrix" `Quick test_per_cluster_matrix_renders;
+          Alcotest.test_case "overview sections" `Quick test_overview_includes_weather ] );
+      ( "campaign",
+        [ Alcotest.test_case "regression jobs nightly" `Slow
+            test_campaign_with_regression_jobs ] );
+    ]

@@ -1,0 +1,180 @@
+(* Tests for the explicit network topology. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let mk () =
+  let instance = Testbed.Instance.build ~seed:808L () in
+  let topo =
+    Testbed.Topology.build instance.Testbed.Instance.network
+      (Array.to_list instance.Testbed.Instance.nodes)
+  in
+  (instance, topo)
+
+let test_same_switch_path () =
+  let _, topo = mk () in
+  let devices = Testbed.Topology.path topo ~from:"grisou-1.nancy" ~to_:"grisou-2.nancy" in
+  checki "host-switch-host" 3 (List.length devices);
+  checki "two hops" 2 (Testbed.Topology.hops topo ~from:"grisou-1.nancy" ~to_:"grisou-2.nancy");
+  match devices with
+  | [ Testbed.Topology.Host a; Testbed.Topology.Switch _; Testbed.Topology.Host b ] ->
+    Alcotest.(check string) "from" "grisou-1.nancy" a;
+    Alcotest.(check string) "to" "grisou-2.nancy" b
+  | _ -> Alcotest.fail "unexpected path shape"
+
+let test_self_path () =
+  let _, topo = mk () in
+  checki "zero hops to self" 0
+    (Testbed.Topology.hops topo ~from:"grisou-1.nancy" ~to_:"grisou-1.nancy");
+  checkb "infinite self bandwidth" true
+    (Testbed.Topology.bottleneck_gbps topo ~from:"grisou-1.nancy" ~to_:"grisou-1.nancy"
+     = infinity)
+
+let test_cross_site_goes_through_routers () =
+  let _, topo = mk () in
+  let devices = Testbed.Topology.path topo ~from:"grisou-1.nancy" ~to_:"helios-1.sophia" in
+  let routers =
+    List.filter (function Testbed.Topology.Router _ -> true | _ -> false) devices
+  in
+  checkb "at least two routers" true (List.length routers >= 2);
+  checkb "starts at nancy's router" true
+    (List.exists
+       (function Testbed.Topology.Router r -> r = "router-nancy" | _ -> false)
+       devices);
+  checkb "ends at sophia's router" true
+    (List.exists
+       (function Testbed.Topology.Router r -> r = "router-sophia" | _ -> false)
+       devices)
+
+let test_ring_takes_shorter_direction () =
+  let _, topo = mk () in
+  (* Sites in order: grenoble lille luxembourg lyon nancy nantes rennes
+     sophia.  grenoble <-> sophia are ring neighbours (wrap-around), so
+     the path must use 1 backbone segment, not 7. *)
+  let devices = Testbed.Topology.path topo ~from:"genepi-1.grenoble" ~to_:"helios-1.sophia" in
+  let routers =
+    List.filter (function Testbed.Topology.Router _ -> true | _ -> false) devices
+  in
+  checki "wrap-around uses two routers" 2 (List.length routers)
+
+let test_bottleneck_capacities () =
+  let _, topo = mk () in
+  (* grisou has 10G NICs; cross-site bottleneck is the backbone (10) or
+     the NIC; sagittaire has 1G NICs -> bottleneck 1. *)
+  checkf "1G NIC limits" 1.0
+    (Testbed.Topology.bottleneck_gbps topo ~from:"sagittaire-1.lyon"
+       ~to_:"sagittaire-2.lyon");
+  checkb "cross-site capped at backbone" true
+    (Testbed.Topology.bottleneck_gbps topo ~from:"grisou-1.nancy" ~to_:"ecotype-1.nantes"
+     <= 10.0)
+
+let test_latency_structure () =
+  let _, topo = mk () in
+  let lan =
+    Testbed.Topology.latency_estimate_ms topo ~from:"grisou-1.nancy" ~to_:"grisou-2.nancy"
+  in
+  let wan =
+    Testbed.Topology.latency_estimate_ms topo ~from:"grisou-1.nancy" ~to_:"helios-1.sophia"
+  in
+  checkb "LAN under 1 ms" true (lan < 1.0);
+  checkb "WAN at least one backbone segment" true (wan >= 2.5);
+  checkb "hierarchy" true (lan < wan)
+
+let test_backbone_ring_structure () =
+  let _, topo = mk () in
+  let segments = Testbed.Topology.backbone_segments topo in
+  checki "8 segments in the ring" 8 (List.length segments);
+  checki "8 routers" 8 (List.length (Testbed.Topology.routers topo));
+  (* Every site's router appears exactly twice across segments. *)
+  List.iter
+    (fun site ->
+      let router = "router-" ^ site in
+      let occurrences =
+        List.length
+          (List.filter (fun (a, b) -> a = router || b = router) segments)
+      in
+      checki (router ^ " degree") 2 occurrences)
+    Testbed.Inventory.sites
+
+let test_cabling_fault_moves_host () =
+  let instance, _ = mk () in
+  (* Swap a host with one on a different ToR of the same site, then
+     rebuild: the topology must reflect the actual (wrong) port. *)
+  let net = instance.Testbed.Instance.network in
+  let host_a = "graphene-1.nancy" in
+  (* Find a nancy host on a different switch. *)
+  let port_a = Option.get (Testbed.Network.actual_port net host_a) in
+  let host_b =
+    Testbed.Instance.nodes_of_site instance "nancy"
+    |> List.find_map (fun n ->
+           match Testbed.Network.actual_port net n.Testbed.Node.host with
+           | Some p when p.Testbed.Network.switch <> port_a.Testbed.Network.switch ->
+             Some n.Testbed.Node.host
+           | _ -> None)
+    |> Option.get
+  in
+  Testbed.Network.swap_cables net host_a host_b;
+  let topo =
+    Testbed.Topology.build net (Array.to_list instance.Testbed.Instance.nodes)
+  in
+  let devices = Testbed.Topology.path topo ~from:host_a ~to_:host_b in
+  ignore devices;
+  (* host_a now hangs off host_b's old switch. *)
+  (match Testbed.Topology.path topo ~from:host_a ~to_:host_a with
+   | [ Testbed.Topology.Host _ ] -> ()
+   | _ -> Alcotest.fail "self path broken");
+  let sw_of host =
+    match Testbed.Topology.path topo ~from:host ~to_:host_b with
+    | _ :: Testbed.Topology.Switch s :: _ -> s
+    | _ -> "?"
+  in
+  checkb "topology follows the miswired cable" true
+    (sw_of host_a <> port_a.Testbed.Network.switch)
+
+let test_topology_json () =
+  let _, topo = mk () in
+  let json = Testbed.Topology.to_json topo in
+  (match Simkit.Json.list_member "routers" json with
+   | Some routers -> checki "8 routers serialised" 8 (List.length routers)
+   | None -> Alcotest.fail "routers missing");
+  match Simkit.Json.of_string (Simkit.Json.to_string json) with
+  | Ok parsed -> checkb "wire roundtrip" true (Simkit.Json.equal parsed json)
+  | Error e -> Alcotest.fail e
+
+let prop_path_endpoints =
+  QCheck.Test.make ~name:"topology: paths start and end at the hosts" ~count:100
+    QCheck.(pair (int_bound 893) (int_bound 893))
+    (fun (i, j) ->
+      let instance = Testbed.Instance.build ~seed:808L () in
+      let topo =
+        Testbed.Topology.build instance.Testbed.Instance.network
+          (Array.to_list instance.Testbed.Instance.nodes)
+      in
+      let a = instance.Testbed.Instance.nodes.(i).Testbed.Node.host in
+      let b = instance.Testbed.Instance.nodes.(j).Testbed.Node.host in
+      match Testbed.Topology.path topo ~from:a ~to_:b with
+      | [] -> false
+      | devices ->
+        Testbed.Topology.device_name (List.hd devices) = a
+        && Testbed.Topology.device_name (List.nth devices (List.length devices - 1)) = b
+        && Testbed.Topology.hops topo ~from:a ~to_:b = List.length devices - 1)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "topology"
+    [
+      ( "topology",
+        [ Alcotest.test_case "same switch" `Quick test_same_switch_path;
+          Alcotest.test_case "self path" `Quick test_self_path;
+          Alcotest.test_case "cross-site routers" `Quick
+            test_cross_site_goes_through_routers;
+          Alcotest.test_case "ring shorter direction" `Quick
+            test_ring_takes_shorter_direction;
+          Alcotest.test_case "bottlenecks" `Quick test_bottleneck_capacities;
+          Alcotest.test_case "latency structure" `Quick test_latency_structure;
+          Alcotest.test_case "ring structure" `Quick test_backbone_ring_structure;
+          Alcotest.test_case "cabling fault visible" `Quick test_cabling_fault_moves_host;
+          Alcotest.test_case "json" `Quick test_topology_json;
+          qc prop_path_endpoints ] );
+    ]
