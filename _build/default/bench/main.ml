@@ -587,6 +587,50 @@ let a6 () =
   Printf.printf "bugs filed by regression experiments: %d\n" filed;
   Printf.printf "paper: \"adding real user experiments as regression tests?\" — done.\n"
 
+(* ---- E11: resilience under infrastructure faults ---------------------------------------- *)
+
+(* Chaos campaign: CI outage, hung builds and a queue wipe injected
+   mid-campaign, with the resilience layer (watchdogs, breakers, retry
+   budgets) switched on.  Emits the resilience summary as JSON so the
+   run can be diffed/tracked; [--scenario resilience] runs only this. *)
+let e11_resilience () =
+  section "E11" "resilience: chaos campaign (CI outage, hung builds, queue loss)";
+  let day = Simkit.Calendar.day in
+  let report =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with
+        Framework.Campaign.months = 2;
+        seed = 1111L;
+        resilience = true;
+        infra_faults =
+          [ (5.0 *. day, Testbed.Faults.Ci_outage);
+            (12.0 *. day, Testbed.Faults.Build_hang);
+            (20.0 *. day, Testbed.Faults.Queue_loss);
+            (33.0 *. day, Testbed.Faults.Build_hang);
+            (45.0 *. day, Testbed.Faults.Ci_outage) ];
+        policy =
+          { Framework.Scheduler.smart_policy with
+            Framework.Scheduler.retry_budget = 6;
+            backoff_jitter = 0.3;
+            breaker = Some Framework.Resilience.Breaker.default;
+          };
+      }
+  in
+  (match report.Framework.Campaign.scheduler_stats with
+   | Some s ->
+     Printf.printf
+       "campaign completed: %d builds, %d triggered, %d retries spent, %d \
+        breaker trips\n"
+       report.Framework.Campaign.builds_total s.Framework.Scheduler.triggered
+       s.Framework.Scheduler.retries_spent s.Framework.Scheduler.breaker_trips
+   | None -> ());
+  match report.Framework.Campaign.resilience with
+  | Some summary ->
+    print_endline
+      (Simkit.Json.to_string ~indent:2
+         (Framework.Resilience.summary_to_json summary))
+  | None -> print_endline "(resilience layer was not attached)"
+
 (* ---- Bechamel micro-benchmarks --------------------------------------------------------- *)
 
 let microbenchmarks () =
@@ -652,8 +696,7 @@ let microbenchmarks () =
         results)
     tests
 
-let () =
-  let t0 = Unix.gettimeofday () in
+let run_all () =
   e1 ();
   e2 ();
   e3 ();
@@ -664,10 +707,32 @@ let () =
   e8 ();
   e9 ();
   e10 ();
+  e11_resilience ();
   a1 ();
   a2_a3 ();
   a4 ();
   a5 ();
   a6 ();
-  microbenchmarks ();
-  Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  microbenchmarks ()
+
+let scenarios =
+  [ ("all", run_all); ("resilience", e11_resilience); ("micro", microbenchmarks) ]
+
+let () =
+  let scenario = ref "all" in
+  Arg.parse
+    [ ( "--scenario",
+        Arg.Set_string scenario,
+        Printf.sprintf "NAME  run one scenario (%s)"
+          (String.concat "|" (List.map fst scenarios)) ) ]
+    (fun anon -> raise (Arg.Bad ("unexpected argument: " ^ anon)))
+    "bench [--scenario NAME]";
+  match List.assoc_opt !scenario scenarios with
+  | None ->
+    Printf.eprintf "unknown scenario %s (known: %s)\n" !scenario
+      (String.concat ", " (List.map fst scenarios));
+    exit 2
+  | Some run ->
+    let t0 = Unix.gettimeofday () in
+    run ();
+    Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

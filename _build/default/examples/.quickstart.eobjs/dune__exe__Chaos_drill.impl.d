@@ -1,0 +1,1 @@
+examples/chaos_drill.ml: Format Framework Simkit Testbed

@@ -1,0 +1,1 @@
+examples/chaos_drill.mli:

@@ -1,1 +1,1 @@
-lib/ci/build.ml: Format List String
+lib/ci/build.ml: Format List Printf String

@@ -5,6 +5,7 @@ type t = {
   number : int;
   axes : (string * string) list;
   cause : string;
+  retry_of : int option;
   queued_at : float;
   mutable started_at : float option;
   mutable finished_at : float option;
@@ -46,6 +47,9 @@ let axes_to_string axes =
   String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) axes)
 
 let pp ppf t =
-  Format.fprintf ppf "%s#%d%s [%s]" t.job_name t.number
+  Format.fprintf ppf "%s#%d%s [%s]%s" t.job_name t.number
     (match t.axes with [] -> "" | axes -> "(" ^ axes_to_string axes ^ ")")
     (match t.result with Some r -> result_to_string r | None -> "pending")
+    (match t.retry_of with
+     | Some n -> Printf.sprintf " (retry of #%d)" n
+     | None -> "")

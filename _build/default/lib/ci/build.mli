@@ -12,6 +12,9 @@ type t = {
   number : int;
   axes : (string * string) list;  (** matrix coordinates; [] for freestyle *)
   cause : string;  (** who/what triggered it *)
+  retry_of : int option;
+      (** Matrix-Reloaded lineage: the build number (same job) this
+          build retries, [None] for first attempts *)
   queued_at : float;
   mutable started_at : float option;
   mutable finished_at : float option;
@@ -38,3 +41,5 @@ val axes_to_string : (string * string) list -> string
 (** ["image=debian8,cluster=graphene"] (empty string for []). *)
 
 val pp : Format.formatter -> t -> unit
+(** ["job#12(axes) [FAILURE] (retry of #9)"] — the retry suffix shows
+    the Matrix-Reloaded lineage chain. *)

@@ -15,6 +15,17 @@ type t = {
   mutable next_number : (string, int) Hashtbl.t;
   mutable executed : int;
   mutable listeners : (Build.t -> unit) list;
+  mutable start_listeners : (Build.t -> unit) list;
+  (* Degraded modes driven by the resilience layer (infrastructure
+     faults).  During an outage the executors pause: triggers keep
+     queueing and are replayed when the outage clears.  While [hang] is
+     set, started builds never run their body — only an external
+     [interrupt] (the watchdog) finishes them. *)
+  mutable in_outage : bool;
+  mutable hang : bool;
+  mutable deferred : int;  (* builds enqueued while in outage *)
+  running : (string * int, Build.result -> unit) Hashtbl.t;
+      (* started, unfinished builds -> their finish continuation *)
 }
 
 let create ?(executors = 6) engine =
@@ -29,9 +40,15 @@ let create ?(executors = 6) engine =
     next_number = Hashtbl.create 32;
     executed = 0;
     listeners = [];
+    start_listeners = [];
+    in_outage = false;
+    hang = false;
+    deferred = 0;
+    running = Hashtbl.create 16;
   }
 
 let on_build_complete t f = t.listeners <- f :: t.listeners
+let on_build_start t f = t.start_listeners <- f :: t.start_listeners
 
 let engine t = t.engine
 let now t = Simkit.Engine.now t.engine
@@ -85,19 +102,21 @@ let record t build =
 (* ---- executor pool ------------------------------------------------------ *)
 
 let rec pump t =
-  if t.busy < t.n_executors then begin
+  if t.busy < t.n_executors && not t.in_outage then begin
     match t.queue with
     | [] -> ()
     | { job; build } :: rest ->
       t.queue <- rest;
-      if build.Build.result = Some Build.Aborted then pump t
+      if build.Build.result <> None then pump t
       else begin
         t.busy <- t.busy + 1;
         build.Build.started_at <- Some (now t);
+        let key = (build.Build.job_name, build.Build.number) in
         let finished = ref false in
         let finish result =
           if not !finished then begin
             finished := true;
+            Hashtbl.remove t.running key;
             build.Build.result <- Some result;
             build.Build.finished_at <- Some (now t);
             t.busy <- t.busy - 1;
@@ -106,21 +125,32 @@ let rec pump t =
             pump t
           end
         in
-        (try job.Jobdef.body ~engine:t.engine ~build ~finish
-         with exn ->
-           Build.append_log build ("executor exception: " ^ Printexc.to_string exn);
-           finish Build.Failure);
-        pump t
+        Hashtbl.replace t.running key finish;
+        List.iter (fun f -> f build) t.start_listeners;
+        if t.hang then begin
+          (* Build_hang fault: the executor is consumed but the body
+             never runs; only the watchdog's interrupt frees it. *)
+          Build.append_log build "build hung (infrastructure fault)";
+          pump t
+        end
+        else begin
+          (try job.Jobdef.body ~engine:t.engine ~build ~finish
+           with exn ->
+             Build.append_log build ("executor exception: " ^ Printexc.to_string exn);
+             finish Build.Failure);
+          pump t
+        end
       end
   end
 
-let enqueue t job ~axes ~cause =
+let enqueue t job ?(retry_of = None) ~axes ~cause () =
   let build =
     {
       Build.job_name = job.Jobdef.name;
       number = fresh_number t job.Jobdef.name;
       axes;
       cause;
+      retry_of;
       queued_at = now t;
       started_at = None;
       finished_at = None;
@@ -130,13 +160,17 @@ let enqueue t job ~axes ~cause =
     }
   in
   record t build;
+  if t.in_outage then begin
+    t.deferred <- t.deferred + 1;
+    Build.append_log build "queued during CI outage; will replay on recovery"
+  end;
   t.queue <- t.queue @ [ { job; build } ];
   pump t;
   build
 
-let trigger_combinations t job ~cause combos =
+let trigger_combinations t job ?(retry_of = None) ~cause combos =
   let numbers =
-    List.map (fun axes -> (enqueue t job ~axes ~cause).Build.number) combos
+    List.map (fun axes -> (enqueue t job ~retry_of ~axes ~cause ()).Build.number) combos
   in
   Queued numbers
 
@@ -156,11 +190,12 @@ let trigger_as t ~user name =
   | Some (Trigger | Admin) -> trigger t ~cause:("user:" ^ user) name
   | Some Read | None -> Denied
 
-let trigger_subset t ?(cause = "matrix-reloaded") name ~axes =
+let trigger_subset t ?(cause = "matrix-reloaded") ?retry_of name ~axes =
   match find_job t name with
   | None -> Not_found
   | Some job ->
-    if not job.Jobdef.enabled then Disabled else trigger_combinations t job ~cause axes
+    if not job.Jobdef.enabled then Disabled
+    else trigger_combinations t job ~retry_of ~cause axes
 
 let retry_failed t ?(cause = "matrix-reloaded") name =
   match find_job t name with
@@ -169,23 +204,71 @@ let retry_failed t ?(cause = "matrix-reloaded") name =
     match job.Jobdef.kind with
     | Jobdef.Freestyle -> (
       match last_completed t name with
-      | Some b when b.Build.result <> Some Build.Success -> trigger t ~cause name
+      | Some b when b.Build.result <> Some Build.Success ->
+        if not job.Jobdef.enabled then Disabled
+        else
+          Queued
+            [ (enqueue t job ~retry_of:(Some b.Build.number) ~axes:[] ~cause ())
+                .Build.number ]
       | _ -> Queued [])
     | Jobdef.Matrix axes ->
       let failed =
         Jobdef.combinations axes
-        |> List.filter (fun combo ->
+        |> List.filter_map (fun combo ->
                match last_of_axes t name ~axes:combo with
-               | Some b -> Build.is_finished b && b.Build.result <> Some Build.Success
-               | None -> false)
+               | Some b when Build.is_finished b && b.Build.result <> Some Build.Success
+                 -> Some (combo, b.Build.number)
+               | _ -> None)
       in
-      if failed = [] then Queued [] else trigger_subset t ~cause name ~axes:failed)
+      if failed = [] then Queued []
+      else if not job.Jobdef.enabled then Disabled
+      else
+        Queued
+          (List.map
+             (fun (combo, src) ->
+               (enqueue t job ~retry_of:(Some src) ~axes:combo ~cause ()).Build.number)
+             failed))
 
 let abort_build t build =
   if build.Build.started_at = None && build.Build.result = None then begin
     build.Build.result <- Some Build.Aborted;
     build.Build.finished_at <- Some (now t)
   end
+
+(* ---- degraded modes (infrastructure faults) ----------------------------- *)
+
+let outage t = t.in_outage
+let deferred_triggers t = t.deferred
+let set_hang t hang = t.hang <- hang
+
+let set_outage t down =
+  if t.in_outage <> down then begin
+    t.in_outage <- down;
+    if not down then pump t  (* recovery: replay everything queued *)
+  end
+
+let interrupt t build =
+  match Hashtbl.find_opt t.running (build.Build.job_name, build.Build.number) with
+  | Some finish ->
+    Build.append_log build "aborted: exceeded watchdog deadline";
+    finish Build.Aborted;
+    true
+  | None -> false
+
+let drop_queue t =
+  let lost = t.queue in
+  t.queue <- [];
+  List.iter
+    (fun { build; _ } ->
+      if build.Build.result = None then begin
+        Build.append_log build "lost: CI queue wiped (infrastructure fault)";
+        build.Build.result <- Some Build.Not_built;
+        build.Build.finished_at <- Some (now t);
+        (* Notify listeners so schedulers reschedule the lost work. *)
+        List.iter (fun f -> f build) t.listeners
+      end)
+    lost;
+  List.length lost
 
 (* ---- log search ---------------------------------------------------------- *)
 

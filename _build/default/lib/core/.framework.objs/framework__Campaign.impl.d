@@ -1,1 +1,1 @@
-lib/core/campaign.ml: Bugtracker Ci Confidence Env Format Hashtbl Jobs List Oar Operator Option Regression Scheduler Simkit Statuspage String Testbed Testdef Webstatus
+lib/core/campaign.ml: Bugtracker Ci Confidence Env Format Hashtbl Jobs List Oar Operator Option Regression Resilience Scheduler Simkit Statuspage String Testbed Testdef Webstatus

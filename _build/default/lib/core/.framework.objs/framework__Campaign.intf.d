@@ -1,1 +1,1 @@
-lib/core/campaign.mli: Format Oar Operator Scheduler Testdef
+lib/core/campaign.mli: Format Oar Operator Resilience Scheduler Testbed Testdef

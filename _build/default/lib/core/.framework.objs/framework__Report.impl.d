@@ -1,1 +1,1 @@
-lib/core/report.ml: Campaign Float Int64 List Printf Scheduler Simkit
+lib/core/report.ml: Campaign Float Int64 List Printf Resilience Scheduler Simkit

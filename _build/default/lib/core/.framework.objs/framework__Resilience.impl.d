@@ -1,0 +1,1 @@
+lib/core/resilience.ml: Ci Env Float Hashtbl Jobs Simkit Testbed Testdef

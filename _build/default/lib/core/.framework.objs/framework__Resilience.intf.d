@@ -1,0 +1,1 @@
+lib/core/resilience.mli: Ci Env Simkit

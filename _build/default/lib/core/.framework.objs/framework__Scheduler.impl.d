@@ -1,1 +1,1 @@
-lib/core/scheduler.ml: Ci Env Float Hashtbl Jobs List Oar Option Printf Simkit String Testbed Testdef
+lib/core/scheduler.ml: Ci Env Hashtbl Int64 Jobs List Oar Option Printf Resilience Simkit String Testbed Testdef

@@ -1,1 +1,1 @@
-lib/core/scheduler.mli: Env Testdef
+lib/core/scheduler.mli: Env Resilience Testdef

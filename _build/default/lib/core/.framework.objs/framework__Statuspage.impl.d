@@ -1,1 +1,1 @@
-lib/core/statuspage.ml: Buffer Ci Env Hashtbl Jobs List Option Simkit String Testbed Testdef
+lib/core/statuspage.ml: Buffer Ci Env Hashtbl Jobs List Option Resilience Simkit String Testbed Testdef

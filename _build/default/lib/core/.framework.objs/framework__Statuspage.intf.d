@@ -1,1 +1,1 @@
-lib/core/statuspage.mli: Env Testdef
+lib/core/statuspage.mli: Env Resilience Testdef

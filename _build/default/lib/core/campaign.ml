@@ -10,6 +10,9 @@ type config = {
   enable_regression : bool;
   policy : Scheduler.policy;
   operator : Operator.config;
+  resilience : bool;
+  infra_faults : (float * Testbed.Faults.kind) list;
+  infra_fault_duration : float;
 }
 
 let default_config =
@@ -32,6 +35,9 @@ let default_config =
     enable_regression = false;
     policy = Scheduler.smart_policy;
     operator = Operator.default_config;
+    resilience = false;
+    infra_faults = [];
+    infra_fault_duration = 12.0 *. Simkit.Calendar.hour;
   }
 
 type monthly = {
@@ -58,6 +64,7 @@ type report = {
   builds_total : int;
   workload_jobs : int;
   scheduler_stats : Scheduler.stats option;
+  resilience : Resilience.summary option;
   mean_active_faults : float;
   statuspage : string;
   statuspage_html : string;
@@ -106,6 +113,28 @@ let run cfg =
     inject_traced 0.0 (pick_kind rng)
   done;
   Oar.Manager.refresh_properties env.Env.oar;
+
+  (* Resilience layer: watchdogs + degraded-mode supervision of the CI
+     server.  Off by default so historical campaigns replay bit-for-bit. *)
+  let infra = if cfg.resilience then Some (Resilience.Infra.attach env) else None in
+
+  (* Scheduled faults against the testing infrastructure itself
+     (CI outage, hung builds, queue loss), each repaired after
+     [infra_fault_duration]. *)
+  List.iter
+    (fun (time, kind) ->
+      ignore
+        (Simkit.Engine.schedule_at engine ~time (fun eng ->
+             match Testbed.Faults.inject faults ~now:(Simkit.Engine.now eng) kind with
+             | Some fault ->
+               Env.tracef env ~category:"fault" "#%d %s" fault.Testbed.Faults.id
+                 fault.Testbed.Faults.what;
+               ignore
+                 (Simkit.Engine.schedule eng ~delay:cfg.infra_fault_duration
+                    (fun eng ->
+                      Testbed.Faults.repair faults ~now:(Simkit.Engine.now eng) fault))
+             | None -> ())))
+    cfg.infra_faults;
 
   (* Continuous fault arrivals, sampled every 6 hours. *)
   let sweep = 6.0 *. Simkit.Calendar.hour in
@@ -232,6 +261,23 @@ let run cfg =
     |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
   in
   let filed, fixed = Bugtracker.counts tracker in
+  let resilience_summary =
+    Option.map
+      (fun i ->
+        let sched =
+          Option.map
+            (fun s ->
+              let st = Scheduler.stats s in
+              ( st.Scheduler.breaker_trips,
+                st.Scheduler.skipped_breaker_open,
+                st.Scheduler.retries_spent,
+                st.Scheduler.retries_exhausted,
+                cfg.policy.Scheduler.retry_budget ))
+            scheduler
+        in
+        Resilience.Infra.summary i ~scheduler:sched)
+      infra
+  in
   let mean_active_faults =
     match monthly with
     | [] -> 0.0
@@ -254,10 +300,16 @@ let run cfg =
     builds_total = Ci.Server.builds_executed env.Env.ci;
     workload_jobs = (match workload with Some w -> Oar.Workload.submitted w | None -> 0);
     scheduler_stats = Option.map Scheduler.stats scheduler;
+    resilience = resilience_summary;
     mean_active_faults;
     statuspage =
       Statuspage.render_overview page ^ "\n== Cluster confidence ==\n"
-      ^ Confidence.render page;
+      ^ Confidence.render page
+      ^ (match resilience_summary with
+        | Some s ->
+          "\n== Resilience (testing infrastructure) ==\n"
+          ^ Statuspage.render_resilience s
+        | None -> "");
     statuspage_html = Webstatus.render page;
   }
 
@@ -266,6 +318,14 @@ let pp_report ppf report =
     report.cfg.months report.builds_total report.bugs_filed report.bugs_fixed;
   Format.fprintf ppf "faults: %d injected, %d detected, %d repaired@."
     report.faults_injected report.faults_detected report.faults_repaired;
+  (match report.resilience with
+   | Some r ->
+     Format.fprintf ppf
+       "resilience: %d watchdog aborts, %d breaker trips, %d CI outages, %d \
+        builds dropped@."
+       r.Resilience.watchdog_aborts r.Resilience.breaker_trips
+       r.Resilience.ci_outages r.Resilience.dropped_builds
+   | None -> ());
   List.iter
     (fun m ->
       Format.fprintf ppf

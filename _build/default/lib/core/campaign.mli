@@ -21,6 +21,17 @@ type config = {
       (** also run the user-experiment regression jobs nightly *)
   policy : Scheduler.policy;
   operator : Operator.config;
+  resilience : bool;
+      (** attach the {!Resilience.Infra} supervisor (watchdogs + CI
+          degraded modes); off by default so historical campaigns replay
+          bit-for-bit *)
+  infra_faults : (float * Testbed.Faults.kind) list;
+      (** scheduled faults against the testing infrastructure itself:
+          (time, kind) with kind one of [Ci_outage]/[Build_hang]/
+          [Queue_loss] *)
+  infra_fault_duration : float;
+      (** seconds before each scheduled infrastructure fault is
+          repaired *)
 }
 
 val default_config : config
@@ -53,6 +64,8 @@ type report = {
   builds_total : int;
   workload_jobs : int;
   scheduler_stats : Scheduler.stats option;
+  resilience : Resilience.summary option;
+      (** present iff the campaign ran with [resilience = true] *)
   mean_active_faults : float;
   statuspage : string;  (** rendered overview at campaign end *)
   statuspage_html : string;  (** same views as a standalone HTML page *)

@@ -26,8 +26,16 @@ let scheduler_to_json (s : Scheduler.stats) =
 
 let to_json (report : Campaign.report) =
   let open Simkit.Json in
+  (* The resilience member only exists when the campaign ran with the
+     resilience layer attached, so reports from historical configurations
+     stay byte-identical. *)
+  let resilience =
+    match report.Campaign.resilience with
+    | Some s -> [ ("resilience", Resilience.summary_to_json s) ]
+    | None -> []
+  in
   Obj
-    [ ("schema", String "g5ktest/campaign-report/1");
+    ([ ("schema", String "g5ktest/campaign-report/1");
       ("months", Int report.Campaign.cfg.Campaign.months);
       ("seed", String (Int64.to_string report.Campaign.cfg.Campaign.seed));
       ("builds_total", Int report.Campaign.builds_total);
@@ -58,6 +66,7 @@ let to_json (report : Campaign.report) =
         match report.Campaign.scheduler_stats with
         | Some s -> scheduler_to_json s
         | None -> Null ) ]
+    @ resilience)
 
 let to_string ?(indent = 2) report = Simkit.Json.to_string ~indent (to_json report)
 

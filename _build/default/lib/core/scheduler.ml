@@ -6,6 +6,9 @@ type policy = {
   one_job_per_site : bool;
   precheck_resources : bool;
   use_backoff : bool;
+  retry_budget : int;
+  backoff_jitter : float;
+  breaker : Resilience.Breaker.config option;
 }
 
 let smart_policy =
@@ -17,6 +20,9 @@ let smart_policy =
     one_job_per_site = true;
     precheck_resources = true;
     use_backoff = true;
+    retry_budget = max_int;
+    backoff_jitter = 0.0;
+    breaker = None;
   }
 
 let naive_policy =
@@ -28,6 +34,9 @@ let naive_policy =
     one_job_per_site = false;
     precheck_resources = false;
     use_backoff = false;
+    retry_budget = max_int;
+    backoff_jitter = 0.0;
+    breaker = None;
   }
 
 type stats = {
@@ -39,19 +48,27 @@ type stats = {
   skipped_peak : int;
   skipped_site_busy : int;
   skipped_no_resources : int;
+  skipped_breaker_open : int;
+  retries_exhausted : int;
+  retries_spent : int;
+  breaker_trips : int;
 }
 
 type entry = {
   config : Testdef.config;
   mutable next_due : float;
-  mutable backoff : float;
+  retry : Resilience.Retry.t;
   mutable in_flight : bool;
+  mutable retry_src : int option;
+      (* last non-successful build of this configuration, linked as
+         [retry_of] when the configuration is re-triggered *)
 }
 
 type t = {
   env : Env.t;
   pol : policy;
   entries : (string, entry) Hashtbl.t;  (* config_id -> entry *)
+  breakers : (string, Resilience.Breaker.t) Hashtbl.t;  (* family name *)
   mutable families : Testdef.family list;
   mutable running : bool;
   rng : Simkit.Prng.t;
@@ -63,9 +80,19 @@ type t = {
   mutable skipped_peak : int;
   mutable skipped_site_busy : int;
   mutable skipped_no_resources : int;
+  mutable skipped_breaker_open : int;
+  mutable retries_exhausted : int;
 }
 
 let policy t = t.pol
+
+let retries_spent t =
+  Hashtbl.fold
+    (fun _ e acc -> acc + Resilience.Retry.total_spent e.retry)
+    t.entries 0
+
+let breaker_trips t =
+  Hashtbl.fold (fun _ b acc -> acc + Resilience.Breaker.trips b) t.breakers 0
 
 let stats t =
   {
@@ -77,7 +104,40 @@ let stats t =
     skipped_peak = t.skipped_peak;
     skipped_site_busy = t.skipped_site_busy;
     skipped_no_resources = t.skipped_no_resources;
+    skipped_breaker_open = t.skipped_breaker_open;
+    retries_exhausted = t.retries_exhausted;
+    retries_spent = retries_spent t;
+    breaker_trips = breaker_trips t;
   }
+
+let breaker_of t family =
+  match t.pol.breaker with
+  | None -> None
+  | Some cfg ->
+    let key = Testdef.family_to_string family in
+    (match Hashtbl.find_opt t.breakers key with
+     | Some b -> Some b
+     | None ->
+       let b = Resilience.Breaker.create cfg in
+       Hashtbl.replace t.breakers key b;
+       Some b)
+
+let breaker_state t family =
+  match Hashtbl.find_opt t.breakers (Testdef.family_to_string family) with
+  | Some b -> Some (Resilience.Breaker.state b)
+  | None -> None
+
+(* Backoff: hand out the entry's next retry delay, falling back to the
+   base period when the retry budget is exhausted. *)
+let backoff_delay t entry ~base =
+  match Resilience.Retry.next_delay entry.retry with
+  | Some d -> d
+  | None ->
+    t.retries_exhausted <- t.retries_exhausted + 1;
+    Env.tracef t.env ~category:"scheduler" "retry budget exhausted for %s"
+      entry.config.Testdef.config_id;
+    Resilience.Retry.reset entry.retry;
+    base
 
 let on_completed t build =
   match Jobs.config_of_build build with
@@ -92,18 +152,25 @@ let on_completed t build =
       (match build.Ci.Build.result with
        | Some Ci.Build.Success ->
          t.completed_success <- t.completed_success + 1;
-         entry.backoff <- t.pol.backoff_initial;
+         Resilience.Retry.reset entry.retry;
+         entry.retry_src <- None;
+         (match breaker_of t config.Testdef.family with
+          | Some b -> Resilience.Breaker.record_success b
+          | None -> ());
          entry.next_due <- now +. base
        | Some Ci.Build.Unstable ->
          t.completed_unstable <- t.completed_unstable + 1;
-         if t.pol.use_backoff then begin
-           entry.next_due <- now +. entry.backoff;
-           entry.backoff <- Float.min t.pol.backoff_max (entry.backoff *. 2.0)
-         end
+         entry.retry_src <- Some build.Ci.Build.number;
+         if t.pol.use_backoff then
+           entry.next_due <- now +. backoff_delay t entry ~base
          else entry.next_due <- now +. t.pol.poll_period
        | Some (Ci.Build.Failure | Ci.Build.Aborted | Ci.Build.Not_built) | None ->
          t.completed_failure <- t.completed_failure + 1;
-         entry.backoff <- t.pol.backoff_initial;
+         entry.retry_src <- Some build.Ci.Build.number;
+         Resilience.Retry.reset entry.retry;
+         (match breaker_of t config.Testdef.family with
+          | Some b -> Resilience.Breaker.record_failure b ~now
+          | None -> ());
          (* Re-test failures sooner: confirm the problem, then confirm
             the fix. *)
          entry.next_due <- now +. base))
@@ -114,6 +181,7 @@ let create ?(policy = smart_policy) env =
       env;
       pol = policy;
       entries = Hashtbl.create 1024;
+      breakers = Hashtbl.create 16;
       families = [];
       running = false;
       rng = Simkit.Prng.split (Simkit.Engine.rng (Env.engine env));
@@ -125,6 +193,8 @@ let create ?(policy = smart_policy) env =
       skipped_peak = 0;
       skipped_site_busy = 0;
       skipped_no_resources = 0;
+      skipped_breaker_open = 0;
+      retries_exhausted = 0;
     }
   in
   Ci.Server.on_build_complete env.Env.ci (fun build -> on_completed t build);
@@ -137,15 +207,28 @@ let enable_family t family =
     let base = Testdef.base_period family in
     List.iter
       (fun config ->
-        if not (Hashtbl.mem t.entries config.Testdef.config_id) then
+        if not (Hashtbl.mem t.entries config.Testdef.config_id) then begin
+          let retry =
+            Resilience.Retry.create
+              ~seed:(Int64.of_int (Hashtbl.hash config.Testdef.config_id))
+              {
+                Resilience.Retry.initial = t.pol.backoff_initial;
+                max_delay = t.pol.backoff_max;
+                multiplier = 2.0;
+                jitter = t.pol.backoff_jitter;
+                budget = t.pol.retry_budget;
+              }
+          in
           Hashtbl.replace t.entries config.Testdef.config_id
             {
               config;
               (* Stagger initial runs across one base period. *)
               next_due = now +. (Simkit.Prng.float t.rng *. base);
-              backoff = t.pol.backoff_initial;
+              retry;
               in_flight = false;
-            })
+              retry_src = None;
+            }
+        end)
       (Testdef.expand family)
   end
 
@@ -207,6 +290,15 @@ let consider t ~busy entry =
   let config = entry.config in
   let consumes_nodes = Testdef.need config.Testdef.family <> Testdef.No_nodes in
   if entry.in_flight || entry.next_due > now then ()
+  else if
+    match breaker_of t config.Testdef.family with
+    | Some b -> not (Resilience.Breaker.allow b ~now)
+    | None -> false
+  then begin
+    (* Circuit open for this family: don't pile more work on it. *)
+    t.skipped_breaker_open <- t.skipped_breaker_open + 1;
+    entry.next_due <- now +. t.pol.poll_period
+  end
   else if t.pol.avoid_peak_hours && consumes_nodes && Simkit.Calendar.is_peak_hours now
   then t.skipped_peak <- t.skipped_peak + 1
   else if
@@ -221,15 +313,17 @@ let consider t ~busy entry =
   end
   else if t.pol.precheck_resources && not (resources_available t config) then begin
     t.skipped_no_resources <- t.skipped_no_resources + 1;
-    if t.pol.use_backoff then begin
-      entry.next_due <- now +. entry.backoff;
-      entry.backoff <- Float.min t.pol.backoff_max (entry.backoff *. 2.0)
-    end
+    if t.pol.use_backoff then
+      entry.next_due
+      <- now
+         +. backoff_delay t entry
+              ~base:(Testdef.base_period config.Testdef.family)
     else entry.next_due <- now +. t.pol.poll_period
   end
   else begin
     match
       Ci.Server.trigger_subset t.env.Env.ci ~cause:"external-scheduler"
+        ?retry_of:entry.retry_src
         (Jobs.job_name config.Testdef.family)
         ~axes:[ Testdef.axes_of_config config ]
     with

@@ -8,7 +8,11 @@
 
     - resource availability: trigger only when the needed nodes are free
       right now (the build's reservation is immediate-or-cancel);
-    - retry with exponential backoff after an Unstable build;
+    - retry with exponential backoff after an Unstable build, routed
+      through {!Resilience.Retry} (optional decorrelated jitter and a
+      per-configuration retry budget);
+    - per-family circuit breakers ({!Resilience.Breaker}): a family
+      whose builds keep failing is skipped until its breaker cools down;
     - peak-hours avoidance (no node-consuming test during working hours);
     - same-site anti-affinity (at most one node-consuming test per site).
 
@@ -23,6 +27,14 @@ type policy = {
   one_job_per_site : bool;
   precheck_resources : bool;
   use_backoff : bool;
+  retry_budget : int;
+      (** retries granted per configuration between successes
+          ([max_int] = unlimited, the historical behaviour) *)
+  backoff_jitter : float;
+      (** 0.0 = deterministic exponential doubling (historical
+          behaviour); in ]0, 1] scales decorrelated jitter *)
+  breaker : Resilience.Breaker.config option;
+      (** [None] (default) disables circuit breaking *)
 }
 
 val smart_policy : policy
@@ -37,6 +49,14 @@ type stats = {
   skipped_peak : int;
   skipped_site_busy : int;
   skipped_no_resources : int;
+  skipped_breaker_open : int;
+      (** due configurations skipped because their family's breaker was
+          open *)
+  retries_exhausted : int;
+      (** times a configuration ran out of retry budget (it then falls
+          back to its base period and the budget is replenished) *)
+  retries_spent : int;  (** total backoff delays handed out *)
+  breaker_trips : int;  (** total Closed/Half_open -> Open transitions *)
 }
 
 type t
@@ -59,3 +79,7 @@ val policy : t -> policy
 
 val due_count : t -> float -> int
 (** Configurations due at the given time (for introspection/tests). *)
+
+val breaker_state : t -> Testdef.family -> Resilience.Breaker.state option
+(** Current breaker state for a family, [None] if no breaker exists
+    (breakers are created lazily on the family's first completion). *)

@@ -199,6 +199,24 @@ let overall_success_ratio t =
   in
   if completed = 0 then nan else float_of_int successful /. float_of_int completed
 
+let render_resilience (s : Resilience.summary) =
+  let budget =
+    if s.Resilience.retry_budget = max_int then "unlimited"
+    else string_of_int s.Resilience.retry_budget
+  in
+  Simkit.Table.render
+    ~header:[ "resilience counter"; "value" ]
+    [ [ "watchdog aborts"; string_of_int s.Resilience.watchdog_aborts ];
+      [ "breaker trips"; string_of_int s.Resilience.breaker_trips ];
+      [ "skipped (breaker open)"; string_of_int s.Resilience.skipped_breaker_open ];
+      [ "retries spent"; string_of_int s.Resilience.retries_spent ];
+      [ "retry budget"; budget ];
+      [ "retries exhausted"; string_of_int s.Resilience.retries_exhausted ];
+      [ "CI outages weathered"; string_of_int s.Resilience.ci_outages ];
+      [ "queue drops"; string_of_int s.Resilience.queue_drops ];
+      [ "builds dropped"; string_of_int s.Resilience.dropped_builds ];
+      [ "deferred triggers"; string_of_int s.Resilience.deferred_triggers ] ]
+
 let render_overview t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Status: latest result per test and site ==\n";

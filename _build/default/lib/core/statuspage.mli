@@ -44,3 +44,8 @@ val overall_success_ratio : t -> float
 val render_overview : t -> string
 (** The whole page: per-test matrix, per-family summary, job weather
     (Jenkins-style stability icons) and history. *)
+
+val render_resilience : Resilience.summary -> string
+(** ASCII table of the resilience counters (watchdog aborts, breaker
+    trips, outage/queue-loss events weathered), appended to the page by
+    campaigns that run with the resilience layer attached. *)

@@ -1,1 +1,1 @@
-lib/testbed/faults.ml: Array Hardware Hashtbl Inventory List Network Node Printf Refapi Services Simkit String
+lib/testbed/faults.ml: Array Hardware Hashtbl Inventory List Network Node Option Printf Refapi Services Simkit String

@@ -17,6 +17,9 @@ type kind =
   | Refapi_desync
   | Oar_property_desync
   | Env_image_corrupt
+  | Ci_outage
+  | Build_hang
+  | Queue_loss
 
 type target =
   | Host of string
@@ -56,7 +59,19 @@ let all_kinds =
     Disk_firmware; Disk_write_cache; Ram_dimm_loss; Cabling_swap;
     Kwapi_misattribution; Random_reboots; Kernel_boot_race; Ofed_flaky;
     Console_broken; Service_outage; Refapi_desync; Oar_property_desync;
-    Env_image_corrupt ]
+    Env_image_corrupt; Ci_outage; Build_hang; Queue_loss ]
+
+(* Infrastructure faults degrade the testing framework itself; their
+   effects are carried as flags consulted by the CI/resilience layer. *)
+let ci_outage_flag = "ci_outage"
+let build_hang_flag = "build_hang"
+let queue_loss_flag = "queue_loss"
+
+let infra_flag = function
+  | Ci_outage -> Some ci_outage_flag
+  | Build_hang -> Some build_hang_flag
+  | Queue_loss -> Some queue_loss_flag
+  | _ -> None
 
 let kind_to_string = function
   | Cpu_cstates -> "cpu-cstates"
@@ -77,6 +92,9 @@ let kind_to_string = function
   | Refapi_desync -> "refapi-desync"
   | Oar_property_desync -> "oar-property-desync"
   | Env_image_corrupt -> "env-image-corrupt"
+  | Ci_outage -> "ci-outage"
+  | Build_hang -> "build-hang"
+  | Queue_loss -> "queue-loss"
 
 let category = function
   | Cpu_cstates | Cpu_hyperthreading | Cpu_turbo | Cpu_governor | Bios_drift ->
@@ -87,6 +105,7 @@ let category = function
   | Refapi_desync | Oar_property_desync -> "description"
   | Console_broken | Service_outage -> "services"
   | Kernel_boot_race | Ofed_flaky | Env_image_corrupt -> "software"
+  | Ci_outage | Build_hang | Queue_loss -> "ci"
 
 let create ~rng ctx = { ctx; rng; faults = []; next_id = 0 }
 let context t = t.ctx
@@ -206,7 +225,7 @@ let effect_on_host t kind node =
     Hashtbl.replace t.ctx.flags ("oar_desync:" ^ host) "stale property";
     Some (Printf.sprintf "%s: OAR property diverges from reference API" host)
   | Cabling_swap | Kwapi_misattribution | Kernel_boot_race | Ofed_flaky
-  | Service_outage | Env_image_corrupt ->
+  | Service_outage | Env_image_corrupt | Ci_outage | Build_hang | Queue_loss ->
     None
 
 let inject t ~now kind =
@@ -275,6 +294,20 @@ let inject t ~now kind =
     apply t ~now kind (Site_service (site, service))
       (Printf.sprintf "%s@%s: service %s" (Services.kind_to_string service) site
          (match severity with Services.Down -> "down" | _ -> "degraded"))
+  | Ci_outage | Build_hang | Queue_loss ->
+    (* Infrastructure faults: one at a time per kind; the flag is read
+       by the resilience layer, which drives the CI server's degraded
+       modes. *)
+    let key = Option.get (infra_flag kind) in
+    if Hashtbl.mem t.ctx.flags key then None
+    else begin
+      Hashtbl.replace t.ctx.flags key "infrastructure fault";
+      apply t ~now kind (Global key)
+        (match kind with
+         | Ci_outage -> "CI server unreachable: triggers deferred"
+         | Build_hang -> "builds hang instead of completing"
+         | _ -> "CI build queue lost")
+    end
   | Env_image_corrupt ->
     (* The target image is picked by the registered consumer through the
        flag; we draw from the standard 14-image list by index so testbed
@@ -325,6 +358,15 @@ let inject_on t ~now kind target =
   | Env_image_corrupt, Global key ->
     Hashtbl.replace t.ctx.flags key "corrupt postinstall";
     apply t ~now kind target (key ^ " corrupt")
+  | (Ci_outage | Build_hang | Queue_loss), Global key
+    when infra_flag kind = Some key ->
+    (* Validated: the target key must be the kind's canonical flag, and
+       only one fault per kind may be active at a time (like inject). *)
+    if Hashtbl.mem t.ctx.flags key then None
+    else begin
+      Hashtbl.replace t.ctx.flags key "infrastructure fault";
+      apply t ~now kind target (key ^ " active")
+    end
   | _ -> None
 
 (* ---- repair ------------------------------------------------------------ *)
@@ -389,6 +431,7 @@ let revert t fault =
   | Service_outage, Site_service (site, service) ->
     Services.repair ctx.services ~site service
   | Env_image_corrupt, Global key -> Hashtbl.remove ctx.flags key
+  | (Ci_outage | Build_hang | Queue_loss), Global key -> Hashtbl.remove ctx.flags key
   | _ -> ()
 
 let repair t ~now fault =

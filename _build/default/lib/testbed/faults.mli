@@ -6,7 +6,13 @@
     boost), disk firmware/cache differences, cabling issues (including
     wrong monitoring attribution), RAM loss after maintenance, random
     reboots, a kernel race delaying boots, OFED random start failures,
-    flapping services and stale descriptions. *)
+    flapping services and stale descriptions.
+
+    The [Ci_outage], [Build_hang] and [Queue_loss] kinds degrade the
+    *testing infrastructure itself* (the paper's "Jenkins misbehaves,
+    builds hang" lesson): they only set flags
+    ({!ci_outage_flag} etc.) that the framework's resilience layer
+    translates into CI-server degraded modes. *)
 
 type kind =
   | Cpu_cstates
@@ -27,6 +33,9 @@ type kind =
   | Refapi_desync
   | Oar_property_desync
   | Env_image_corrupt
+  | Ci_outage
+  | Build_hang
+  | Queue_loss
 
 type target =
   | Host of string
@@ -64,7 +73,14 @@ val kind_to_string : kind -> string
 val category : kind -> string
 (** Coarse bug category used by the results table of the paper
     (["cpu-settings"], ["disk"], ["cabling"], ["infrastructure"],
-    ["description"], ["services"], ["software"]). *)
+    ["description"], ["services"], ["software"], plus ["ci"] for the
+    testing-infrastructure kinds). *)
+
+val ci_outage_flag : string
+val build_hang_flag : string
+val queue_loss_flag : string
+(** Canonical flag keys (and [Global] targets) of the three
+    infrastructure fault kinds. *)
 
 val create : rng:Simkit.Prng.t -> ctx -> t
 val context : t -> ctx

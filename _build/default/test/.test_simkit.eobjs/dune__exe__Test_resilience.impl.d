@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Ci Framework Int64 List Option Printf QCheck QCheck_alcotest Simkit String Testbed

@@ -87,6 +87,7 @@ let run_regression env experiment =
       number = 1;
       axes = [];
       cause = "test";
+      retry_of = None;
       queued_at = Framework.Env.now env;
       started_at = Some (Framework.Env.now env);
       finished_at = None;

@@ -15,6 +15,7 @@ let run_script env config =
       number = 1;
       axes = Framework.Testdef.axes_of_config config;
       cause = "test";
+      retry_of = None;
       queued_at = Framework.Env.now env;
       started_at = Some (Framework.Env.now env);
       finished_at = None;

@@ -1,0 +1,408 @@
+(* Tests for the resilience layer: retry backoff/budgets, circuit
+   breakers, watchdogs, CI degraded modes and the chaos campaign. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let day = Simkit.Calendar.day
+let hour = Simkit.Calendar.hour
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec scan i = i + n <= m && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* ---- Retry -------------------------------------------------------------------- *)
+
+let retry_cfg =
+  {
+    Framework.Resilience.Retry.initial = 1.0;
+    max_delay = 8.0;
+    multiplier = 2.0;
+    jitter = 0.0;
+    budget = max_int;
+  }
+
+let delays r n = List.init n (fun _ -> Framework.Resilience.Retry.next_delay r)
+
+let test_retry_legacy_doubling () =
+  let r = Framework.Resilience.Retry.create retry_cfg in
+  List.iteri
+    (fun i expected ->
+      match Framework.Resilience.Retry.next_delay r with
+      | Some d -> checkf (Printf.sprintf "delay %d" i) expected d
+      | None -> Alcotest.fail "unlimited budget exhausted")
+    [ 1.0; 2.0; 4.0; 8.0; 8.0 ];
+  Framework.Resilience.Retry.reset r;
+  (match Framework.Resilience.Retry.next_delay r with
+   | Some d -> checkf "reset restarts at initial" 1.0 d
+   | None -> Alcotest.fail "exhausted after reset");
+  checki "total spent survives reset" 6 (Framework.Resilience.Retry.total_spent r)
+
+let test_retry_jitter_deterministic () =
+  let cfg = { retry_cfg with Framework.Resilience.Retry.jitter = 0.5 } in
+  let a = Framework.Resilience.Retry.create ~seed:11L cfg in
+  let b = Framework.Resilience.Retry.create ~seed:11L cfg in
+  let da = delays a 6 and db = delays b 6 in
+  checkb "same seed, same delays" true (da = db);
+  List.iter
+    (function
+      | Some d ->
+        checkb "within [initial, max]" true
+          (d >= cfg.Framework.Resilience.Retry.initial
+          && d <= cfg.Framework.Resilience.Retry.max_delay)
+      | None -> Alcotest.fail "unlimited budget exhausted")
+    da
+
+let test_retry_budget_exhaustion () =
+  let cfg = { retry_cfg with Framework.Resilience.Retry.budget = 3 } in
+  let r = Framework.Resilience.Retry.create cfg in
+  checkb "three retries granted" true
+    (List.for_all Option.is_some (delays r 3));
+  checkb "fourth denied" true (Framework.Resilience.Retry.next_delay r = None);
+  checkb "exhausted" true (Framework.Resilience.Retry.exhausted r);
+  Framework.Resilience.Retry.reset r;
+  checkb "budget refills on reset" true
+    (Framework.Resilience.Retry.next_delay r <> None);
+  checki "lifetime total counts only granted" 4
+    (Framework.Resilience.Retry.total_spent r)
+
+(* ---- Breaker ------------------------------------------------------------------ *)
+
+let test_breaker_transitions () =
+  let open Framework.Resilience.Breaker in
+  let b = create { failure_threshold = 3; cooldown = 100.0 } in
+  checkb "starts closed" true (state b = Closed);
+  record_failure b ~now:0.0;
+  record_failure b ~now:1.0;
+  checkb "below threshold stays closed" true (state b = Closed);
+  record_failure b ~now:2.0;
+  checkb "opens at threshold" true (state b = Open);
+  checki "one trip" 1 (trips b);
+  checkb "open rejects" false (allow b ~now:50.0);
+  checkb "cooldown expiry admits a probe" true (allow b ~now:110.0);
+  checkb "now half-open" true (state b = Half_open);
+  checkb "only one probe admitted" false (allow b ~now:111.0);
+  record_failure b ~now:112.0;
+  checkb "failed probe re-opens" true (state b = Open);
+  checki "second trip" 2 (trips b);
+  checkb "successful probe closes" true (allow b ~now:300.0);
+  record_success b;
+  checkb "closed again" true (state b = Closed);
+  checkb "closed allows" true (allow b ~now:301.0)
+
+let test_breaker_ignores_late_failures_while_open () =
+  let open Framework.Resilience.Breaker in
+  let b = create { failure_threshold = 1; cooldown = 100.0 } in
+  record_failure b ~now:0.0;
+  checkb "open" true (state b = Open);
+  (* A build already in flight when the breaker opened completes late:
+     no double-trip, no cooldown restart. *)
+  record_failure b ~now:5.0;
+  checki "still one trip" 1 (trips b);
+  checkb "cooldown unchanged" true (allow b ~now:101.0)
+
+(* ---- Watchdog ------------------------------------------------------------------ *)
+
+let test_watchdog_fire_vs_disarm () =
+  let engine = Simkit.Engine.create ~seed:1L () in
+  let wd = Framework.Resilience.Watchdog.create engine in
+  let fired_cb = ref 0 in
+  let h1 = Framework.Resilience.Watchdog.arm wd ~delay:10.0 (fun () -> incr fired_cb) in
+  let h2 =
+    Framework.Resilience.Watchdog.arm wd ~delay:20.0 (fun () ->
+        Alcotest.fail "disarmed watchdog fired")
+  in
+  checki "two armed" 2 (Framework.Resilience.Watchdog.armed wd);
+  ignore
+    (Simkit.Engine.schedule engine ~delay:15.0 (fun _ ->
+         Framework.Resilience.Watchdog.disarm wd h2));
+  Simkit.Engine.run_until engine 100.0;
+  checki "callback ran once" 1 !fired_cb;
+  checki "one fired" 1 (Framework.Resilience.Watchdog.fired wd);
+  checki "none armed" 0 (Framework.Resilience.Watchdog.armed wd);
+  (* Disarming after the fact is a no-op. *)
+  Framework.Resilience.Watchdog.disarm wd h1;
+  checki "counts unchanged" 1 (Framework.Resilience.Watchdog.fired wd)
+
+(* ---- CI server degraded modes -------------------------------------------------- *)
+
+let instant_job ?(result = Ci.Build.Success) name =
+  Ci.Jobdef.freestyle ~name (fun ~engine ~build:_ ~finish ->
+      ignore (Simkit.Engine.schedule engine ~delay:1.0 (fun _ -> finish result)))
+
+let timed_job ~duration ?(result = Ci.Build.Success) name =
+  Ci.Jobdef.freestyle ~name (fun ~engine ~build:_ ~finish ->
+      ignore (Simkit.Engine.schedule engine ~delay:duration (fun _ -> finish result)))
+
+let test_outage_defers_and_replays () =
+  let engine = Simkit.Engine.create ~seed:3L () in
+  let ci = Ci.Server.create ~executors:2 engine in
+  List.iter (fun n -> Ci.Server.define ci (instant_job n)) [ "a"; "b"; "c" ];
+  Ci.Server.set_outage ci true;
+  List.iter (fun n -> ignore (Ci.Server.trigger ci n)) [ "a"; "b"; "c" ];
+  checki "all queued" 3 (Ci.Server.queue_length ci);
+  checki "deferred counted" 3 (Ci.Server.deferred_triggers ci);
+  Simkit.Engine.run_until engine 50.0;
+  checki "nothing ran during outage" 0 (Ci.Server.builds_executed ci);
+  Ci.Server.set_outage ci false;
+  Simkit.Engine.run_until engine 100.0;
+  checki "queue replayed on recovery" 3 (Ci.Server.builds_executed ci);
+  List.iter
+    (fun n ->
+      checkb (n ^ " succeeded") true
+        ((Option.get (Ci.Server.last_build ci n)).Ci.Build.result
+        = Some Ci.Build.Success))
+    [ "a"; "b"; "c" ]
+
+let test_hang_and_interrupt () =
+  let engine = Simkit.Engine.create ~seed:4L () in
+  let ci = Ci.Server.create ~executors:2 engine in
+  Ci.Server.define ci (instant_job "stuck");
+  Ci.Server.set_hang ci true;
+  ignore (Ci.Server.trigger ci "stuck");
+  Simkit.Engine.run_until engine 50.0;
+  let b = Option.get (Ci.Server.last_build ci "stuck") in
+  checkb "started but never finished" true
+    (b.Ci.Build.started_at <> None && b.Ci.Build.result = None);
+  checki "executor held" 1 (Ci.Server.busy_executors ci);
+  checkb "interrupt kills it" true (Ci.Server.interrupt ci b);
+  checkb "aborted" true (b.Ci.Build.result = Some Ci.Build.Aborted);
+  checki "executor freed" 0 (Ci.Server.busy_executors ci);
+  checkb "second interrupt is a no-op" false (Ci.Server.interrupt ci b)
+
+let test_drop_queue_marks_not_built () =
+  let engine = Simkit.Engine.create ~seed:5L () in
+  let ci = Ci.Server.create ~executors:1 engine in
+  Ci.Server.define ci (timed_job ~duration:100.0 "long");
+  ignore (Ci.Server.trigger ci "long");
+  ignore (Ci.Server.trigger ci "long");
+  checki "one queued behind the running build" 1 (Ci.Server.queue_length ci);
+  let notified = ref 0 in
+  Ci.Server.on_build_complete ci (fun _ -> incr notified);
+  checki "one dropped" 1 (Ci.Server.drop_queue ci);
+  checki "listener notified of the loss" 1 !notified;
+  checkb "dropped build marked NOT_BUILT" true
+    ((Option.get (Ci.Server.build ci "long" 2)).Ci.Build.result
+    = Some Ci.Build.Not_built);
+  Simkit.Engine.run_until engine 200.0;
+  checkb "running build unaffected" true
+    ((Option.get (Ci.Server.build ci "long" 1)).Ci.Build.result
+    = Some Ci.Build.Success)
+
+(* ---- Infra supervisor ---------------------------------------------------------- *)
+
+let test_infra_watchdog_aborts_hung_build () =
+  let env = Framework.Env.create ~seed:6L () in
+  let infra =
+    Framework.Resilience.Infra.attach
+      ~config:
+        { Framework.Resilience.Infra.check_period = 60.0;
+          deadline_of = (fun _ -> Some 300.0) }
+      env
+  in
+  Ci.Server.define env.Framework.Env.ci
+    (Ci.Jobdef.freestyle ~name:"neverending" (fun ~engine:_ ~build:_ ~finish:_ -> ()));
+  Ci.Server.define env.Framework.Env.ci (instant_job "quick");
+  ignore (Ci.Server.trigger env.Framework.Env.ci "neverending");
+  ignore (Ci.Server.trigger env.Framework.Env.ci "quick");
+  Framework.Env.run_until env 1000.0;
+  checkb "hung build aborted at deadline" true
+    ((Option.get (Ci.Server.last_build env.Framework.Env.ci "neverending"))
+       .Ci.Build.result
+    = Some Ci.Build.Aborted);
+  checkb "clean build untouched" true
+    ((Option.get (Ci.Server.last_build env.Framework.Env.ci "quick")).Ci.Build.result
+    = Some Ci.Build.Success);
+  checki "one watchdog abort" 1 (Framework.Resilience.Infra.watchdog_aborts infra)
+
+let test_infra_outage_flag_roundtrip () =
+  let env = Framework.Env.create ~seed:7L () in
+  let infra =
+    Framework.Resilience.Infra.attach
+      ~config:
+        { Framework.Resilience.Infra.check_period = 60.0;
+          deadline_of = (fun _ -> None) }
+      env
+  in
+  let faults = Framework.Env.faults env in
+  let fault =
+    Option.get
+      (Testbed.Faults.inject_on faults ~now:0.0 Testbed.Faults.Ci_outage
+         (Testbed.Faults.Global Testbed.Faults.ci_outage_flag))
+  in
+  Ci.Server.define env.Framework.Env.ci (instant_job "ping");
+  Framework.Env.run_until env 100.0;
+  checkb "supervisor noticed the outage" true (Ci.Server.outage env.Framework.Env.ci);
+  ignore (Ci.Server.trigger env.Framework.Env.ci "ping");
+  Framework.Env.run_until env 200.0;
+  checki "build deferred during outage" 0
+    (Ci.Server.builds_executed env.Framework.Env.ci);
+  Testbed.Faults.repair faults ~now:(Framework.Env.now env) fault;
+  Framework.Env.run_until env 400.0;
+  checkb "queue replayed after repair" true
+    ((Option.get (Ci.Server.last_build env.Framework.Env.ci "ping")).Ci.Build.result
+    = Some Ci.Build.Success);
+  checki "one outage weathered" 1 (Framework.Resilience.Infra.ci_outages infra)
+
+(* ---- Infrastructure fault kinds ------------------------------------------------ *)
+
+let infra_kinds =
+  [ (Testbed.Faults.Ci_outage, Testbed.Faults.ci_outage_flag);
+    (Testbed.Faults.Build_hang, Testbed.Faults.build_hang_flag);
+    (Testbed.Faults.Queue_loss, Testbed.Faults.queue_loss_flag) ]
+
+let test_infra_inject_on_validates_targets () =
+  List.iter
+    (fun (kind, flag_key) ->
+      let t = Testbed.Instance.build ~seed:55L () in
+      let faults = t.Testbed.Instance.faults in
+      let inject_on = Testbed.Faults.inject_on faults ~now:0.0 kind in
+      checkb "host target rejected" true
+        (inject_on (Testbed.Faults.Host "taurus-1.lyon") = None);
+      checkb "cluster target rejected" true
+        (inject_on (Testbed.Faults.Cluster "graphene") = None);
+      checkb "wrong global key rejected" true
+        (inject_on (Testbed.Faults.Global "not_a_flag") = None);
+      let fault = Option.get (inject_on (Testbed.Faults.Global flag_key)) in
+      checkb "flag raised" true
+        (Testbed.Faults.flag (Testbed.Faults.context faults) flag_key <> None);
+      checkb "double injection rejected while active" true
+        (Testbed.Faults.inject_on faults ~now:1.0 kind
+           (Testbed.Faults.Global flag_key)
+        = None);
+      Testbed.Faults.repair faults ~now:2.0 fault;
+      Testbed.Faults.repair faults ~now:9.0 fault;
+      Alcotest.(check (option (float 1e-9)))
+        "first repair time kept" (Some 2.0) fault.Testbed.Faults.repaired_at;
+      checkb "flag cleared" true
+        (Testbed.Faults.flag (Testbed.Faults.context faults) flag_key = None))
+    infra_kinds
+
+let prop_infra_invalid_targets_rejected =
+  QCheck.Test.make ~name:"infra inject_on rejects invalid targets" ~count:30
+    QCheck.(pair (int_bound 2) (int_bound 3))
+    (fun (ki, ti) ->
+      let t = Testbed.Instance.build ~seed:(Int64.of_int (77 + ki)) () in
+      let faults = t.Testbed.Instance.faults in
+      let kind, _ = List.nth infra_kinds ki in
+      let target =
+        match ti with
+        | 0 -> Testbed.Faults.Host "taurus-1.lyon"
+        | 1 -> Testbed.Faults.Cluster "graphene"
+        | 2 -> Testbed.Faults.Global "bogus_flag"
+        | _ -> Testbed.Faults.Host_pair ("taurus-1.lyon", "taurus-2.lyon")
+      in
+      Testbed.Faults.inject_on faults ~now:0.0 kind target = None)
+
+let prop_infra_repair_idempotent =
+  QCheck.Test.make ~name:"infra fault repair is idempotent" ~count:20
+    QCheck.(int_bound 2)
+    (fun ki ->
+      let t = Testbed.Instance.build ~seed:(Int64.of_int (88 + ki)) () in
+      let faults = t.Testbed.Instance.faults in
+      let kind, flag_key = List.nth infra_kinds ki in
+      match Testbed.Faults.inject faults ~now:0.0 kind with
+      | None -> false
+      | Some fault ->
+        Testbed.Faults.repair faults ~now:4.0 fault;
+        Testbed.Faults.repair faults ~now:9.0 fault;
+        fault.Testbed.Faults.repaired_at = Some 4.0
+        && Testbed.Faults.active faults = []
+        && Testbed.Faults.flag (Testbed.Faults.context faults) flag_key = None)
+
+(* ---- Chaos campaign ------------------------------------------------------------ *)
+
+let chaos_config =
+  {
+    Framework.Campaign.default_config with
+    Framework.Campaign.months = 1;
+    seed = 909L;
+    initial_faults = 30;
+    resilience = true;
+    infra_faults =
+      [ (3.0 *. day, Testbed.Faults.Ci_outage);
+        (8.0 *. day, Testbed.Faults.Build_hang);
+        (16.0 *. day, Testbed.Faults.Queue_loss) ];
+    policy =
+      {
+        Framework.Scheduler.smart_policy with
+        Framework.Scheduler.retry_budget = 4;
+        backoff_jitter = 0.25;
+        breaker =
+          Some
+            {
+              Framework.Resilience.Breaker.failure_threshold = 2;
+              cooldown = 6.0 *. hour;
+            };
+      };
+  }
+
+let test_chaos_campaign_survives () =
+  let report = Framework.Campaign.run chaos_config in
+  match report.Framework.Campaign.resilience with
+  | None -> Alcotest.fail "resilience summary missing from report"
+  | Some s ->
+    checkb "CI outage weathered" true (s.Framework.Resilience.ci_outages >= 1);
+    checkb "watchdog aborted hung builds" true
+      (s.Framework.Resilience.watchdog_aborts > 0);
+    checkb "breaker tripped" true (s.Framework.Resilience.breaker_trips > 0);
+    checkb "queue drop absorbed" true (s.Framework.Resilience.queue_drops >= 1);
+    checki "retry budget surfaced" 4 s.Framework.Resilience.retry_budget;
+    checkb "builds kept completing" true (report.Framework.Campaign.builds_total > 0);
+    checkb "report JSON carries the resilience block" true
+      (contains (Framework.Report.to_string report) "\"resilience\"");
+    checkb "status page shows the resilience section" true
+      (contains report.Framework.Campaign.statuspage
+         "== Resilience (testing infrastructure) ==")
+
+let test_default_campaign_has_no_resilience_block () =
+  (* Resilience off (the default): the report must not change shape. *)
+  let report =
+    Framework.Campaign.run
+      { Framework.Campaign.default_config with Framework.Campaign.months = 1;
+        seed = 13L }
+  in
+  checkb "no summary" true (report.Framework.Campaign.resilience = None);
+  checkb "no JSON member" false
+    (contains (Framework.Report.to_string report) "\"resilience\"");
+  checkb "no status page section" false
+    (contains report.Framework.Campaign.statuspage "== Resilience")
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "resilience"
+    [
+      ( "retry",
+        [ Alcotest.test_case "legacy doubling" `Quick test_retry_legacy_doubling;
+          Alcotest.test_case "jitter deterministic" `Quick
+            test_retry_jitter_deterministic;
+          Alcotest.test_case "budget exhaustion" `Quick test_retry_budget_exhaustion ] );
+      ( "breaker",
+        [ Alcotest.test_case "transitions" `Quick test_breaker_transitions;
+          Alcotest.test_case "late failures ignored while open" `Quick
+            test_breaker_ignores_late_failures_while_open ] );
+      ( "watchdog",
+        [ Alcotest.test_case "fire vs disarm" `Quick test_watchdog_fire_vs_disarm ] );
+      ( "ci-degraded",
+        [ Alcotest.test_case "outage defers and replays" `Quick
+            test_outage_defers_and_replays;
+          Alcotest.test_case "hang and interrupt" `Quick test_hang_and_interrupt;
+          Alcotest.test_case "drop queue" `Quick test_drop_queue_marks_not_built ] );
+      ( "infra",
+        [ Alcotest.test_case "watchdog aborts hung build" `Quick
+            test_infra_watchdog_aborts_hung_build;
+          Alcotest.test_case "outage flag roundtrip" `Quick
+            test_infra_outage_flag_roundtrip ] );
+      ( "faults",
+        [ Alcotest.test_case "inject_on validates targets" `Quick
+            test_infra_inject_on_validates_targets;
+          qc prop_infra_invalid_targets_rejected;
+          qc prop_infra_repair_idempotent ] );
+      ( "campaign",
+        [ Alcotest.test_case "chaos campaign survives" `Quick
+            test_chaos_campaign_survives;
+          Alcotest.test_case "no resilience block by default" `Quick
+            test_default_campaign_has_no_resilience_block ] );
+    ]

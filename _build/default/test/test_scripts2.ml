@@ -13,6 +13,7 @@ let run_script env config =
       number = 1;
       axes = Framework.Testdef.axes_of_config config;
       cause = "test";
+      retry_of = None;
       queued_at = Framework.Env.now env;
       started_at = Some (Framework.Env.now env);
       finished_at = None;
@@ -213,6 +214,7 @@ let test_scripts_log_for_operators () =
       number = 1;
       axes = Framework.Testdef.axes_of_config config;
       cause = "test";
+      retry_of = None;
       queued_at = 0.0;
       started_at = Some 0.0;
       finished_at = None;

@@ -39,12 +39,20 @@ val trigger_as : t -> user:string -> string -> trigger_outcome
 (** User-initiated trigger through the web interface. *)
 
 val trigger_subset :
-  t -> ?cause:string -> string -> axes:(string * string) list list -> trigger_outcome
-(** Matrix Reloaded: run only the given combinations of a matrix job. *)
+  t ->
+  ?cause:string ->
+  ?retry_of:int ->
+  string ->
+  axes:(string * string) list list ->
+  trigger_outcome
+(** Matrix Reloaded: run only the given combinations of a matrix job.
+    [retry_of] records the lineage ({!Build.t.retry_of}) on every build
+    created. *)
 
 val retry_failed : t -> ?cause:string -> string -> trigger_outcome
 (** Matrix Reloaded convenience: re-run every combination whose most
-    recent build was not successful. *)
+    recent build was not successful.  Each new build's [retry_of] links
+    to the build it retries. *)
 
 val builds : t -> string -> Build.t list
 (** History, newest first, trimmed to the job's retention. *)
@@ -64,8 +72,42 @@ val builds_executed : t -> int
 val on_build_complete : t -> (Build.t -> unit) -> unit
 (** Register a listener fired whenever any build finishes. *)
 
+val on_build_start : t -> (Build.t -> unit) -> unit
+(** Register a listener fired when a build leaves the queue and starts
+    executing (the resilience layer arms its watchdog here). *)
+
 val abort_build : t -> Build.t -> unit
 (** Mark a queued (not yet started) build {!Build.Aborted}. *)
+
+(** {2 Degraded modes}
+
+    The server survives its own infrastructure faults instead of
+    crashing.  These switches are driven by the framework's resilience
+    layer from the testbed fault flags. *)
+
+val set_outage : t -> bool -> unit
+(** Entering an outage pauses the executors: triggers are accepted and
+    queue up (see {!deferred_triggers}).  Leaving it replays the whole
+    queue. *)
+
+val outage : t -> bool
+
+val deferred_triggers : t -> int
+(** Builds enqueued while in outage (replayed on recovery). *)
+
+val set_hang : t -> bool -> unit
+(** While set, builds that start never run their body — they occupy an
+    executor until {!interrupt} (normally the watchdog) finishes them. *)
+
+val interrupt : t -> Build.t -> bool
+(** Abort a started, unfinished build: finishes it {!Build.Aborted}
+    through the normal completion path (listeners fire, the executor is
+    freed, the queue pumps).  [false] if the build is not running. *)
+
+val drop_queue : t -> int
+(** Queue-loss fault: wipe the pending queue, marking every queued build
+    {!Build.Not_built} and notifying completion listeners so schedulers
+    reschedule the lost work.  Returns the number of builds dropped. *)
 
 val search_logs :
   ?limit:int -> t -> pattern:string -> (Build.t * string) list
