@@ -1,1 +1,1 @@
-lib/core/scheduler.ml: Ci Env Hashtbl Int64 Jobs List Oar Option Printf Resilience Simkit String Testbed Testdef
+lib/core/scheduler.ml: Array Ci Env Hashtbl Int64 Jobs List Oar Option Printf Resilience Simkit String Testbed Testdef

@@ -54,20 +54,43 @@ type stats = {
   breaker_trips : int;
 }
 
+(* Resource precheck, pre-compiled per configuration at enable time so
+   the poll loop never re-formats or re-parses an OAR filter. *)
+type precheck =
+  | Always
+  | Free_at_least of Oar.Expr.t * int
+  | All_free of Oar.Expr.t list  (* one node on each cluster of a site *)
+  | Cluster_free of Testbed.Node.t array * Oar.Expr.t
+      (* every usable node of the cluster simultaneously free *)
+
 type entry = {
   config : Testdef.config;
+  site : string option;
+      (* resolved anti-affinity site ({!Testdef.effective_site}) *)
+  precheck : precheck;
   mutable next_due : float;
   retry : Resilience.Retry.t;
   mutable in_flight : bool;
   mutable retry_src : int option;
       (* last non-successful build of this configuration, linked as
          [retry_of] when the configuration is re-triggered *)
+  mutable gen : int;
+      (* generation of the entry's live copy in the due-queue; older
+         heap copies are discarded lazily on pop *)
 }
 
 type t = {
   env : Env.t;
   pol : policy;
+  indexed : bool;
   entries : (string, entry) Hashtbl.t;  (* config_id -> entry *)
+  due : (entry * int) Simkit.Heap.t;
+      (* due-queue keyed by next_due; each reschedule pushes a fresh
+         (entry, gen) copy and bumps entry.gen, so a poll only touches
+         due entries instead of sorting the whole catalog *)
+  site_busy : (string, int) Hashtbl.t;
+      (* site -> node-consuming tests in flight, maintained incrementally
+         on trigger/completion instead of rescanning all entries *)
   breakers : (string, Resilience.Breaker.t) Hashtbl.t;  (* family name *)
   mutable families : Testdef.family list;
   mutable running : bool;
@@ -127,6 +150,40 @@ let breaker_state t family =
   | Some b -> Some (Resilience.Breaker.state b)
   | None -> None
 
+(* ---- due-queue and busy-site bookkeeping ------------------------------- *)
+
+let push_due t entry =
+  if t.indexed then begin
+    entry.gen <- entry.gen + 1;
+    Simkit.Heap.push t.due ~key:entry.next_due (entry, entry.gen)
+  end
+
+let set_next_due t entry time =
+  entry.next_due <- time;
+  push_due t entry
+
+let site_is_busy t site =
+  match Hashtbl.find_opt t.site_busy site with Some n -> n > 0 | None -> false
+
+let mark_site_busy t site =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.site_busy site) in
+  Hashtbl.replace t.site_busy site (n + 1)
+
+let unmark_site_busy t site =
+  match Hashtbl.find_opt t.site_busy site with
+  | Some n when n > 1 -> Hashtbl.replace t.site_busy site (n - 1)
+  | Some _ -> Hashtbl.remove t.site_busy site
+  | None -> ()
+
+let busy_sites t =
+  Hashtbl.fold
+    (fun site n acc -> if n > 0 then site :: acc else acc)
+    t.site_busy []
+  |> List.sort String.compare
+
+let consumes_nodes entry =
+  Testdef.need entry.config.Testdef.family <> Testdef.No_nodes
+
 (* Backoff: hand out the entry's next retry delay, falling back to the
    base period when the retry budget is exhausted. *)
 let backoff_delay t entry ~base =
@@ -146,6 +203,8 @@ let on_completed t build =
     match Hashtbl.find_opt t.entries config.Testdef.config_id with
     | None -> ()
     | Some entry ->
+      if entry.in_flight && consumes_nodes entry then
+        Option.iter (unmark_site_busy t) entry.site;
       entry.in_flight <- false;
       let now = Env.now t.env in
       let base = Testdef.base_period config.Testdef.family in
@@ -173,14 +232,18 @@ let on_completed t build =
           | None -> ());
          (* Re-test failures sooner: confirm the problem, then confirm
             the fix. *)
-         entry.next_due <- now +. base))
+         entry.next_due <- now +. base);
+      push_due t entry)
 
-let create ?(policy = smart_policy) env =
+let create ?(policy = smart_policy) ?(indexed = true) env =
   let t =
     {
       env;
       pol = policy;
+      indexed;
       entries = Hashtbl.create 1024;
+      due = Simkit.Heap.create ();
+      site_busy = Hashtbl.create 16;
       breakers = Hashtbl.create 16;
       families = [];
       running = false;
@@ -199,6 +262,35 @@ let create ?(policy = smart_policy) env =
   in
   Ci.Server.on_build_complete env.Env.ci (fun build -> on_completed t build);
   t
+
+let precheck_of instance config =
+  let parse = Oar.Expr.parse_exn in
+  match Testdef.need config.Testdef.family with
+  | Testdef.No_nodes -> Always
+  | Testdef.One_node -> (
+    match config.Testdef.family with
+    | Testdef.Kwapi ->
+      Free_at_least
+        ( parse
+            (Printf.sprintf "site='%s' and wattmeter='YES'"
+               (Option.get config.Testdef.site)),
+          1 )
+    | _ -> Free_at_least (parse (Testdef.oar_filter config), 1))
+  | Testdef.Two_nodes ->
+    let site = Option.get (Testdef.effective_site config) in
+    Free_at_least (parse (Printf.sprintf "site='%s'" site), 2)
+  | Testdef.Site_spread ->
+    let site = Option.get config.Testdef.site in
+    All_free
+      (List.map
+         (fun spec ->
+           parse (Printf.sprintf "cluster='%s'" spec.Testbed.Inventory.cluster))
+         (Testbed.Inventory.clusters_of_site site))
+  | Testdef.Whole_cluster ->
+    let cluster = Option.get config.Testdef.cluster in
+    Cluster_free
+      ( Array.of_list (Testbed.Instance.nodes_of_cluster instance cluster),
+        parse (Printf.sprintf "cluster='%s'" cluster) )
 
 let enable_family t family =
   if not (List.mem family t.families) then begin
@@ -219,15 +311,21 @@ let enable_family t family =
                 budget = t.pol.retry_budget;
               }
           in
-          Hashtbl.replace t.entries config.Testdef.config_id
+          let entry =
             {
               config;
+              site = Testdef.effective_site config;
+              precheck = precheck_of t.env.Env.instance config;
               (* Stagger initial runs across one base period. *)
               next_due = now +. (Simkit.Prng.float t.rng *. base);
               retry;
               in_flight = false;
               retry_src = None;
+              gen = 0;
             }
+          in
+          Hashtbl.replace t.entries config.Testdef.config_id entry;
+          push_due t entry
         end)
       (Testdef.expand family)
   end
@@ -239,56 +337,26 @@ let due_count t time =
     (fun _ e acc -> if (not e.in_flight) && e.next_due <= time then acc + 1 else acc)
     t.entries 0
 
-(* Sites with a node-consuming test currently in flight. *)
-let busy_sites t =
-  Hashtbl.fold
-    (fun _ e acc ->
-      if e.in_flight && Testdef.need e.config.Testdef.family <> Testdef.No_nodes then
-        match e.config.Testdef.site with Some s -> s :: acc | None -> acc
-      else acc)
-    t.entries []
-
-let resources_available t config =
-  let free filter = Oar.Manager.free_matching_now t.env.Env.oar (Oar.Expr.parse_exn filter) in
-  match Testdef.need config.Testdef.family with
-  | Testdef.No_nodes -> true
-  | Testdef.One_node -> (
-    match config.Testdef.family with
-    | Testdef.Kwapi ->
-      List.length
-        (free
-           (Printf.sprintf "site='%s' and wattmeter='YES'"
-              (Option.get config.Testdef.site)))
-      >= 1
-    | _ -> List.length (free (Testdef.oar_filter config)) >= 1)
-  | Testdef.Two_nodes ->
-    let site =
-      match config.Testdef.site with
-      | Some site -> site
-      | None -> List.hd Testbed.Inventory.sites
-    in
-    List.length (free (Printf.sprintf "site='%s'" site)) >= 2
-  | Testdef.Site_spread ->
-    let site = Option.get config.Testdef.site in
-    List.for_all
-      (fun spec ->
-        List.length
-          (free (Printf.sprintf "cluster='%s'" spec.Testbed.Inventory.cluster))
-        >= 1)
-      (Testbed.Inventory.clusters_of_site site)
-  | Testdef.Whole_cluster ->
-    let cluster = Option.get config.Testdef.cluster in
+let resources_available t entry =
+  let oar = t.env.Env.oar in
+  match entry.precheck with
+  | Always -> true
+  | Free_at_least (filter, n) -> Oar.Manager.free_at_least oar filter n
+  | All_free filters ->
+    List.for_all (fun filter -> Oar.Manager.free_at_least oar filter 1) filters
+  | Cluster_free (nodes, filter) ->
     let usable =
-      Testbed.Instance.nodes_of_cluster t.env.Env.instance cluster
-      |> List.filter (fun n -> n.Testbed.Node.state <> Testbed.Node.Down)
+      Array.fold_left
+        (fun acc node ->
+          if node.Testbed.Node.state <> Testbed.Node.Down then acc + 1 else acc)
+        0 nodes
     in
-    let free_now = free (Printf.sprintf "cluster='%s'" cluster) in
-    usable <> [] && List.length free_now >= List.length usable
+    usable > 0 && Oar.Manager.free_at_least oar filter usable
 
-let consider t ~busy entry =
+let consider t entry =
   let now = Env.now t.env in
   let config = entry.config in
-  let consumes_nodes = Testdef.need config.Testdef.family <> Testdef.No_nodes in
+  let consumes_nodes = consumes_nodes entry in
   if entry.in_flight || entry.next_due > now then ()
   else if
     match breaker_of t config.Testdef.family with
@@ -297,28 +365,34 @@ let consider t ~busy entry =
   then begin
     (* Circuit open for this family: don't pile more work on it. *)
     t.skipped_breaker_open <- t.skipped_breaker_open + 1;
-    entry.next_due <- now +. t.pol.poll_period
+    set_next_due t entry (now +. t.pol.poll_period)
   end
   else if t.pol.avoid_peak_hours && consumes_nodes && Simkit.Calendar.is_peak_hours now
-  then t.skipped_peak <- t.skipped_peak + 1
+  then begin
+    (* Count the skip once per due-window, and sleep through the rest of
+       the user window — the entry becomes due again the moment peak
+       hours end, so "run as soon as peak ends" is preserved while the
+       counter stops inflating on every poll. *)
+    t.skipped_peak <- t.skipped_peak + 1;
+    set_next_due t entry (Simkit.Calendar.peak_end now)
+  end
   else if
     t.pol.one_job_per_site && consumes_nodes
     &&
-    match config.Testdef.site with
-    | Some site -> Hashtbl.mem busy site
+    match entry.site with
+    | Some site -> site_is_busy t site
     | None -> false
   then begin
     t.skipped_site_busy <- t.skipped_site_busy + 1;
-    entry.next_due <- now +. t.pol.poll_period
+    set_next_due t entry (now +. t.pol.poll_period)
   end
-  else if t.pol.precheck_resources && not (resources_available t config) then begin
+  else if t.pol.precheck_resources && not (resources_available t entry) then begin
     t.skipped_no_resources <- t.skipped_no_resources + 1;
     if t.pol.use_backoff then
-      entry.next_due
-      <- now
-         +. backoff_delay t entry
-              ~base:(Testdef.base_period config.Testdef.family)
-    else entry.next_due <- now +. t.pol.poll_period
+      set_next_due t entry
+        (now
+        +. backoff_delay t entry ~base:(Testdef.base_period config.Testdef.family))
+    else set_next_due t entry (now +. t.pol.poll_period)
   end
   else begin
     match
@@ -332,26 +406,49 @@ let consider t ~busy entry =
       Env.tracef t.env ~category:"scheduler" "triggered %s"
         config.Testdef.config_id;
       entry.in_flight <- true;
-      if consumes_nodes then begin
-        match config.Testdef.site with
-        | Some site -> Hashtbl.replace busy site ()
-        | None -> ()
-      end
+      if consumes_nodes then Option.iter (mark_site_busy t) entry.site
     | Ci.Server.Not_found | Ci.Server.Disabled | Ci.Server.Denied ->
-      entry.next_due <- now +. t.pol.poll_period
+      set_next_due t entry (now +. t.pol.poll_period)
   end
+
+let compare_entries a b =
+  String.compare a.config.Testdef.config_id b.config.Testdef.config_id
+
+(* Reference path (and E12 baseline): rebuild the busy table by rescanning
+   every entry, then consider the whole catalog in config-id order — what
+   the scheduler did before the due-queue. *)
+let poll_linear t =
+  Hashtbl.reset t.site_busy;
+  Hashtbl.iter
+    (fun _ e ->
+      if e.in_flight && consumes_nodes e then Option.iter (mark_site_busy t) e.site)
+    t.entries;
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+  |> List.sort compare_entries
+  |> List.iter (consider t)
+
+(* Indexed path: pop the due prefix of the heap.  Deterministic order:
+   ties (and everything due in the same poll window) are considered in
+   config-id order, exactly like the linear scan — non-due entries were
+   no-ops there. *)
+let poll_indexed t =
+  let now = Env.now t.env in
+  let rec drain acc =
+    match Simkit.Heap.peek t.due with
+    | Some (_, (e, gen)) when gen <> e.gen || e.in_flight ->
+      (* Stale copy superseded by a later reschedule. *)
+      ignore (Simkit.Heap.pop t.due);
+      drain acc
+    | Some (key, (e, _)) when key <= now ->
+      ignore (Simkit.Heap.pop t.due);
+      drain (e :: acc)
+    | Some _ | None -> acc
+  in
+  drain [] |> List.sort compare_entries |> List.iter (consider t)
 
 let poll t =
   t.polls <- t.polls + 1;
-  (* Deterministic order: config id. *)
-  let entries =
-    Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
-    |> List.sort (fun a b ->
-           String.compare a.config.Testdef.config_id b.config.Testdef.config_id)
-  in
-  let busy = Hashtbl.create 16 in
-  List.iter (fun site -> Hashtbl.replace busy site ()) (busy_sites t);
-  List.iter (consider t ~busy) entries
+  if t.indexed then poll_indexed t else poll_linear t
 
 let start t =
   if not t.running then begin

@@ -61,8 +61,17 @@ type stats = {
 
 type t
 
-val create : ?policy:policy -> Env.t -> t
-(** Subscribes to build completions; families start disabled. *)
+val create : ?policy:policy -> ?indexed:bool -> Env.t -> t
+(** Subscribes to build completions; families start disabled.
+
+    [indexed] (default [true]) selects the poll-loop implementation.
+    The indexed scheduler keeps a due-queue (a {!Simkit.Heap} keyed by
+    each configuration's [next_due], ties resolved in config-id order)
+    and per-site in-flight counters, so a poll costs O(due) instead of
+    re-sorting and re-scanning all 751 configurations.  [~indexed:false]
+    is the linear-scan reference implementation with identical
+    semantics, kept for the equivalence property tests and as the E12
+    bench baseline. *)
 
 val enable_family : t -> Testdef.family -> unit
 (** Adds the family's configurations to the rotation, with staggered
@@ -77,8 +86,19 @@ val stop : t -> unit
 val stats : t -> stats
 val policy : t -> policy
 
+val poll : t -> unit
+(** One poll pass at the current simulated time.  {!start} drives this
+    from the engine; exposed for the E12 bench and for tests. *)
+
 val due_count : t -> float -> int
 (** Configurations due at the given time (for introspection/tests). *)
+
+val busy_sites : t -> string list
+(** Sites with a node-consuming test currently in flight (sorted).  A
+    site-less two-node configuration counts against
+    {!Testdef.effective_site} — the same site its resource precheck
+    draws nodes from — closing the anti-affinity hole the old scheduler
+    had for the global kavlan VLAN. *)
 
 val breaker_state : t -> Testdef.family -> Resilience.Breaker.state option
 (** Current breaker state for a family, [None] if no breaker exists

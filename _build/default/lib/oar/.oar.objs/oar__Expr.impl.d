@@ -1,1 +1,1 @@
-lib/oar/expr.ml: List Printf String
+lib/oar/expr.ml: Hashtbl List Printf String

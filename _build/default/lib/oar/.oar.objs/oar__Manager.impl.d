@@ -1,1 +1,1 @@
-lib/oar/manager.ml: Expr Float Fun Gantt Hashtbl Job List Option Property Request Simkit String Testbed
+lib/oar/manager.ml: Array Expr Float Fun Gantt Hashtbl Job List Option Property Request Simkit String Testbed

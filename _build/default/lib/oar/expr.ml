@@ -208,6 +208,24 @@ let rec eval t ~props =
     | Some actual -> compare_values op actual expected
     | None -> op = Neq)
 
+let value_equal a b =
+  match (a, b) with
+  | S x, S y -> String.equal x y
+  | I x, I y -> x = y
+  | S _, I _ | I _, S _ -> false
+
+let rec equal a b =
+  match (a, b) with
+  | True, True -> true
+  | Cmp (pa, oa, va), Cmp (pb, ob, vb) ->
+    String.equal pa pb && oa = ob && value_equal va vb
+  | And (a1, a2), And (b1, b2) | Or (a1, a2), Or (b1, b2) ->
+    equal a1 b1 && equal a2 b2
+  | Not a, Not b -> equal a b
+  | (True | Cmp _ | And _ | Or _ | Not _), _ -> false
+
+let hash t = Hashtbl.hash t
+
 let properties_used t =
   let rec collect acc = function
     | True -> acc

@@ -29,6 +29,14 @@ val parse : string -> (t, string) result
 val parse_exn : string -> t
 (** @raise Invalid_argument on syntax errors. *)
 
+val equal : t -> t -> bool
+(** Structural equality — two filters that would always select the same
+    hosts can still differ (no normalisation is attempted). *)
+
+val hash : t -> int
+(** Compatible with {!equal}; lets callers memoise per parsed filter
+    (e.g. [Hashtbl.Make (Expr)]) without re-rendering strings. *)
+
 val eval : t -> props:(string -> string option) -> bool
 (** Evaluate against a property lookup.  String comparisons are
     case-sensitive; numeric operators compare integers when both sides

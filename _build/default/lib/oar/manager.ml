@@ -3,6 +3,13 @@ type submit_error =
   | Not_immediately_schedulable of float
   | Service_unavailable
 
+module Filter_cache = Hashtbl.Make (struct
+  type t = Expr.t
+
+  let equal = Expr.equal
+  let hash = Expr.hash
+end)
+
 type t = {
   instance : Testbed.Instance.t;
   props : Property.t;
@@ -11,9 +18,11 @@ type t = {
   mutable next_id : int;
   mutable queue : int list;  (* waiting job ids, submission order *)
   mutable listeners : (Job.t -> unit) list;
-  filter_cache : (string, string list) Hashtbl.t;
-      (* Expr.to_string -> matching hosts; properties change rarely (on
-         refresh), so filter evaluation over 894 hosts is memoised. *)
+  filter_cache : string array Filter_cache.t;
+      (* parsed filter -> matching hosts (sorted); properties change
+         rarely (on refresh), so filter evaluation over 894 hosts is
+         memoised, keyed structurally so callers holding a pre-parsed
+         filter never re-render it to a string *)
 }
 
 let engine t = t.instance.Testbed.Instance.engine
@@ -24,7 +33,7 @@ let properties t = t.props
 let refresh_properties t =
   Property.refresh_from_refapi t.props
     (Testbed.Faults.context t.instance.Testbed.Instance.faults);
-  Hashtbl.reset t.filter_cache
+  Filter_cache.reset t.filter_cache
 
 let create instance =
   let t =
@@ -36,7 +45,7 @@ let create instance =
       next_id = 1;
       queue = [];
       listeners = [];
-      filter_cache = Hashtbl.create 64;
+      filter_cache = Filter_cache.create 64;
     }
   in
   refresh_properties t;
@@ -59,33 +68,54 @@ let finish t job state =
   Gantt.release_job t.gantt ~job:job.Job.id;
   List.iter (fun f -> f job) t.listeners
 
-let matching_hosts t filter =
-  let key = Expr.to_string filter in
-  match Hashtbl.find_opt t.filter_cache key with
+let matching_hosts_arr t filter =
+  match Filter_cache.find_opt t.filter_cache filter with
   | Some hosts -> hosts
   | None ->
     let hosts =
       Property.hosts t.props
       |> List.filter (fun host ->
              Expr.eval filter ~props:(Property.props_fun t.props ~host))
+      |> Array.of_list
     in
-    Hashtbl.replace t.filter_cache key hosts;
+    Filter_cache.replace t.filter_cache filter hosts;
     hosts
+
+let matching_hosts t filter = Array.to_list (matching_hosts_arr t filter)
 
 let host_usable t host =
   match Testbed.Instance.find_node t.instance host with
   | Some node -> node.Testbed.Node.state <> Testbed.Node.Down
   | None -> false
 
+(* Alive, and unreserved for the next instant. *)
+let host_free_now t ~time host =
+  match Testbed.Instance.find_node t.instance host with
+  | Some node ->
+    Testbed.Node.is_available node
+    && Gantt.is_free t.gantt ~host ~start:time ~stop:(time +. 1.0)
+  | None -> false
+
 let free_matching_now t filter =
   let time = now t in
-  matching_hosts t filter
-  |> List.filter (fun host ->
-         host_usable t host
-         && (match Testbed.Instance.find_node t.instance host with
-             | Some node -> Testbed.Node.is_available node
-             | None -> false)
-         && Gantt.is_free t.gantt ~host ~start:time ~stop:(time +. 1.0))
+  let hosts = matching_hosts_arr t filter in
+  Array.fold_right
+    (fun host acc -> if host_free_now t ~time host then host :: acc else acc)
+    hosts []
+
+let free_at_least t filter n =
+  n <= 0
+  ||
+  let time = now t in
+  let hosts = matching_hosts_arr t filter in
+  let len = Array.length hosts in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < n && !i < len do
+    if host_free_now t ~time hosts.(!i) then incr found;
+    incr i
+  done;
+  !found >= n
 
 (* ---- placement --------------------------------------------------------- *)
 
@@ -102,11 +132,11 @@ let place_group t ~after ~duration ~hosts ~count =
       List.map (fun h -> (h, Gantt.next_free_window t.gantt ~host:h ~after ~duration)) usable
       (* Earliest-available hosts first, so the early-exit scan below
          finds small placements without touching the whole pool. *)
-      |> List.sort (fun (_, a) (_, b) -> compare a b)
+      |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
     in
     (* Candidate start instants: each host's next window start. *)
     let candidates =
-      List.sort_uniq compare (after :: List.map snd windows)
+      List.sort_uniq Float.compare (after :: List.map snd windows)
     in
     let feasible_at start =
       (* Collect free hosts, stopping as soon as [needed] are found. *)

@@ -69,6 +69,12 @@ val matching_hosts : t -> Expr.t -> string list
 val free_matching_now : t -> Expr.t -> string list
 (** Matching hosts that are Alive and unreserved right now. *)
 
+val free_at_least : t -> Expr.t -> int -> bool
+(** [free_at_least t filter n] is [List.length (free_matching_now t
+    filter) >= n], but stops scanning the host pool as soon as [n] free
+    hosts are found — the external scheduler's resource precheck, called
+    every poll for every due configuration. *)
+
 val estimate_start : t -> Request.t -> float option
 (** Earliest feasible start for a hypothetical request, [None] if the
     filters match nothing. *)

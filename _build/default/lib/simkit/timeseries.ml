@@ -74,7 +74,9 @@ let downsample t ~bucket =
     if !n > 0 then out := (!current_start, !acc /. float_of_int !n) :: !out
   in
   for i = 0 to t.size - 1 do
-    let start = Float.of_int (int_of_float (t.times.(i) /. bucket)) *. bucket in
+    (* floor, not truncate-toward-zero: negative times must not share the
+       [0, bucket) bucket with positive ones *)
+    let start = Float.floor (t.times.(i) /. bucket) *. bucket in
     if Float.is_nan !current_start || start <> !current_start then begin
       flush ();
       current_start := start;

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Ci Framework Int64 List Oar Option QCheck QCheck_alcotest Simkit String Testbed

@@ -344,6 +344,19 @@ let test_percentiles () =
   Alcotest.check_raises "empty data" (Invalid_argument "Stats.percentile: empty data")
     (fun () -> ignore (Simkit.Stats.percentile [||] 0.5))
 
+let test_percentile_float_order () =
+  (* Regression: the sort must use a float comparator — negative values
+     and mixed magnitudes must interpolate on the numerically sorted
+     data, and NaN must not poison the order of the finite elements. *)
+  let data = [| 3.0; -1.0; 2.0; -4.0; 0.0 |] in
+  checkf "min" (-4.0) (Simkit.Stats.percentile data 0.0);
+  checkf "median" 0.0 (Simkit.Stats.median data);
+  checkf "max" 3.0 (Simkit.Stats.percentile data 1.0);
+  let with_nan = [| 2.0; nan; 1.0; 3.0 |] in
+  (* Float.compare orders NaN below every number: the top percentile is
+     still the largest finite value. *)
+  checkf "max with nan present" 3.0 (Simkit.Stats.percentile with_nan 1.0)
+
 let test_histogram () =
   let h = Simkit.Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
   List.iter (Simkit.Stats.Histogram.add h) [ 0.5; 1.5; 1.7; 9.9; -1.0; 10.0; 25.0 ];
@@ -390,6 +403,23 @@ let test_timeseries_downsample () =
   let buckets = Simkit.Timeseries.downsample ts ~bucket:10.0 in
   checki "two buckets" 2 (List.length buckets);
   List.iter (fun (_, v) -> checkf "bucket mean" 1.0 v) buckets
+
+let test_timeseries_downsample_negative_times () =
+  (* Regression: int_of_float truncates toward zero, which used to merge
+     the [-bucket, 0) and [0, bucket) buckets; bucketing must floor. *)
+  let ts = Simkit.Timeseries.create ~name:"t" () in
+  List.iter
+    (fun (t, v) -> Simkit.Timeseries.add ts ~time:t v)
+    [ (-15.0, 1.0); (-5.0, 2.0); (5.0, 4.0); (15.0, 8.0) ]
+  ;
+  let buckets = Simkit.Timeseries.downsample ts ~bucket:10.0 in
+  checki "four buckets" 4 (List.length buckets);
+  List.iter2
+    (fun (start, mean) (expected_start, expected_mean) ->
+      checkf "bucket start" expected_start start;
+      checkf "bucket mean" expected_mean mean)
+    buckets
+    [ (-20.0, 1.0); (-10.0, 2.0); (0.0, 4.0); (10.0, 8.0) ]
 
 let test_timeseries_empty_window () =
   let ts = Simkit.Timeseries.create ~name:"t" () in
@@ -580,11 +610,15 @@ let () =
         [ Alcotest.test_case "online" `Quick test_online_stats;
           Alcotest.test_case "merge" `Quick test_online_merge;
           Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "percentile float order" `Quick
+            test_percentile_float_order;
           Alcotest.test_case "histogram" `Quick test_histogram ] );
       ( "timeseries",
         [ Alcotest.test_case "basic" `Quick test_timeseries_basic;
           Alcotest.test_case "monotonic guard" `Quick test_timeseries_monotonic_guard;
           Alcotest.test_case "downsample" `Quick test_timeseries_downsample;
+          Alcotest.test_case "downsample negative times" `Quick
+            test_timeseries_downsample_negative_times;
           Alcotest.test_case "empty window" `Quick test_timeseries_empty_window;
           Alcotest.test_case "sparkline width" `Quick test_timeseries_sparkline_width ] );
       ( "json",

@@ -227,6 +227,18 @@ let matrix_axes family =
           (fun v -> string_of_int v.Kavlan.vlan_id)
           Kavlan.standard_vlans ) ]
 
+let effective_site config =
+  match config.site with
+  | Some _ as site -> site
+  | None -> (
+    (* Site-less two-node configs (the global kavlan vlan) always draw
+       their pair from the first site; resolving it here once keeps the
+       resource precheck and the anti-affinity accounting in agreement. *)
+    match need config.family with
+    | Two_nodes -> (
+      match Testbed.Inventory.sites with [] -> None | site :: _ -> Some site)
+    | No_nodes | One_node | Site_spread | Whole_cluster -> None)
+
 let oar_filter config =
   match (config.cluster, config.site) with
   | Some cluster, _ -> Printf.sprintf "cluster='%s'" cluster

@@ -81,6 +81,13 @@ val matrix_axes : family -> (string * string list) list
 val oar_filter : config -> string
 (** OAR property filter selecting this configuration's resources. *)
 
+val effective_site : config -> string option
+(** The site a node-consuming run of this configuration lands on, used
+    both for the resource precheck and for same-site anti-affinity.
+    Equal to [site] when set; site-less {!Two_nodes} configurations (the
+    global kavlan VLAN) resolve to the first inventory site — the same
+    site their resource precheck draws the node pair from. *)
+
 val base_period : family -> float
 (** Target period between runs of one configuration (seconds). *)
 

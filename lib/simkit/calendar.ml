@@ -22,6 +22,9 @@ let is_peak_hours time =
   let h = hour_of_day time in
   h >= 8 && h < 19
 
+let peak_end time =
+  (float_of_int (day_index time) *. day) +. (19.0 *. hour)
+
 let pp_instant ppf time =
   let t = Float.max 0.0 time in
   let d = day_index t in

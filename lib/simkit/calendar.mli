@@ -25,6 +25,10 @@ val is_peak_hours : float -> bool
 (** Working hours on working days: Monday-Friday, 08:00-19:00 — the window
     during which the paper's scheduler avoids competing with users. *)
 
+val peak_end : float -> float
+(** The instant the current day's peak window closes (19:00 on the same
+    day).  Only meaningful for instants satisfying {!is_peak_hours}. *)
+
 val day_index : float -> int
 (** Whole days elapsed since the epoch. *)
 

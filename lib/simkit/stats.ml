@@ -55,7 +55,7 @@ let percentile data p =
   if n = 0 then invalid_arg "Stats.percentile: empty data";
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy data in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
   let hi = int_of_float (ceil rank) in
