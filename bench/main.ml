@@ -728,6 +728,145 @@ let e12_scheduler () =
   print_endline text;
   print_endline "written to BENCH_scheduler.json"
 
+(* ---- E13: self-healing loop under correlated faults ------------------------------------- *)
+
+(* A week-long full-catalog run with a PDU failure, a site outage and a
+   network partition landing mid-week.  None of them is auto-repaired:
+   with the health loop off the affected nodes stay dark for the rest of
+   the week; with it on they are quarantined, repaired and re-verified.
+   Compares the success ratio and scheduler throughput of both runs,
+   then measures the probe's per-poll overhead, and writes
+   BENCH_health.json.  [--scenario health] runs only this. *)
+let e13_health () =
+  section "E13" "self-healing: health loop off vs on under correlated faults";
+  let day = Simkit.Calendar.day in
+  let horizon = 7.0 *. day in
+  let drills =
+    [ (1.0 *. day, Testbed.Faults.Pdu_failure, Testbed.Faults.Rack ("grisou", 0));
+      (2.0 *. day, Testbed.Faults.Site_outage, Testbed.Faults.Site "nancy");
+      (4.0 *. day, Testbed.Faults.Network_partition, Testbed.Faults.Site "rennes") ]
+  in
+  let run ~loop =
+    let env = Framework.Env.create ~seed:1313L () in
+    Framework.Jobs.define_all env ~on_evidence:(fun _ -> ());
+    let s = Framework.Scheduler.create env in
+    List.iter (Framework.Scheduler.enable_family s) Framework.Testdef.all_families;
+    let health =
+      if loop then
+        Some
+          (Framework.Health.attach ~scheduler:s
+             ~alerts:(Monitoring.Alerts.create env.Framework.Env.collector)
+             env)
+      else None
+    in
+    let faults = Framework.Env.faults env in
+    List.iter
+      (fun (at, kind, target) ->
+        ignore
+          (Simkit.Engine.schedule_at (Framework.Env.engine env) ~time:at
+             (fun eng ->
+               ignore
+                 (Testbed.Faults.inject_on faults ~now:(Simkit.Engine.now eng)
+                    kind target))))
+      drills;
+    Framework.Scheduler.start s;
+    let t0 = Unix.gettimeofday () in
+    Framework.Env.run_until env horizon;
+    let wall = Unix.gettimeofday () -. t0 in
+    (Framework.Scheduler.stats s, Option.map Framework.Health.summary health, wall)
+  in
+  let stats_off, _, wall_off = run ~loop:false in
+  let stats_on, health_on, wall_on = run ~loop:true in
+  let completed (s : Framework.Scheduler.stats) =
+    s.Framework.Scheduler.completed_success + s.Framework.Scheduler.completed_failure
+    + s.Framework.Scheduler.completed_unstable
+  in
+  let ratio (s : Framework.Scheduler.stats) =
+    float_of_int s.Framework.Scheduler.completed_success
+    /. float_of_int (Stdlib.max 1 (completed s))
+  in
+  let row name (s : Framework.Scheduler.stats) =
+    [ name; string_of_int s.Framework.Scheduler.triggered;
+      string_of_int (completed s); Simkit.Table.fmt_pct (ratio s);
+      string_of_int s.Framework.Scheduler.completed_unstable;
+      string_of_int s.Framework.Scheduler.skipped_no_resources;
+      string_of_int s.Framework.Scheduler.skipped_quarantined ]
+  in
+  print_string
+    (Simkit.Table.render
+       ~header:
+         [ "health loop"; "triggered"; "completed"; "success"; "unstable";
+           "skips(no-res)"; "skips(quarantine)" ]
+       [ row "off" stats_off; row "on" stats_on ]);
+  (match health_on with
+   | Some h ->
+     Printf.printf
+       "loop on: %d quarantined, %d repair attempts, %d released, %d retired, \
+        mean %.1f h to release, %d alerts\n"
+       h.Framework.Health.quarantined h.Framework.Health.repair_attempts
+       h.Framework.Health.released h.Framework.Health.retired
+       h.Framework.Health.mean_hours_to_release h.Framework.Health.alerts_fired
+   | None -> ());
+  Printf.printf "success ratio: %s (off) -> %s (on)\n"
+    (Simkit.Table.fmt_pct (ratio stats_off))
+    (Simkit.Table.fmt_pct (ratio stats_on));
+  (* Per-poll overhead of the quarantine probe on a quiet scheduler: the
+     probe only runs when a configuration fails its precheck, so the
+     steady-state poll cost should be unchanged to the noise floor. *)
+  let quiet ~loop =
+    let env = Framework.Env.create ~seed:3535L () in
+    Framework.Jobs.define_all env ~on_evidence:(fun _ -> ());
+    let s = Framework.Scheduler.create env in
+    List.iter (Framework.Scheduler.enable_family s) Framework.Testdef.all_families;
+    if loop then ignore (Framework.Health.attach ~scheduler:s env);
+    s
+  in
+  let per_poll s =
+    let reps = 20_000 in
+    for _ = 1 to 100 do Framework.Scheduler.poll s done;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do Framework.Scheduler.poll s done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e9
+  in
+  let ns_off = per_poll (quiet ~loop:false) in
+  let ns_on = per_poll (quiet ~loop:true) in
+  Printf.printf "steady-state poll: %.1f ns without probe, %.1f ns with probe\n"
+    ns_off ns_on;
+  let json =
+    let open Simkit.Json in
+    let scheduler_json (s : Framework.Scheduler.stats) wall =
+      Obj
+        [ ("polls", Int s.Framework.Scheduler.polls);
+          ("triggered", Int s.Framework.Scheduler.triggered);
+          ("completed", Int (completed s));
+          ("success_ratio", Float (ratio s));
+          ("unstable", Int s.Framework.Scheduler.completed_unstable);
+          ("skipped_no_resources", Int s.Framework.Scheduler.skipped_no_resources);
+          ("skipped_quarantined", Int s.Framework.Scheduler.skipped_quarantined);
+          ("wall_s", Float wall) ]
+    in
+    Obj
+      [ ("horizon_days", Float (horizon /. day));
+        ("drills", Int (List.length drills));
+        ("loop_off", scheduler_json stats_off wall_off);
+        ("loop_on", scheduler_json stats_on wall_on);
+        ( "health",
+          match health_on with
+          | Some h -> Framework.Health.summary_to_json h
+          | None -> Null );
+        ( "steady_state_poll",
+          Obj
+            [ ("without_probe_ns", Float ns_off);
+              ("with_probe_ns", Float ns_on) ] ) ]
+  in
+  let text = Simkit.Json.to_string ~indent:2 json in
+  let oc = open_out "BENCH_health.json" in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  print_endline text;
+  print_endline "written to BENCH_health.json"
+
 (* ---- Bechamel micro-benchmarks --------------------------------------------------------- *)
 
 let microbenchmarks () =
@@ -806,6 +945,7 @@ let run_all () =
   e10 ();
   e11_resilience ();
   e12_scheduler ();
+  e13_health ();
   a1 ();
   a2_a3 ();
   a4 ();
@@ -815,7 +955,8 @@ let run_all () =
 
 let scenarios =
   [ ("all", run_all); ("resilience", e11_resilience);
-    ("scheduler", e12_scheduler); ("micro", microbenchmarks) ]
+    ("scheduler", e12_scheduler); ("health", e13_health);
+    ("micro", microbenchmarks) ]
 
 let () =
   let scenario = ref "all" in

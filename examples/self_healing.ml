@@ -1,0 +1,55 @@
+(* Self-healing drill: take a whole site down and watch the health loop
+   bring it back.
+
+   A month-long campaign runs with the node-health supervisor attached.
+   On day 5 a site outage drops every nancy node at once, and on day 12
+   a PDU failure kills one grisou rack.  Neither fault is auto-repaired:
+   failed builds blame the nodes they touched, suspicion accumulates
+   until the nodes are quarantined (and hidden from OAR), a simulated
+   operator repairs them after an MTTR drawn per fault kind, and each
+   node must pass a reboot + g5k-checks conformity gate before it is
+   re-admitted.  Quarantine events and the site healthy-fraction floor
+   both page through Monitoring.Alerts.
+
+   Run with: dune exec examples/self_healing.exe *)
+
+let day = Simkit.Calendar.day
+
+let () =
+  let config =
+    {
+      Framework.Campaign.default_config with
+      Framework.Campaign.months = 1;
+      seed = 2026L;
+      health = Some Framework.Health.default_config;
+      health_faults =
+        [ (5.0 *. day, Testbed.Faults.Site_outage, Testbed.Faults.Site "nancy");
+          (12.0 *. day, Testbed.Faults.Pdu_failure,
+           Testbed.Faults.Rack ("grisou", 1)) ];
+    }
+  in
+  Format.printf
+    "injecting: site outage on nancy (day 5), PDU failure on a grisou rack \
+     (day 12)@.";
+  Format.printf
+    "neither is auto-repaired — detection, repair and re-admission are the \
+     health loop's job@.@.";
+
+  let report = Framework.Campaign.run config in
+  Format.printf "%a@.@." Framework.Campaign.pp_report report;
+
+  match report.Framework.Campaign.health with
+  | None -> failwith "health loop was not attached"
+  | Some summary ->
+    Format.printf "quarantined %d node(s); %d released, %d retired@."
+      summary.Framework.Health.quarantined summary.Framework.Health.released
+      summary.Framework.Health.retired;
+    Format.printf "mean time in the repair pipeline: %.1f simulated hours@."
+      summary.Framework.Health.mean_hours_to_release;
+    List.iter
+      (fun (site, n) -> Format.printf "  %-12s %d quarantine entr%s@." site n
+          (if n = 1 then "y" else "ies"))
+      summary.Framework.Health.by_site;
+    Format.printf "@.summary as JSON:@.%s@."
+      (Simkit.Json.to_string ~indent:2
+         (Framework.Health.summary_to_json summary))

@@ -12,6 +12,7 @@ type t = {
   mutable result : result option;
   mutable log : string list;
   mutable artifacts : (string * string) list;
+  mutable touched_hosts : string list;
 }
 
 let result_to_string = function
@@ -37,6 +38,10 @@ let duration t =
   | _ -> None
 
 let append_log t line = t.log <- t.log @ [ line ]
+
+let touch_hosts t hosts =
+  t.touched_hosts <-
+    t.touched_hosts @ List.filter (fun h -> not (List.mem h t.touched_hosts)) hosts
 
 let attach_artifact t ~name content =
   t.artifacts <- (name, content) :: List.remove_assoc name t.artifacts

@@ -21,6 +21,9 @@ type t = {
   mutable result : result option;  (** [None] while queued/running *)
   mutable log : string list;  (** oldest first *)
   mutable artifacts : (string * string) list;  (** name -> content *)
+  mutable touched_hosts : string list;
+      (** testbed hosts the build's job actually touched (reserved nodes);
+          the health loop's blame channel — empty until the script runs *)
 }
 
 val result_to_string : result -> string
@@ -31,6 +34,9 @@ val worse : result -> result -> result
 val is_finished : t -> bool
 val duration : t -> float option
 val append_log : t -> string -> unit
+
+val touch_hosts : t -> string list -> unit
+(** Record hosts the build touched (union, first-seen order kept). *)
 
 val attach_artifact : t -> name:string -> string -> unit
 (** Store (or replace) a named artifact, e.g. a measurement CSV. *)

@@ -157,6 +157,7 @@ let enqueue t job ?(retry_of = None) ~axes ~cause () =
       result = None;
       log = [];
       artifacts = [];
+      touched_hosts = [];
     }
   in
   record t build;

@@ -13,6 +13,8 @@ type config = {
   resilience : bool;
   infra_faults : (float * Testbed.Faults.kind) list;
   infra_fault_duration : float;
+  health : Health.config option;
+  health_faults : (float * Testbed.Faults.kind * Testbed.Faults.target) list;
 }
 
 let default_config =
@@ -38,6 +40,8 @@ let default_config =
     resilience = false;
     infra_faults = [];
     infra_fault_duration = 12.0 *. Simkit.Calendar.hour;
+    health = None;
+    health_faults = [];
   }
 
 type monthly = {
@@ -65,6 +69,7 @@ type report = {
   workload_jobs : int;
   scheduler_stats : Scheduler.stats option;
   resilience : Resilience.summary option;
+  health : Health.summary option;
   mean_active_faults : float;
   statuspage : string;
   statuspage_html : string;
@@ -136,6 +141,23 @@ let run cfg =
              | None -> ())))
     cfg.infra_faults;
 
+  (* Scheduled correlated/targeted faults for health drills.  Unlike
+     [infra_faults] these are NOT auto-repaired: fixing them (and
+     re-admitting the affected nodes) is the self-healing loop's job. *)
+  List.iter
+    (fun (time, kind, target) ->
+      ignore
+        (Simkit.Engine.schedule_at engine ~time (fun eng ->
+             match
+               Testbed.Faults.inject_on faults ~now:(Simkit.Engine.now eng) kind
+                 target
+             with
+             | Some fault ->
+               Env.tracef env ~category:"fault" "#%d %s" fault.Testbed.Faults.id
+                 fault.Testbed.Faults.what
+             | None -> ())))
+    cfg.health_faults;
+
   (* Continuous fault arrivals, sampled every 6 hours. *)
   let sweep = 6.0 *. Simkit.Calendar.hour in
   Simkit.Engine.every engine ~period:sweep (fun eng ->
@@ -183,6 +205,16 @@ let run cfg =
     end
     else None
   in
+  (* Self-healing loop: opt-in so default campaigns replay bit-for-bit
+     (the extra Prng split and sweep events only happen when enabled). *)
+  let health =
+    Option.map
+      (fun hconfig ->
+        let alerts = Monitoring.Alerts.create env.Env.collector in
+        Health.attach ~config:hconfig ?scheduler ~alerts env)
+      cfg.health
+  in
+
   let operator =
     if cfg.enable_testing then Some (Operator.start ~config:cfg.operator env tracker)
     else
@@ -285,6 +317,7 @@ let run cfg =
       List.fold_left (fun acc m -> acc +. float_of_int m.active_faults) 0.0 monthly
       /. float_of_int (List.length monthly)
   in
+  let health_summary = Option.map Health.summary health in
   {
     cfg;
     monthly;
@@ -301,6 +334,7 @@ let run cfg =
     workload_jobs = (match workload with Some w -> Oar.Workload.submitted w | None -> 0);
     scheduler_stats = Option.map Scheduler.stats scheduler;
     resilience = resilience_summary;
+    health = health_summary;
     mean_active_faults;
     statuspage =
       Statuspage.render_overview page ^ "\n== Cluster confidence ==\n"
@@ -309,6 +343,11 @@ let run cfg =
         | Some s ->
           "\n== Resilience (testing infrastructure) ==\n"
           ^ Statuspage.render_resilience s
+        | None -> "")
+      ^ (match health_summary with
+        | Some s ->
+          "\n== Node health (self-healing loop) ==\n"
+          ^ Statuspage.render_health page s
         | None -> "");
     statuspage_html = Webstatus.render page;
   }
@@ -325,6 +364,13 @@ let pp_report ppf report =
         builds dropped@."
        r.Resilience.watchdog_aborts r.Resilience.breaker_trips
        r.Resilience.ci_outages r.Resilience.dropped_builds
+   | None -> ());
+  (match report.health with
+   | Some h ->
+     Format.fprintf ppf
+       "health: %d quarantined, %d released, %d retired, mean %.1f h to release@."
+       h.Health.quarantined h.Health.released h.Health.retired
+       h.Health.mean_hours_to_release
    | None -> ());
   List.iter
     (fun m ->

@@ -32,6 +32,16 @@ type config = {
   infra_fault_duration : float;
       (** seconds before each scheduled infrastructure fault is
           repaired *)
+  health : Health.config option;
+      (** attach the {!Health} self-healing loop with this configuration;
+          [None] (default) keeps every node permanently in service and
+          campaigns byte-identical to the historical behaviour *)
+  health_faults : (float * Testbed.Faults.kind * Testbed.Faults.target) list;
+      (** scheduled targeted faults for health drills: (time, kind,
+          target), e.g. [(t, Site_outage, Site "nancy")].  Unlike
+          [infra_faults], these are {e not} auto-repaired — detecting,
+          repairing and re-admitting the affected nodes is the health
+          loop's job *)
 }
 
 val default_config : config
@@ -66,6 +76,8 @@ type report = {
   scheduler_stats : Scheduler.stats option;
   resilience : Resilience.summary option;
       (** present iff the campaign ran with [resilience = true] *)
+  health : Health.summary option;
+      (** present iff the campaign ran with a health configuration *)
   mean_active_faults : float;
   statuspage : string;  (** rendered overview at campaign end *)
   statuspage_html : string;  (** same views as a standalone HTML page *)

@@ -12,17 +12,21 @@ let monthly_to_json (m : Campaign.monthly) =
       ("active_faults", Int m.Campaign.active_faults);
       ("enabled_configs", Int m.Campaign.enabled_configs) ]
 
-let scheduler_to_json (s : Scheduler.stats) =
+let scheduler_to_json ?(health = false) (s : Scheduler.stats) =
   let open Simkit.Json in
   Obj
-    [ ("polls", Int s.Scheduler.polls);
-      ("triggered", Int s.Scheduler.triggered);
-      ("completed_success", Int s.Scheduler.completed_success);
-      ("completed_failure", Int s.Scheduler.completed_failure);
-      ("completed_unstable", Int s.Scheduler.completed_unstable);
-      ("skipped_peak", Int s.Scheduler.skipped_peak);
-      ("skipped_site_busy", Int s.Scheduler.skipped_site_busy);
-      ("skipped_no_resources", Int s.Scheduler.skipped_no_resources) ]
+    ([ ("polls", Int s.Scheduler.polls);
+       ("triggered", Int s.Scheduler.triggered);
+       ("completed_success", Int s.Scheduler.completed_success);
+       ("completed_failure", Int s.Scheduler.completed_failure);
+       ("completed_unstable", Int s.Scheduler.completed_unstable);
+       ("skipped_peak", Int s.Scheduler.skipped_peak);
+       ("skipped_site_busy", Int s.Scheduler.skipped_site_busy);
+       ("skipped_no_resources", Int s.Scheduler.skipped_no_resources) ]
+    (* The quarantine split only exists with a health supervisor, so
+       reports from historical configurations stay byte-identical. *)
+    @ if health then [ ("skipped_quarantined", Int s.Scheduler.skipped_quarantined) ]
+      else [])
 
 let to_json (report : Campaign.report) =
   let open Simkit.Json in
@@ -32,6 +36,11 @@ let to_json (report : Campaign.report) =
   let resilience =
     match report.Campaign.resilience with
     | Some s -> [ ("resilience", Resilience.summary_to_json s) ]
+    | None -> []
+  in
+  let health =
+    match report.Campaign.health with
+    | Some s -> [ ("health", Health.summary_to_json s) ]
     | None -> []
   in
   Obj
@@ -64,9 +73,10 @@ let to_json (report : Campaign.report) =
       ("monthly", List (List.map monthly_to_json report.Campaign.monthly));
       ( "scheduler",
         match report.Campaign.scheduler_stats with
-        | Some s -> scheduler_to_json s
+        | Some s ->
+          scheduler_to_json ~health:(report.Campaign.health <> None) s
         | None -> Null ) ]
-    @ resilience)
+    @ resilience @ health)
 
 let to_string ?(indent = 2) report = Simkit.Json.to_string ~indent (to_json report)
 

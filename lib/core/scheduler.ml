@@ -48,6 +48,7 @@ type stats = {
   skipped_peak : int;
   skipped_site_busy : int;
   skipped_no_resources : int;
+  skipped_quarantined : int;
   skipped_breaker_open : int;
   retries_exhausted : int;
   retries_spent : int;
@@ -103,8 +104,13 @@ type t = {
   mutable skipped_peak : int;
   mutable skipped_site_busy : int;
   mutable skipped_no_resources : int;
+  mutable skipped_quarantined : int;
   mutable skipped_breaker_open : int;
   mutable retries_exhausted : int;
+  mutable quarantined_probe : (Testdef.config -> bool) option;
+      (* set by the health supervisor: does this configuration's resource
+         pool currently contain sidelined nodes?  Used only to attribute
+         precheck misses to the right counter *)
 }
 
 let policy t = t.pol
@@ -127,6 +133,7 @@ let stats t =
     skipped_peak = t.skipped_peak;
     skipped_site_busy = t.skipped_site_busy;
     skipped_no_resources = t.skipped_no_resources;
+    skipped_quarantined = t.skipped_quarantined;
     skipped_breaker_open = t.skipped_breaker_open;
     retries_exhausted = t.retries_exhausted;
     retries_spent = retries_spent t;
@@ -256,12 +263,16 @@ let create ?(policy = smart_policy) ?(indexed = true) env =
       skipped_peak = 0;
       skipped_site_busy = 0;
       skipped_no_resources = 0;
+      skipped_quarantined = 0;
       skipped_breaker_open = 0;
       retries_exhausted = 0;
+      quarantined_probe = None;
     }
   in
   Ci.Server.on_build_complete env.Env.ci (fun build -> on_completed t build);
   t
+
+let set_health_probe t probe = t.quarantined_probe <- Some probe
 
 let precheck_of instance config =
   let parse = Oar.Expr.parse_exn in
@@ -348,7 +359,11 @@ let resources_available t entry =
     let usable =
       Array.fold_left
         (fun acc node ->
-          if node.Testbed.Node.state <> Testbed.Node.Down then acc + 1 else acc)
+          if
+            node.Testbed.Node.state <> Testbed.Node.Down
+            && Testbed.Node.in_service node
+          then acc + 1
+          else acc)
         0 nodes
     in
     usable > 0 && Oar.Manager.free_at_least oar filter usable
@@ -387,7 +402,10 @@ let consider t entry =
     set_next_due t entry (now +. t.pol.poll_period)
   end
   else if t.pol.precheck_resources && not (resources_available t entry) then begin
-    t.skipped_no_resources <- t.skipped_no_resources + 1;
+    (match t.quarantined_probe with
+     | Some probe when consumes_nodes && probe config ->
+       t.skipped_quarantined <- t.skipped_quarantined + 1
+     | _ -> t.skipped_no_resources <- t.skipped_no_resources + 1);
     if t.pol.use_backoff then
       set_next_due t entry
         (now

@@ -49,6 +49,11 @@ type stats = {
   skipped_peak : int;
   skipped_site_busy : int;
   skipped_no_resources : int;
+  skipped_quarantined : int;
+      (** precheck misses attributable to quarantined nodes (the health
+          supervisor's probe said the configuration's pool is currently
+          short because of sidelined nodes); always 0 without a health
+          supervisor *)
   skipped_breaker_open : int;
       (** due configurations skipped because their family's breaker was
           open *)
@@ -99,6 +104,14 @@ val busy_sites : t -> string list
     {!Testdef.effective_site} — the same site its resource precheck
     draws nodes from — closing the anti-affinity hole the old scheduler
     had for the global kavlan VLAN. *)
+
+val set_health_probe : t -> (Testdef.config -> bool) -> unit
+(** Install the health supervisor's probe: given a configuration, does
+    its resource pool currently contain quarantined/sidelined nodes?
+    Only used to split precheck misses between [skipped_no_resources]
+    and [skipped_quarantined] — scheduling decisions are unchanged (the
+    OAR-level exclusion already keeps sidelined nodes out of prechecks
+    and placement). *)
 
 val breaker_state : t -> Testdef.family -> Resilience.Breaker.state option
 (** Current breaker state for a family, [None] if no breaker exists

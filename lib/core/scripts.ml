@@ -18,12 +18,35 @@ let cluster_of_host env host =
   | None -> None
 
 let fault_touches env hosts fault =
+  let node_of h = Testbed.Instance.find_node env.Env.instance h in
   match fault.Testbed.Faults.target with
   | Testbed.Faults.Host h -> List.mem h hosts
   | Testbed.Faults.Host_pair (a, b) -> List.mem a hosts || List.mem b hosts
   | Testbed.Faults.Cluster c ->
     List.exists (fun h -> cluster_of_host env h = Some c) hosts
+  | Testbed.Faults.Rack (c, r) ->
+    List.exists
+      (fun h ->
+        match node_of h with
+        | Some n ->
+          String.equal n.Testbed.Node.cluster_name c
+          && Testbed.Faults.rack_of_index n.Testbed.Node.index = r
+        | None -> false)
+      hosts
+  | Testbed.Faults.Site s ->
+    List.exists
+      (fun h ->
+        match node_of h with
+        | Some n -> String.equal n.Testbed.Node.site_name s
+        | None -> false)
+      hosts
   | Testbed.Faults.Site_service _ | Testbed.Faults.Global _ -> false
+
+(* Mass-outage kinds knock nodes over just like random reboots do, so any
+   correlate call looking for dead/lost nodes must consider them too. *)
+let correlated_kinds =
+  [ Testbed.Faults.Site_outage; Testbed.Faults.Pdu_failure;
+    Testbed.Faults.Network_partition ]
 
 (* Mark matching active faults as detected and return their ids: the
    bug's link back to ground truth, used for repair and for the
@@ -98,6 +121,7 @@ let reserve env ~filter ~count ~walltime ~build ~unavailable k =
     in
     logf build "reserved %d node(s): %s" (List.length nodes)
       (String.concat " " (List.map (fun n -> n.Testbed.Node.host) nodes));
+    Ci.Build.touch_hosts build (List.map (fun n -> n.Testbed.Node.host) nodes);
     let release () = Oar.Manager.cancel env.Env.oar job in
     k nodes release
 
@@ -296,7 +320,8 @@ let oarstate_script env config ~build ~finish =
             site_nodes
         in
         let fault_ids =
-          correlate env ~hosts:down_hosts ~kinds:[ Testbed.Faults.Random_reboots ]
+          correlate env ~hosts:down_hosts
+            ~kinds:(Testbed.Faults.Random_reboots :: correlated_kinds)
         in
         evidences :=
           evidence
@@ -405,7 +430,9 @@ let deploy_evidences env config image outcomes =
         else begin
           let fault_ids =
             correlate env ~hosts:[ host ]
-              ~kinds:[ Testbed.Faults.Random_reboots; Testbed.Faults.Kernel_boot_race ]
+              ~kinds:
+                (Testbed.Faults.Random_reboots :: Testbed.Faults.Kernel_boot_race
+                 :: correlated_kinds)
           in
           Some
             (evidence
@@ -453,7 +480,7 @@ let stdenv_script env config ~build ~finish =
             if not ok then begin
               let fault_ids =
                 correlate env ~hosts:[ node.Testbed.Node.host ]
-                  ~kinds:[ Testbed.Faults.Random_reboots ]
+                  ~kinds:(Testbed.Faults.Random_reboots :: correlated_kinds)
               in
               finish
                 (failure
@@ -501,6 +528,7 @@ let paralleldeploy_script env config ~build ~finish =
           List.filter_map (Testbed.Instance.find_node env.Env.instance)
             job.Oar.Job.assigned
         in
+        Ci.Build.touch_hosts build (List.map (fun n -> n.Testbed.Node.host) nodes);
         let release () = Oar.Manager.cancel env.Env.oar job in
         gather (nodes @ acc) (fun () -> release (); release_all ()) rest)
   in
@@ -592,8 +620,9 @@ let multireboot_script env config ~build ~finish =
                             let fault_ids =
                               correlate env ~hosts:[ host ]
                                 ~kinds:
-                                  [ Testbed.Faults.Random_reboots;
-                                    Testbed.Faults.Kernel_boot_race ]
+                                  (Testbed.Faults.Random_reboots
+                                   :: Testbed.Faults.Kernel_boot_race
+                                   :: correlated_kinds)
                             in
                             evidence
                               ~signature:(Printf.sprintf "multireboot:%s" host)

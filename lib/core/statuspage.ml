@@ -217,6 +217,41 @@ let render_resilience (s : Resilience.summary) =
       [ "builds dropped"; string_of_int s.Resilience.dropped_builds ];
       [ "deferred triggers"; string_of_int s.Resilience.deferred_triggers ] ]
 
+let render_health t (s : Health.summary) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Simkit.Table.render
+       ~header:[ "health counter"; "value" ]
+       [ [ "suspected (cumulative)"; string_of_int s.Health.suspected ];
+         [ "quarantined (cumulative)"; string_of_int s.Health.quarantined ];
+         [ "repair attempts"; string_of_int s.Health.repair_attempts ];
+         [ "reverify failures"; string_of_int s.Health.reverify_failures ];
+         [ "released"; string_of_int s.Health.released ];
+         [ "retired"; string_of_int s.Health.retired ];
+         [ "out of service now"; string_of_int s.Health.out_of_service_now ];
+         [ "in quarantine pipeline now"; string_of_int s.Health.in_quarantine_now ];
+         [ "mean hours to release";
+           Simkit.Table.fmt_float s.Health.mean_hours_to_release ];
+         [ "alerts fired"; string_of_int s.Health.alerts_fired ] ]);
+  (match s.Health.by_site with
+   | [] -> ()
+   | by_site ->
+     Buffer.add_string buf "\n-- Quarantine entries per site --\n";
+     Buffer.add_string buf
+       (Simkit.Table.render
+          ~header:[ "site"; "quarantines" ]
+          (List.map (fun (site, n) -> [ site; string_of_int n ]) by_site)));
+  Buffer.add_string buf "\n-- Success ratio over time (self-healing loop on) --\n";
+  Buffer.add_string buf
+    (Simkit.Table.render
+       ~header:[ "month"; "builds"; "success" ]
+       (List.map
+          (fun (month, completed, _, ratio) ->
+            [ string_of_int month; string_of_int completed;
+              Simkit.Table.fmt_pct ratio ])
+          (monthly_success t)));
+  Buffer.contents buf
+
 let render_overview t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== Status: latest result per test and site ==\n";

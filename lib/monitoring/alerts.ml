@@ -11,20 +11,29 @@ type rule = {
   condition : condition;
 }
 
+type source =
+  | Metric of rule
+  | Healthy_floor of string  (* site *)
+  | Quarantine of string  (* host *)
+
 type alert = {
-  rule : rule;
+  source : source;
   fired_at : float;
   value : float option;
+  reason : string;
   mutable resolved_at : float option;
 }
 
 type t = {
   collector : Collector.t;
   mutable rule_list : rule list;
+  mutable floors : (string * float) list;  (* site -> healthy fraction floor *)
   mutable alerts : alert list;  (* newest first *)
 }
 
-let create collector = { collector; rule_list = []; alerts = [] }
+let create collector =
+  { collector; rule_list = []; floors = []; alerts = [] }
+
 let add_rule t rule = t.rule_list <- t.rule_list @ [ rule ]
 let rules t = t.rule_list
 let firing t = List.rev (List.filter (fun a -> a.resolved_at = None) t.alerts)
@@ -41,10 +50,22 @@ let aggregate aggregation values =
        | Max -> Array.fold_left Float.max neg_infinity values
        | Min -> Array.fold_left Float.min infinity values)
 
-let currently_firing t rule =
+let same_source a b =
+  match (a, b) with
+  | Metric r, Metric r' -> String.equal r.rule_name r'.rule_name
+  | Healthy_floor s, Healthy_floor s' -> String.equal s s'
+  | Quarantine h, Quarantine h' -> String.equal h h'
+  | _ -> false
+
+let currently_firing t source =
   List.find_opt
-    (fun a -> a.resolved_at = None && a.rule.rule_name = rule.rule_name)
+    (fun a -> a.resolved_at = None && same_source a.source source)
     t.alerts
+
+let condition_to_string = function
+  | Above v -> Printf.sprintf "> %.1f" v
+  | Below v -> Printf.sprintf "< %.1f" v
+  | Absent -> "absent"
 
 let evaluate t ~now =
   List.filter_map
@@ -63,10 +84,22 @@ let evaluate t ~now =
         | Above threshold, Some v -> v > threshold
         | Below threshold, Some v -> v < threshold
       in
-      match (holds, currently_firing t rule) with
+      match (holds, currently_firing t (Metric rule)) with
       | true, Some _ -> None  (* already firing *)
       | true, None ->
-        let alert = { rule; fired_at = now; value = aggregated; resolved_at = None } in
+        let alert =
+          {
+            source = Metric rule;
+            fired_at = now;
+            value = aggregated;
+            reason =
+              Printf.sprintf "%s %s on %s"
+                (Collector.metric_to_string rule.metric)
+                (condition_to_string rule.condition)
+                rule.host;
+            resolved_at = None;
+          }
+        in
         t.alerts <- alert :: t.alerts;
         Some alert
       | false, Some alert ->
@@ -75,18 +108,73 @@ let evaluate t ~now =
       | false, None -> None)
     t.rule_list
 
-let condition_to_string = function
-  | Above v -> Printf.sprintf "> %.1f" v
-  | Below v -> Printf.sprintf "< %.1f" v
-  | Absent -> "absent"
+(* ---- health-loop alert sources ----------------------------------------- *)
+
+let set_healthy_floor t ~site ~floor =
+  t.floors <- (site, floor) :: List.remove_assoc site t.floors
+
+let observe_site_health t ~now ~site ~healthy_fraction =
+  match List.assoc_opt site t.floors with
+  | None -> None
+  | Some floor -> (
+    let below = healthy_fraction < floor in
+    match (below, currently_firing t (Healthy_floor site)) with
+    | true, Some _ -> None  (* already firing *)
+    | true, None ->
+      let alert =
+        {
+          source = Healthy_floor site;
+          fired_at = now;
+          value = Some healthy_fraction;
+          reason =
+            Printf.sprintf "healthy fraction of %s at %.0f%% (floor %.0f%%)" site
+              (100.0 *. healthy_fraction) (100.0 *. floor);
+          resolved_at = None;
+        }
+      in
+      t.alerts <- alert :: t.alerts;
+      Some alert
+    | false, Some alert ->
+      alert.resolved_at <- Some now;
+      None
+    | false, None -> None)
+
+let notify_quarantine t ~now ~host ~reason =
+  match currently_firing t (Quarantine host) with
+  | Some alert -> alert
+  | None ->
+    let alert =
+      {
+        source = Quarantine host;
+        fired_at = now;
+        value = None;
+        reason;
+        resolved_at = None;
+      }
+    in
+    t.alerts <- alert :: t.alerts;
+    alert
+
+let resolve_quarantine t ~now ~host =
+  match currently_firing t (Quarantine host) with
+  | Some alert -> alert.resolved_at <- Some now
+  | None -> ()
+
+let source_to_strings = function
+  | Metric rule ->
+    ( rule.rule_name,
+      rule.host,
+      Collector.metric_to_string rule.metric,
+      condition_to_string rule.condition )
+  | Healthy_floor site -> ("healthy-floor", site, "healthy_fraction", "below floor")
+  | Quarantine host -> ("quarantine", host, "node_health", "quarantined")
 
 let render t =
-  Simkit.Table.render ~header:[ "alert"; "host"; "metric"; "condition"; "since"; "value" ]
+  Simkit.Table.render ~header:[ "alert"; "subject"; "metric"; "condition"; "since"; "value" ]
     (List.map
        (fun a ->
-         [ a.rule.rule_name; a.rule.host;
-           Collector.metric_to_string a.rule.metric;
-           condition_to_string a.rule.condition;
+         let name, subject, metric, condition = source_to_strings a.source in
+         [ name; subject; metric; condition;
            Simkit.Calendar.to_string a.fired_at;
            (match a.value with Some v -> Simkit.Table.fmt_float v | None -> "-") ])
        (firing t))

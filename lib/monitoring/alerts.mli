@@ -5,7 +5,13 @@
     Prometheus".  This module provides that style of rule on top of the
     collector: threshold rules over an aggregation window and
     absence-of-data rules, evaluated on demand, with firing/resolved
-    state tracking. *)
+    state tracking.
+
+    Besides metric rules, the health loop feeds two event-style sources:
+    quarantine notifications (one firing alert per sidelined host, see
+    {!notify_quarantine}) and per-site healthy-fraction floors (see
+    {!set_healthy_floor}/{!observe_site_health}) that page when a
+    correlated failure takes out too much of a site. *)
 
 type aggregation = Mean | Max | Min
 
@@ -23,10 +29,20 @@ type rule = {
   condition : condition;
 }
 
+(** What raised the alert: a metric rule, a site whose healthy fraction
+    sank below its floor, or a quarantined host. *)
+type source =
+  | Metric of rule
+  | Healthy_floor of string  (** site *)
+  | Quarantine of string  (** host *)
+
 type alert = {
-  rule : rule;
+  source : source;
   fired_at : float;
-  value : float option;  (** aggregated value; [None] for {!Absent}. *)
+  value : float option;
+      (** aggregated value / healthy fraction; [None] for {!Absent} and
+          quarantine events. *)
+  reason : string;  (** human-readable description *)
   mutable resolved_at : float option;
 }
 
@@ -47,5 +63,23 @@ val firing : t -> alert list
 
 val history : t -> alert list
 (** Every alert ever fired, oldest first. *)
+
+val set_healthy_floor : t -> site:string -> floor:float -> unit
+(** Arm a {!Healthy_floor} source: alert whenever the site's healthy
+    fraction (in [\[0, 1\]]) is observed below [floor].  Replaces any
+    previous floor for the site. *)
+
+val observe_site_health :
+  t -> now:float -> site:string -> healthy_fraction:float -> alert option
+(** Feed one healthy-fraction observation.  Fires (once) when the value
+    is below the site's armed floor, resolves the firing alert when it
+    recovers, and is a no-op for sites without a floor. *)
+
+val notify_quarantine : t -> now:float -> host:string -> reason:string -> alert
+(** A node entered quarantine: fire (or return the already-firing)
+    {!Quarantine} alert for the host. *)
+
+val resolve_quarantine : t -> now:float -> host:string -> unit
+(** The host rejoined service: resolve its firing alert, if any. *)
 
 val render : t -> string

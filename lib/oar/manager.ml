@@ -85,14 +85,17 @@ let matching_hosts t filter = Array.to_list (matching_hosts_arr t filter)
 
 let host_usable t host =
   match Testbed.Instance.find_node t.instance host with
-  | Some node -> node.Testbed.Node.state <> Testbed.Node.Down
+  | Some node ->
+    node.Testbed.Node.state <> Testbed.Node.Down && Testbed.Node.in_service node
   | None -> false
 
-(* Alive, and unreserved for the next instant. *)
+(* Alive, in service (not sidelined by the health loop), and unreserved
+   for the next instant. *)
 let host_free_now t ~time host =
   match Testbed.Instance.find_node t.instance host with
   | Some node ->
     Testbed.Node.is_available node
+    && Testbed.Node.in_service node
     && Gantt.is_free t.gantt ~host ~start:time ~stop:(time +. 1.0)
   | None -> false
 

@@ -20,11 +20,16 @@ type kind =
   | Ci_outage
   | Build_hang
   | Queue_loss
+  | Site_outage
+  | Pdu_failure
+  | Network_partition
 
 type target =
   | Host of string
   | Host_pair of string * string
   | Cluster of string
+  | Rack of string * int
+  | Site of string
   | Site_service of string * Services.kind
   | Global of string
 
@@ -59,7 +64,14 @@ let all_kinds =
     Disk_firmware; Disk_write_cache; Ram_dimm_loss; Cabling_swap;
     Kwapi_misattribution; Random_reboots; Kernel_boot_race; Ofed_flaky;
     Console_broken; Service_outage; Refapi_desync; Oar_property_desync;
-    Env_image_corrupt; Ci_outage; Build_hang; Queue_loss ]
+    Env_image_corrupt; Ci_outage; Build_hang; Queue_loss; Site_outage;
+    Pdu_failure; Network_partition ]
+
+(* Correlated faults take out many nodes at once; a PDU powers a fixed
+   slice of a cluster's racks. *)
+let rack_size = 8
+let rack_of_index index = (index - 1) / rack_size
+let partition_flag site = "partition:" ^ site
 
 (* Infrastructure faults degrade the testing framework itself; their
    effects are carried as flags consulted by the CI/resilience layer. *)
@@ -95,6 +107,9 @@ let kind_to_string = function
   | Ci_outage -> "ci-outage"
   | Build_hang -> "build-hang"
   | Queue_loss -> "queue-loss"
+  | Site_outage -> "site-outage"
+  | Pdu_failure -> "pdu-failure"
+  | Network_partition -> "network-partition"
 
 let category = function
   | Cpu_cstates | Cpu_hyperthreading | Cpu_turbo | Cpu_governor | Bios_drift ->
@@ -106,6 +121,7 @@ let category = function
   | Console_broken | Service_outage -> "services"
   | Kernel_boot_race | Ofed_flaky | Env_image_corrupt -> "software"
   | Ci_outage | Build_hang | Queue_loss -> "ci"
+  | Site_outage | Pdu_failure | Network_partition -> "correlated"
 
 let create ~rng ctx = { ctx; rng; faults = []; next_id = 0 }
 let context t = t.ctx
@@ -159,6 +175,75 @@ let update_first_disk node f =
 let cluster_nodes ctx cluster =
   Array.to_list ctx.nodes
   |> List.filter (fun n -> String.equal n.Node.cluster_name cluster)
+
+let site_nodes ctx site =
+  Array.to_list ctx.nodes
+  |> List.filter (fun n -> String.equal n.Node.site_name site)
+
+let rack_nodes ctx cluster rack =
+  cluster_nodes ctx cluster
+  |> List.filter (fun n -> rack_of_index n.Node.index = rack)
+
+(* Correlated faults must not stack on the same target: a second outage
+   of an already-dark site would make the first revert lie. *)
+let target_already_hit t target =
+  List.exists
+    (fun f -> f.repaired_at = None && f.target = target)
+    t.faults
+
+let down_nodes nodes =
+  List.iter (fun n -> if n.Node.state <> Node.Down then n.Node.state <- Node.Down)
+    nodes
+
+let revive_nodes nodes =
+  List.iter (fun n -> if n.Node.state = Node.Down then n.Node.state <- Node.Alive)
+    nodes
+
+let down_site_services ctx site =
+  List.iter
+    (fun service -> Services.set_state ctx.services ~site service Services.Down)
+    Services.all_kinds
+
+let repair_site_services ctx site =
+  List.iter (fun service -> Services.repair ctx.services ~site service)
+    Services.all_kinds
+
+(* Shared by inject and inject_on once the target is validated. *)
+let correlated_effect t kind target =
+  match (kind, target) with
+  | Site_outage, Site site ->
+    let nodes = site_nodes t.ctx site in
+    if nodes = [] then None
+    else begin
+      down_nodes nodes;
+      down_site_services t.ctx site;
+      Some
+        (Printf.sprintf "%s: site-wide power outage, %d nodes and all services down"
+           site (List.length nodes))
+    end
+  | Network_partition, Site site ->
+    let nodes = site_nodes t.ctx site in
+    if nodes = [] then None
+    else begin
+      (* The site keeps running but is unreachable from the rest of the
+         platform — indistinguishable from down for every consumer. *)
+      down_nodes nodes;
+      down_site_services t.ctx site;
+      Hashtbl.replace t.ctx.flags (partition_flag site) "site unreachable";
+      Some
+        (Printf.sprintf "%s: network partition, site unreachable (%d nodes)" site
+           (List.length nodes))
+    end
+  | Pdu_failure, Rack (cluster, rack) ->
+    let nodes = rack_nodes t.ctx cluster rack in
+    if nodes = [] then None
+    else begin
+      down_nodes nodes;
+      Some
+        (Printf.sprintf "%s rack %d: PDU failure, %d nodes lost power" cluster rack
+           (List.length nodes))
+    end
+  | _ -> None
 
 let apply t ~now kind target what =
   let fault =
@@ -225,7 +310,8 @@ let effect_on_host t kind node =
     Hashtbl.replace t.ctx.flags ("oar_desync:" ^ host) "stale property";
     Some (Printf.sprintf "%s: OAR property diverges from reference API" host)
   | Cabling_swap | Kwapi_misattribution | Kernel_boot_race | Ofed_flaky
-  | Service_outage | Env_image_corrupt | Ci_outage | Build_hang | Queue_loss ->
+  | Service_outage | Env_image_corrupt | Ci_outage | Build_hang | Queue_loss
+  | Site_outage | Pdu_failure | Network_partition ->
     None
 
 let inject t ~now kind =
@@ -308,6 +394,27 @@ let inject t ~now kind =
          | Build_hang -> "builds hang instead of completing"
          | _ -> "CI build queue lost")
     end
+  | Site_outage | Network_partition -> (
+    let site = Simkit.Prng.choose_list t.rng Inventory.sites in
+    let target = Site site in
+    if target_already_hit t target then None
+    else
+      match correlated_effect t kind target with
+      | Some what -> apply t ~now kind target what
+      | None -> None)
+  | Pdu_failure -> (
+    match random_cluster t ~filter:(fun _ -> true) with
+    | None -> None
+    | Some spec ->
+      let cluster = spec.Inventory.cluster in
+      let racks = 1 + rack_of_index spec.Inventory.nodes in
+      let rack = Simkit.Prng.int t.rng racks in
+      let target = Rack (cluster, rack) in
+      if target_already_hit t target then None
+      else (
+        match correlated_effect t kind target with
+        | Some what -> apply t ~now kind target what
+        | None -> None))
   | Env_image_corrupt ->
     (* The target image is picked by the registered consumer through the
        flag; we draw from the standard 14-image list by index so testbed
@@ -358,6 +465,28 @@ let inject_on t ~now kind target =
   | Env_image_corrupt, Global key ->
     Hashtbl.replace t.ctx.flags key "corrupt postinstall";
     apply t ~now kind target (key ^ " corrupt")
+  | (Site_outage | Network_partition), Site site ->
+    if
+      (not (List.mem site Inventory.sites))
+      || target_already_hit t target
+    then None
+    else (
+      match correlated_effect t kind target with
+      | Some what -> apply t ~now kind target what
+      | None -> None)
+  | Pdu_failure, Rack (cluster, rack) ->
+    (* Validated: the cluster must exist and the rack index must cover at
+       least one node. *)
+    let valid =
+      match Inventory.find_cluster cluster with
+      | Some spec -> rack >= 0 && rack <= rack_of_index spec.Inventory.nodes
+      | None -> false
+    in
+    if (not valid) || target_already_hit t target then None
+    else (
+      match correlated_effect t kind target with
+      | Some what -> apply t ~now kind target what
+      | None -> None)
   | (Ci_outage | Build_hang | Queue_loss), Global key
     when infra_flag kind = Some key ->
     (* Validated: the target key must be the kind's canonical flag, and
@@ -432,6 +561,17 @@ let revert t fault =
     Services.repair ctx.services ~site service
   | Env_image_corrupt, Global key -> Hashtbl.remove ctx.flags key
   | (Ci_outage | Build_hang | Queue_loss), Global key -> Hashtbl.remove ctx.flags key
+  | Site_outage, Site site ->
+    (* Power restored: everything at the site boots back up.  Nodes that
+       were dead for unrelated reasons come back too — restoring power
+       reboots the whole room. *)
+    revive_nodes (site_nodes ctx site);
+    repair_site_services ctx site
+  | Network_partition, Site site ->
+    revive_nodes (site_nodes ctx site);
+    repair_site_services ctx site;
+    Hashtbl.remove ctx.flags (partition_flag site)
+  | Pdu_failure, Rack (cluster, rack) -> revive_nodes (rack_nodes ctx cluster rack)
   | _ -> ()
 
 let repair t ~now fault =
@@ -457,5 +597,15 @@ let active_on_host t host =
          | Cluster c -> (
            match node_of t.ctx host with
            | Some node -> String.equal node.Node.cluster_name c
+           | None -> false)
+         | Rack (c, r) -> (
+           match node_of t.ctx host with
+           | Some node ->
+             String.equal node.Node.cluster_name c
+             && rack_of_index node.Node.index = r
+           | None -> false)
+         | Site s -> (
+           match node_of t.ctx host with
+           | Some node -> String.equal node.Node.site_name s
            | None -> false)
          | Site_service _ | Global _ -> false)

@@ -12,7 +12,16 @@
     *testing infrastructure itself* (the paper's "Jenkins misbehaves,
     builds hang" lesson): they only set flags
     ({!ci_outage_flag} etc.) that the framework's resilience layer
-    translates into CI-server degraded modes. *)
+    translates into CI-server degraded modes.
+
+    The correlated kinds take out many nodes in one event, exercising
+    mass quarantine and graceful degradation in the self-healing loop:
+    [Site_outage] (site-wide power loss: every node and service of the
+    site goes down), [Pdu_failure] (one rack of a cluster — a
+    {!rack_size}-node slice — loses power) and [Network_partition] (the
+    site keeps running but is unreachable, which is indistinguishable
+    from down for every consumer; the {!partition_flag} records the
+    distinction). *)
 
 type kind =
   | Cpu_cstates
@@ -36,11 +45,16 @@ type kind =
   | Ci_outage
   | Build_hang
   | Queue_loss
+  | Site_outage
+  | Pdu_failure
+  | Network_partition
 
 type target =
   | Host of string
   | Host_pair of string * string
   | Cluster of string
+  | Rack of string * int  (** cluster, 0-based rack index (see {!rack_size}) *)
+  | Site of string
   | Site_service of string * Services.kind
   | Global of string  (** free-form, e.g. an environment image name *)
 
@@ -74,7 +88,18 @@ val category : kind -> string
 (** Coarse bug category used by the results table of the paper
     (["cpu-settings"], ["disk"], ["cabling"], ["infrastructure"],
     ["description"], ["services"], ["software"], plus ["ci"] for the
-    testing-infrastructure kinds). *)
+    testing-infrastructure kinds and ["correlated"] for the mass-outage
+    kinds). *)
+
+val rack_size : int
+(** Nodes behind one PDU: a [Rack (cluster, r)] covers the cluster's
+    1-based node indices in [\[r x rack_size + 1, (r+1) x rack_size\]]. *)
+
+val rack_of_index : int -> int
+(** Rack of a node's 1-based index within its cluster. *)
+
+val partition_flag : string -> string
+(** Flag key raised while a [Network_partition] isolates the site. *)
 
 val ci_outage_flag : string
 val build_hang_flag : string

@@ -1,5 +1,13 @@
 type state = Alive | Rebooting | Deploying | Down
 
+type health =
+  | Healthy
+  | Suspected
+  | Quarantined
+  | Repairing
+  | Reverifying
+  | Retired
+
 type behaviour = {
   mutable random_reboot_mtbf : float option;
   mutable boot_race : bool;
@@ -16,6 +24,7 @@ type t = {
   reference : Hardware.t;
   mutable actual : Hardware.t;
   mutable state : state;
+  mutable health : health;
   mutable deployed_env : string;
   mutable vlan : int;
   behaviour : behaviour;
@@ -35,6 +44,7 @@ let make ~rng ~site ~cluster ~index hw =
     reference = hw;
     actual = hw;
     state = Alive;
+    health = Healthy;
     deployed_env = "std";
     vlan = 0;
     behaviour =
@@ -51,7 +61,16 @@ let state_to_string = function
   | Deploying -> "deploying"
   | Down -> "down"
 
+let health_to_string = function
+  | Healthy -> "healthy"
+  | Suspected -> "suspected"
+  | Quarantined -> "quarantined"
+  | Repairing -> "repairing"
+  | Reverifying -> "reverifying"
+  | Retired -> "retired"
+
 let is_available t = t.state = Alive
+let in_service t = t.health = Healthy
 
 let boot_duration t =
   let base = Float.max 30.0 (Simkit.Dist.normal t.rng ~mu:120.0 ~sigma:15.0) in

@@ -10,6 +10,18 @@ type state =
   | Deploying
   | Down  (** failed; needs operator action *)
 
+(** Administrative health, orthogonal to the physical {!state}: the
+    self-healing loop's per-node state machine (the real platform's
+    suspected/dead resource states).  OAR only hands out {!Healthy}
+    nodes; everything else is sidelined until re-verification passes. *)
+type health =
+  | Healthy
+  | Suspected  (** suspicion accumulated; pulled out pending decay or escalation *)
+  | Quarantined  (** over the quarantine threshold; awaiting an operator *)
+  | Repairing  (** operator working on it (MTTR running) *)
+  | Reverifying  (** repaired; must pass the verification test to rejoin *)
+  | Retired  (** gave up after repeated repair failures; terminal *)
+
 type behaviour = {
   mutable random_reboot_mtbf : float option;
       (** spontaneous reboots with this exponential MTBF (seconds) *)
@@ -27,6 +39,7 @@ type t = {
   reference : Hardware.t;  (** what the Reference API describes *)
   mutable actual : Hardware.t;  (** ground truth, mutated by faults *)
   mutable state : state;
+  mutable health : health;  (** administrative state; {!Healthy} at build *)
   mutable deployed_env : string;  (** currently installed environment *)
   mutable vlan : int;  (** 0 = default production VLAN *)
   behaviour : behaviour;
@@ -46,9 +59,15 @@ val make :
     runs the standard environment ["std"] in the default VLAN. *)
 
 val state_to_string : state -> string
+val health_to_string : health -> string
 
 val is_available : t -> bool
 (** Alive — the only state in which OAR may hand the node to a job. *)
+
+val in_service : t -> bool
+(** {!Healthy} — not sidelined by the self-healing loop.  Nodes start in
+    service and stay there unless a health supervisor is attached, so
+    callers may gate on this unconditionally. *)
 
 val boot_duration : t -> float
 (** Sample one boot duration (seconds): normal around 120 s, plus a heavy

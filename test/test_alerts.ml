@@ -113,6 +113,80 @@ let test_refire_after_resolution () =
     (List.length (Monitoring.Alerts.evaluate alerts ~now:240.0));
   checki "two alerts in history" 2 (List.length (Monitoring.Alerts.history alerts))
 
+let test_healthy_floor_fires_below_and_resolves () =
+  let _, _, alerts = mk () in
+  (* No floor armed for the site: observations are ignored. *)
+  checkb "no floor, no alert" true
+    (Monitoring.Alerts.observe_site_health alerts ~now:10.0 ~site:"nancy"
+       ~healthy_fraction:0.0
+    = None);
+  Monitoring.Alerts.set_healthy_floor alerts ~site:"nancy" ~floor:0.5;
+  checkb "above the floor: quiet" true
+    (Monitoring.Alerts.observe_site_health alerts ~now:20.0 ~site:"nancy"
+       ~healthy_fraction:0.9
+    = None);
+  (match
+     Monitoring.Alerts.observe_site_health alerts ~now:30.0 ~site:"nancy"
+       ~healthy_fraction:0.25
+   with
+   | None -> Alcotest.fail "dipping below the floor must fire"
+   | Some a ->
+     checkb "carries the fraction" true (a.Monitoring.Alerts.value = Some 0.25);
+     checkb "floor source" true
+       (a.Monitoring.Alerts.source = Monitoring.Alerts.Healthy_floor "nancy"));
+  (* Still below: same incident, no duplicate. *)
+  checkb "no duplicate while still low" true
+    (Monitoring.Alerts.observe_site_health alerts ~now:40.0 ~site:"nancy"
+       ~healthy_fraction:0.3
+    = None);
+  checki "one firing" 1 (List.length (Monitoring.Alerts.firing alerts));
+  (* Other sites have their own floors. *)
+  checkb "other site unaffected" true
+    (Monitoring.Alerts.observe_site_health alerts ~now:40.0 ~site:"lyon"
+       ~healthy_fraction:0.0
+    = None);
+  (* Recovery resolves the incident. *)
+  checkb "recovery is silent" true
+    (Monitoring.Alerts.observe_site_health alerts ~now:50.0 ~site:"nancy"
+       ~healthy_fraction:0.8
+    = None);
+  checki "resolved" 0 (List.length (Monitoring.Alerts.firing alerts));
+  (match Monitoring.Alerts.history alerts with
+   | [ a ] -> checkb "resolution stamped" true (a.Monitoring.Alerts.resolved_at = Some 50.0)
+   | l -> checki "one alert in history" 1 (List.length l));
+  (* A second dip opens a fresh incident. *)
+  checkb "refires after recovery" true
+    (Monitoring.Alerts.observe_site_health alerts ~now:60.0 ~site:"nancy"
+       ~healthy_fraction:0.1
+    <> None);
+  checki "two in history" 2 (List.length (Monitoring.Alerts.history alerts))
+
+let test_quarantine_notify_and_resolve () =
+  let _, _, alerts = mk () in
+  let a =
+    Monitoring.Alerts.notify_quarantine alerts ~now:100.0 ~host:"grisou-9.nancy"
+      ~reason:"3 build failures"
+  in
+  checkb "quarantine source" true
+    (a.Monitoring.Alerts.source = Monitoring.Alerts.Quarantine "grisou-9.nancy");
+  checkb "reason recorded" true (a.Monitoring.Alerts.reason = "3 build failures");
+  checki "firing" 1 (List.length (Monitoring.Alerts.firing alerts));
+  (* Re-notifying the same host returns the open incident. *)
+  let b =
+    Monitoring.Alerts.notify_quarantine alerts ~now:150.0 ~host:"grisou-9.nancy"
+      ~reason:"still failing"
+  in
+  checkb "same incident" true (a == b);
+  checki "still one in history" 1 (List.length (Monitoring.Alerts.history alerts));
+  checkb "render shows the incident" true
+    (String.length (Monitoring.Alerts.render alerts) > 0);
+  Monitoring.Alerts.resolve_quarantine alerts ~now:200.0 ~host:"grisou-9.nancy";
+  checki "resolved on release" 0 (List.length (Monitoring.Alerts.firing alerts));
+  checkb "resolution stamped" true (a.Monitoring.Alerts.resolved_at = Some 200.0);
+  (* Resolving a host with no open incident is a no-op. *)
+  Monitoring.Alerts.resolve_quarantine alerts ~now:210.0 ~host:"grisou-9.nancy";
+  checki "history unchanged" 1 (List.length (Monitoring.Alerts.history alerts))
+
 let () =
   Alcotest.run "alerts"
     [
@@ -125,5 +199,9 @@ let () =
             test_below_rule_catches_cstates_drift;
           Alcotest.test_case "rules + render" `Quick test_rules_accumulate_and_render;
           Alcotest.test_case "refire after resolution" `Quick
-            test_refire_after_resolution ] );
+            test_refire_after_resolution;
+          Alcotest.test_case "healthy floor fires and resolves" `Quick
+            test_healthy_floor_fires_below_and_resolves;
+          Alcotest.test_case "quarantine notify and resolve" `Quick
+            test_quarantine_notify_and_resolve ] );
     ]

@@ -94,6 +94,7 @@ let run_regression env experiment =
       result = None;
       log = [];
       artifacts = [];
+      touched_hosts = [];
     }
   in
   let outcome = ref None in

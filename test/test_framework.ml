@@ -22,6 +22,7 @@ let run_script env config =
       result = None;
       log = [];
       artifacts = [];
+      touched_hosts = [];
     }
   in
   let outcome = ref None in

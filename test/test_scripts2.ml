@@ -20,6 +20,7 @@ let run_script env config =
       result = None;
       log = [];
       artifacts = [];
+      touched_hosts = [];
     }
   in
   let outcome = ref None in
@@ -221,6 +222,7 @@ let test_scripts_log_for_operators () =
       result = None;
       log = [];
       artifacts = [];
+      touched_hosts = [];
     }
   in
   let finished = ref false in
