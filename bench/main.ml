@@ -867,6 +867,99 @@ let e13_health () =
   print_endline text;
   print_endline "written to BENCH_health.json"
 
+(* ---- E14: Trustlint + runtime audit overhead -------------------------------------------- *)
+
+(* Measures (a) the static linter over the full catalog and every CLI
+   preset, and (b) the runtime auditor's cost: the same 2-month campaign
+   with audit off and on, checking the audited run reproduces the
+   unaudited report exactly (the auditor draws no engine randomness).
+   Writes BENCH_lint.json.  [--scenario lint] runs only this. *)
+let e14_lint () =
+  section "E14" "Trustlint static analysis + runtime audit overhead";
+  let t0 = Unix.gettimeofday () in
+  let catalog_diags = Framework.Lint.check_catalog () in
+  let preset_diags =
+    List.concat_map (fun (_, cfg) -> Framework.Lint.run cfg) Framework.Lint.presets
+  in
+  let lint_wall = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "lint: catalog (751 configs) + %d presets in %.3f s, %d diagnostics\n"
+    (List.length Framework.Lint.presets)
+    lint_wall
+    (List.length catalog_diags + List.length preset_diags);
+  let months = 2 in
+  let campaign ~audit =
+    let cfg = { Framework.Campaign.default_config with months; audit } in
+    let t0 = Unix.gettimeofday () in
+    let report = Framework.Campaign.run cfg in
+    (report, Unix.gettimeofday () -. t0)
+  in
+  let report_off, wall_off = campaign ~audit:false in
+  let report_on, wall_on = campaign ~audit:true in
+  (* Byte-identity modulo the audit member itself: strip it and compare
+     the serialised reports. *)
+  let strip r = { r with Framework.Campaign.audit = None } in
+  let identical =
+    String.equal
+      (Framework.Report.to_string (strip report_off))
+      (Framework.Report.to_string (strip report_on))
+  in
+  let summary =
+    match report_on.Framework.Campaign.audit with
+    | Some s -> s
+    | None -> failwith "audited campaign produced no audit summary"
+  in
+  Printf.printf "%d-month campaign: audit off %.2f s, on %.2f s (%+.1f%%)\n"
+    months wall_off wall_on
+    ((wall_on -. wall_off) /. wall_off *. 100.0);
+  Printf.printf "  reports identical modulo audit member: %b\n" identical;
+  Printf.printf
+    "  audit: %d checks run, %d violations, %d races flagged over %d events\n"
+    summary.Simkit.Audit.checks_run
+    (List.length summary.Simkit.Audit.violations)
+    summary.Simkit.Audit.races_flagged summary.Simkit.Audit.events_observed;
+  List.iteri
+    (fun i v ->
+      if i < 3 then
+        Printf.printf "    [t=%.0f] %s: %s\n" v.Simkit.Audit.at
+          v.Simkit.Audit.check
+          (if String.length v.Simkit.Audit.detail > 200 then
+             String.sub v.Simkit.Audit.detail 0 200 ^ "..."
+           else v.Simkit.Audit.detail))
+    summary.Simkit.Audit.violations;
+  if not identical then
+    print_endline "WARNING: the audited campaign diverged from the baseline!";
+  let json =
+    let open Simkit.Json in
+    Obj
+      [ ( "lint",
+          Obj
+            [ ("configurations", Int (Framework.Jobs.total_configurations ()));
+              ("presets", Int (List.length Framework.Lint.presets));
+              ("wall_s", Float lint_wall);
+              ( "diagnostics",
+                Int (List.length catalog_diags + List.length preset_diags) ) ] );
+        ( "audit",
+          Obj
+            [ ("months", Int months);
+              ("off_wall_s", Float wall_off);
+              ("on_wall_s", Float wall_on);
+              ( "overhead_pct",
+                Float ((wall_on -. wall_off) /. wall_off *. 100.0) );
+              ("reports_identical", Bool identical);
+              ("checks_run", Int summary.Simkit.Audit.checks_run);
+              ("violations", Int (List.length summary.Simkit.Audit.violations));
+              ("races_flagged", Int summary.Simkit.Audit.races_flagged);
+              ("events_observed", Int summary.Simkit.Audit.events_observed) ] ) ]
+  in
+  let text = Simkit.Json.to_string ~indent:2 json in
+  let oc = open_out "BENCH_lint.json" in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  print_endline text;
+  print_endline "written to BENCH_lint.json"
+
 (* ---- Bechamel micro-benchmarks --------------------------------------------------------- *)
 
 let microbenchmarks () =
@@ -946,6 +1039,7 @@ let run_all () =
   e11_resilience ();
   e12_scheduler ();
   e13_health ();
+  e14_lint ();
   a1 ();
   a2_a3 ();
   a4 ();
@@ -956,7 +1050,7 @@ let run_all () =
 let scenarios =
   [ ("all", run_all); ("resilience", e11_resilience);
     ("scheduler", e12_scheduler); ("health", e13_health);
-    ("micro", microbenchmarks) ]
+    ("lint", e14_lint); ("micro", microbenchmarks) ]
 
 let () =
   let scenario = ref "all" in

@@ -4,6 +4,7 @@
      inventory  - print the simulated testbed inventory
      coverage   - print the test catalog (751 configurations)
      campaign   - run a closed-loop campaign and print the report
+     lint       - statically check catalog + example configurations
      hunt       - inject one fault per class and report detections
      status     - run a short campaign and print the status page *)
 
@@ -116,6 +117,48 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run the closed-loop testing campaign")
     Term.(const run $ months_arg $ seed_arg $ no_testing_arg $ naive_arg $ json_arg)
+
+(* ---- lint ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run json =
+    let catalog = Framework.Lint.sort (Framework.Lint.check_catalog ()) in
+    let per_preset =
+      List.map
+        (fun (name, cfg) -> (name, Framework.Lint.run cfg))
+        Framework.Lint.presets
+    in
+    let all = catalog @ List.concat_map snd per_preset in
+    if json then
+      print_endline
+        (Simkit.Json.to_string ~indent:2
+           (Simkit.Json.Obj
+              [ ("catalog", Framework.Lint.to_json catalog);
+                ( "presets",
+                  Simkit.Json.Obj
+                    (List.map
+                       (fun (name, ds) -> (name, Framework.Lint.to_json ds))
+                       per_preset) );
+                ( "clean",
+                  Simkit.Json.Bool (Framework.Lint.errors all = []) ) ]))
+    else begin
+      Printf.printf "== catalog (%d configurations) ==\n"
+        (List.length (Framework.Testdef.catalog ()));
+      print_string (Framework.Lint.render catalog);
+      List.iter
+        (fun (name, ds) ->
+          Printf.printf "== preset %s ==\n" name;
+          print_string (Framework.Lint.render ds))
+        per_preset
+    end;
+    if Framework.Lint.errors all <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check the test catalog and example campaign \
+          configurations; exit non-zero on any error-severity diagnostic")
+    Term.(const run $ json_arg)
 
 (* ---- hunt ------------------------------------------------------------------- *)
 
@@ -260,7 +303,7 @@ let main =
   Cmd.group
     (Cmd.info "g5ktest" ~version:"1.0.0"
        ~doc:"Testbed testing framework on a simulated Grid'5000")
-    [ inventory_cmd; coverage_cmd; campaign_cmd; hunt_cmd; status_cmd; pernode_cmd;
-      regression_cmd ]
+    [ inventory_cmd; coverage_cmd; campaign_cmd; lint_cmd; hunt_cmd; status_cmd;
+      pernode_cmd; regression_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -302,7 +302,7 @@ let arm_cron t job cron =
   let rec arm after =
     let time = Cron.next_fire cron ~after in
     ignore
-      (Simkit.Engine.schedule_at t.engine ~time (fun _ ->
+      (Simkit.Engine.schedule_at t.engine ~label:"ci-cron" ~time (fun _ ->
            let still_current =
              match Hashtbl.find_opt t.jobs job.Jobdef.name with
              | Some registered -> registered == job

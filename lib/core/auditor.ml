@@ -1,0 +1,75 @@
+let oar_check (env : Env.t) () =
+  let instance = env.instance in
+  let free = Oar.Manager.free_matching_now env.oar Oar.Expr.True in
+  let problems =
+    List.filter_map
+      (fun host ->
+        match Testbed.Instance.find_node instance host with
+        | None ->
+          Some (Printf.sprintf "OAR offers unknown host %s" host)
+        | Some node ->
+          if node.Testbed.Node.state <> Testbed.Node.Alive then
+            Some
+              (Printf.sprintf "OAR offers %s as free but it is %s" host
+                 (Testbed.Node.state_to_string node.Testbed.Node.state))
+          else if not (Testbed.Node.in_service node) then
+            Some
+              (Printf.sprintf "OAR offers %s as free but its health is %s"
+                 host
+                 (Testbed.Node.health_to_string node.Testbed.Node.health))
+          else None)
+      free
+  in
+  let usable =
+    Array.fold_left
+      (fun acc n ->
+        if n.Testbed.Node.state = Testbed.Node.Alive && Testbed.Node.in_service n
+        then acc + 1
+        else acc)
+      0 instance.Testbed.Instance.nodes
+  in
+  let problems =
+    if List.length free > usable then
+      Printf.sprintf
+        "OAR reports %d free hosts but the inventory ground truth has only \
+         %d usable nodes"
+        (List.length free) usable
+      :: problems
+    else problems
+  in
+  let problems =
+    if not (Oar.Manager.assigned_busy_consistent env.oar) then
+      "OAR job/node assignment tables are inconsistent" :: problems
+    else problems
+  in
+  match problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " ps)
+
+let ci_check (env : Env.t) () =
+  let busy = Ci.Server.busy_executors env.ci in
+  let total = Ci.Server.executors env.ci in
+  if busy < 0 || busy > total then
+    Error
+      (Printf.sprintf "CI busy executor count %d outside [0, %d]" busy total)
+  else if Ci.Server.queue_length env.ci < 0 then
+    Error "CI queue length is negative"
+  else Ok ()
+
+let attach ?period ?scheduler (env : Env.t) =
+  let audit = Simkit.Audit.create ?period (Env.engine env) in
+  Simkit.Audit.register audit ~name:"oar-free-vs-inventory" (oar_check env);
+  Simkit.Audit.register audit ~name:"ci-executor-accounting" (ci_check env);
+  (match scheduler with
+  | None -> ()
+  | Some s ->
+    Simkit.Audit.register audit ~name:"scheduler-selfcheck" (fun () ->
+        Scheduler.audit_check s));
+  (* Race probes: cheap O(1) digests of state several event sources
+     mutate.  Two time-tied events from different sources moving the
+     same digest is exactly the ordering hazard the audit flags. *)
+  Simkit.Audit.watch audit ~name:"ci-builds-executed" (fun () ->
+      Ci.Server.builds_executed env.ci);
+  Simkit.Audit.watch audit ~name:"ci-queue-and-executors" (fun () ->
+      (Ci.Server.queue_length env.ci * 1024) + Ci.Server.busy_executors env.ci);
+  audit

@@ -1,0 +1,23 @@
+(** Wires {!Simkit.Audit} to a full environment: the runtime counterpart
+    of {!Lint}'s static checks.
+
+    Registered invariants:
+    - ["oar-free-vs-inventory"]: every host OAR offers as free must be
+      Alive and in service in the ground-truth instance, the free count
+      must not exceed the usable-node count, and the job/node assignment
+      tables must agree;
+    - ["ci-executor-accounting"]: busy executors within [0, executors],
+      non-negative queue;
+    - ["scheduler-selfcheck"] (when a scheduler is passed): see
+      {!Scheduler.audit_check}.
+
+    Race probes (see {!Simkit.Audit.watch}) digest the CI server's
+    build/queue counters so time-tied events from distinct sources that
+    both move them are flagged as event-ordering races.
+
+    The caller still decides when to {!Simkit.Audit.start} — campaigns
+    do it just before the engine runs, keeping audit-off runs
+    byte-identical to the seed behaviour. *)
+
+val attach :
+  ?period:float -> ?scheduler:Scheduler.t -> Env.t -> Simkit.Audit.t

@@ -15,6 +15,7 @@ type config = {
   infra_fault_duration : float;
   health : Health.config option;
   health_faults : (float * Testbed.Faults.kind * Testbed.Faults.target) list;
+  audit : bool;
 }
 
 let default_config =
@@ -42,6 +43,7 @@ let default_config =
     infra_fault_duration = 12.0 *. Simkit.Calendar.hour;
     health = None;
     health_faults = [];
+    audit = false;
   }
 
 type monthly = {
@@ -70,6 +72,7 @@ type report = {
   scheduler_stats : Scheduler.stats option;
   resilience : Resilience.summary option;
   health : Health.summary option;
+  audit : Simkit.Audit.summary option;
   mean_active_faults : float;
   statuspage : string;
   statuspage_html : string;
@@ -160,7 +163,7 @@ let run cfg =
 
   (* Continuous fault arrivals, sampled every 6 hours. *)
   let sweep = 6.0 *. Simkit.Calendar.hour in
-  Simkit.Engine.every engine ~period:sweep (fun eng ->
+  Simkit.Engine.every engine ~label:"faults" ~period:sweep (fun eng ->
       let mean = cfg.fault_rate_per_day *. (sweep /. Simkit.Calendar.day) in
       let n = Simkit.Dist.poisson rng ~mean in
       for _ = 1 to n do
@@ -169,7 +172,7 @@ let run cfg =
       true);
 
   (* Daily OAR property refresh from the Reference API. *)
-  Simkit.Engine.every engine ~period:Simkit.Calendar.day (fun _ ->
+  Simkit.Engine.every engine ~label:"oar-refresh" ~period:Simkit.Calendar.day (fun _ ->
       Oar.Manager.refresh_properties env.Env.oar;
       true);
 
@@ -213,6 +216,18 @@ let run cfg =
         let alerts = Monitoring.Alerts.create env.Env.collector in
         Health.attach ~config:hconfig ?scheduler ~alerts env)
       cfg.health
+  in
+
+  (* Runtime invariant auditor: opt-in, and it draws no engine
+     randomness, so an audited campaign replays the unaudited one's
+     decisions event for event. *)
+  let auditor =
+    if cfg.audit then begin
+      let a = Auditor.attach ?scheduler env in
+      Simkit.Audit.start a;
+      Some a
+    end
+    else None
   in
 
   let operator =
@@ -335,6 +350,7 @@ let run cfg =
     scheduler_stats = Option.map Scheduler.stats scheduler;
     resilience = resilience_summary;
     health = health_summary;
+    audit = Option.map Simkit.Audit.summary auditor;
     mean_active_faults;
     statuspage =
       Statuspage.render_overview page ^ "\n== Cluster confidence ==\n"

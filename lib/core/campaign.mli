@@ -42,6 +42,11 @@ type config = {
           [infra_faults], these are {e not} auto-repaired — detecting,
           repairing and re-admitting the affected nodes is the health
           loop's job *)
+  audit : bool;
+      (** attach the {!Auditor} runtime invariant checker ({!Simkit.Audit})
+          to the campaign; [false] (default) costs nothing and keeps
+          campaigns byte-identical — the auditor draws no engine
+          randomness, so even audit-on runs replay the same decisions *)
 }
 
 val default_config : config
@@ -78,6 +83,8 @@ type report = {
       (** present iff the campaign ran with [resilience = true] *)
   health : Health.summary option;
       (** present iff the campaign ran with a health configuration *)
+  audit : Simkit.Audit.summary option;
+      (** present iff the campaign ran with [audit = true] *)
   mean_active_faults : float;
   statuspage : string;  (** rendered overview at campaign end *)
   statuspage_html : string;  (** same views as a standalone HTML page *)

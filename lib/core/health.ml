@@ -421,7 +421,7 @@ let attach ?(config = default_config) ?scheduler ?alerts env =
    | None -> ());
   Ci.Server.on_build_complete env.Env.ci (fun build ->
       if t.running then on_build_complete t build);
-  Simkit.Engine.every (Env.engine env) ~period:config.sweep_period (fun _ ->
+  Simkit.Engine.every (Env.engine env) ~label:"health" ~period:config.sweep_period (fun _ ->
       if t.running then sweep t;
       t.running);
   t

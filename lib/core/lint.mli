@@ -1,0 +1,89 @@
+(** Trustlint: static analysis over campaign configurations, the test
+    catalog, the 2017 inventory and OAR resource expressions.
+
+    The paper's thesis is that a testbed description must be checked
+    against reality before anyone relies on it; this module applies the
+    same discipline to the framework's own configuration, before a
+    multi-month simulated campaign burns wall-clock on a setup that
+    contradicts itself.
+
+    Diagnostic codes (severity in parentheses is the usual one; L011
+    also emits warnings for beyond-horizon fault schedules):
+
+    - [L001] (error) duplicate configuration id
+    - [L002] (error) dangling reference: unknown cluster/site, or a site
+      contradicting the cluster's inventory site
+    - [L003] (error) unrunnable configuration: no inventory resource can
+      satisfy the family's requirement (kwapi off wattmeter sites,
+      mpigraph without InfiniBand, dellbios on non-Dell hardware,
+      two-node needs on one-node pools)
+    - [L004] (error) unsatisfiable OAR filter: no cluster matches
+    - [L005] (warning) vacuously true OAR filter: every cluster matches
+    - [L006] (error) OAR filter syntax error
+    - [L007] (warning) unknown OAR property name in a filter
+    - [L008] (error) scheduler timing/calendar misconfiguration
+      (non-positive poll period, inverted backoff bounds, peak-hours
+      avoidance that can starve for days)
+    - [L009] (error) resilience knobs out of range (retry budget < 1,
+      jitter outside [0, 1], breaker threshold/cool-down <= 0)
+    - [L010] (error) health configuration invalid (threshold ordering,
+      non-positive MTTR means, unreachable quarantine score)
+    - [L011] (error/warning) campaign shape: non-positive months or
+      executors, negative fault schedules, beyond-horizon faults
+    - [L012] (warning) staging and anti-affinity bottlenecks (families
+      staged after the campaign ends, duplicate staging, executors that
+      one-job-per-site can never employ) *)
+
+type severity = Error | Warning | Info
+
+type diagnostic = {
+  code : string;  (** ["L001"].."[L012]" *)
+  severity : severity;
+  path : string;  (** what the diagnostic is about, e.g. a config id *)
+  message : string;
+}
+
+val severity_to_string : severity -> string
+
+val errors : diagnostic list -> diagnostic list
+(** Only the [Error]-severity diagnostics (the CI gate's exit status). *)
+
+val sort : diagnostic list -> diagnostic list
+(** Errors first, then by code, then by path. *)
+
+val known_properties : string list
+(** The OAR property vocabulary of the simulated instance. *)
+
+val check_filter : path:string -> string -> diagnostic list
+(** L004-L007 on one OAR filter string. *)
+
+val check_configs : Testdef.config list -> diagnostic list
+(** L001-L003 plus filter checks on each configuration's generated OAR
+    filter.  Dangling references (L002) suppress the downstream checks
+    for that configuration, so one root cause yields one diagnostic. *)
+
+val check_catalog : unit -> diagnostic list
+(** {!check_configs} over the full 751-configuration catalog. *)
+
+val check_policy : path:string -> Scheduler.policy -> diagnostic list
+(** L008-L009. *)
+
+val check_health : path:string -> Health.config -> diagnostic list
+(** L010. *)
+
+val check_campaign : Campaign.config -> diagnostic list
+(** L011-L012, plus {!check_policy}, {!check_health} (when attached) and
+    {!check_configs} over every staged family's configurations. *)
+
+val run : Campaign.config -> diagnostic list
+(** {!check_campaign}, sorted. *)
+
+val presets : (string * Campaign.config) list
+(** Named example configurations the CLI gate lints alongside the
+    catalog: default, naive policy, resilience drill, health drill. *)
+
+val diagnostic_to_json : diagnostic -> Simkit.Json.t
+val to_json : diagnostic list -> Simkit.Json.t
+
+val render : diagnostic list -> string
+(** Plain-text table, one diagnostic per line, with a summary footer. *)

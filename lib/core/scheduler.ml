@@ -413,6 +413,13 @@ let consider t entry =
     else set_next_due t entry (now +. t.pol.poll_period)
   end
   else begin
+    (* Mark in flight BEFORE triggering: a build body that completes
+       synchronously fires the completion listener inside trigger_subset,
+       and that listener must see the entry in flight to unwind it —
+       marking afterwards left the entry (and its anti-affinity site)
+       busy forever.  Found by Scheduler.audit_check. *)
+    entry.in_flight <- true;
+    if consumes_nodes then Option.iter (mark_site_busy t) entry.site;
     match
       Ci.Server.trigger_subset t.env.Env.ci ~cause:"external-scheduler"
         ?retry_of:entry.retry_src
@@ -422,10 +429,10 @@ let consider t entry =
     | Ci.Server.Queued _ ->
       t.triggered <- t.triggered + 1;
       Env.tracef t.env ~category:"scheduler" "triggered %s"
-        config.Testdef.config_id;
-      entry.in_flight <- true;
-      if consumes_nodes then Option.iter (mark_site_busy t) entry.site
+        config.Testdef.config_id
     | Ci.Server.Not_found | Ci.Server.Disabled | Ci.Server.Denied ->
+      entry.in_flight <- false;
+      if consumes_nodes then Option.iter (unmark_site_busy t) entry.site;
       set_next_due t entry (now +. t.pol.poll_period)
   end
 
@@ -471,10 +478,78 @@ let poll t =
 let start t =
   if not t.running then begin
     t.running <- true;
-    Simkit.Engine.every (Env.engine t.env) ~period:t.pol.poll_period ~jitter:30.0
+    Simkit.Engine.every (Env.engine t.env) ~label:"scheduler"
+      ~period:t.pol.poll_period ~jitter:30.0
       (fun _ ->
         if t.running then poll t;
         t.running)
   end
 
 let stop t = t.running <- false
+
+(* Self-check for Simkit.Audit: recompute every derived structure the
+   hot path maintains incrementally and compare against ground truth. *)
+let audit_check t =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (* 1. site_busy counters vs a recount over the entries. *)
+  let recount = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ e ->
+      if e.in_flight && consumes_nodes e then
+        Option.iter
+          (fun site ->
+            Hashtbl.replace recount site
+              (1 + Option.value ~default:0 (Hashtbl.find_opt recount site)))
+          e.site)
+    t.entries;
+  List.iter
+    (fun site ->
+      let cached = Option.value ~default:0 (Hashtbl.find_opt t.site_busy site) in
+      let truth = Option.value ~default:0 (Hashtbl.find_opt recount site) in
+      if cached <> truth then
+        problem "site_busy[%s] = %d but %d node-consuming tests are in flight"
+          site cached truth)
+    (List.sort_uniq String.compare
+       (Hashtbl.fold (fun s _ acc -> s :: acc) t.site_busy []
+       @ Hashtbl.fold (fun s _ acc -> s :: acc) recount []));
+  (* 2. every in-flight entry has an unfinished build on the CI server. *)
+  Hashtbl.iter
+    (fun _ e ->
+      if e.in_flight then begin
+        let job = Jobs.job_name e.config.Testdef.family in
+        match
+          Ci.Server.last_of_axes t.env.Env.ci job
+            ~axes:(Testdef.axes_of_config e.config)
+        with
+        | None ->
+          problem "%s is marked in-flight but has no build at all"
+            e.config.Testdef.config_id
+        | Some b when Ci.Build.is_finished b ->
+          problem "%s is marked in-flight but its last build #%d is finished"
+            e.config.Testdef.config_id b.Ci.Build.number
+        | Some _ -> ()
+      end)
+    t.entries;
+  (* 3. indexed only: every waiting entry has its live generation in the
+     due-queue at exactly next_due (the linear scan has no index). *)
+  if t.indexed then begin
+    let live = Hashtbl.create 1024 in
+    List.iter
+      (fun (key, (e, gen)) ->
+        if gen = e.gen then Hashtbl.replace live e.config.Testdef.config_id key)
+      (Simkit.Heap.to_list t.due);
+    Hashtbl.iter
+      (fun id e ->
+        if not e.in_flight then
+          match Hashtbl.find_opt live id with
+          | None -> problem "%s is waiting but absent from the due-queue" id
+          | Some key when key <> e.next_due ->
+            problem "%s due-queue key %g disagrees with next_due %g" id key
+              e.next_due
+          | Some _ -> ())
+      t.entries
+  end;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))

@@ -113,6 +113,14 @@ val set_health_probe : t -> (Testdef.config -> bool) -> unit
     OAR-level exclusion already keeps sidelined nodes out of prechecks
     and placement). *)
 
+val audit_check : t -> (unit, string) result
+(** Recompute every derived structure the scheduler maintains
+    incrementally and compare against ground truth: site in-flight
+    counters vs a recount over the entries, in-flight flags vs the CI
+    server's actual build states, and (indexed scheduler only) the
+    due-queue's live contents vs a linear rescan of [next_due].
+    Registered by {!Auditor.attach}; [Error] describes every mismatch. *)
+
 val breaker_state : t -> Testdef.family -> Resilience.Breaker.state option
 (** Current breaker state for a family, [None] if no breaker exists
     (breakers are created lazily on the family's first completion). *)

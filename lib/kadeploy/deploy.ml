@@ -147,7 +147,7 @@ let run instance ~registry ~image ~nodes ~on_done =
       List.iter
         (fun p ->
           ignore
-            (Simkit.Engine.schedule engine ~delay:(finish_of p) (fun _ ->
+            (Simkit.Engine.schedule engine ~label:"deploy" ~delay:(finish_of p) (fun _ ->
                  p.node.Testbed.Node.boot_count <- p.node.Testbed.Node.boot_count + 1;
                  match p.outcome with
                  | Deployed ->
@@ -163,7 +163,7 @@ let run instance ~registry ~image ~nodes ~on_done =
         plans;
       let retried = List.fold_left (fun acc p -> acc + p.retries) 0 plans in
       ignore
-        (Simkit.Engine.schedule engine ~delay:(finished_at +. 1.0) (fun _ ->
+        (Simkit.Engine.schedule engine ~label:"deploy" ~delay:(finished_at +. 1.0) (fun _ ->
              on_done
                {
                  image;

@@ -250,7 +250,7 @@ let rec start_job t job =
     job.Job.started_at <- Some (now t);
     let run_time = Float.min job.Job.duration job.Job.request.Request.walltime in
     ignore
-      (Simkit.Engine.schedule (engine t) ~delay:run_time (fun _ ->
+      (Simkit.Engine.schedule (engine t) ~label:"oar" ~delay:run_time (fun _ ->
            if job.Job.state = Job.Running then begin
              finish t job Job.Terminated;
              schedule_pass t
@@ -275,7 +275,7 @@ and try_place_job t job =
          armed for. *)
       let armed_for = start in
       ignore
-        (Simkit.Engine.schedule_at (engine t) ~time:start (fun _ ->
+        (Simkit.Engine.schedule_at (engine t) ~label:"oar" ~time:start (fun _ ->
              if job.Job.scheduled_start = armed_for then start_job t job))
     end;
     true
@@ -405,7 +405,7 @@ let submit_at t ?(user = "anon") ?(jtype = Job.Default) ?duration ~start request
       let stop = start +. request.Request.walltime in
       List.iter (fun host -> Gantt.reserve t.gantt ~host ~start ~stop ~job:job.Job.id) hosts;
       ignore
-        (Simkit.Engine.schedule_at (engine t) ~time:start (fun _ -> start_job t job));
+        (Simkit.Engine.schedule_at (engine t) ~label:"oar" ~time:start (fun _ -> start_job t job));
       Ok job
     end
 

@@ -90,7 +90,7 @@ let start ?(profile = default_profile) ~rng manager =
     if t.running then begin
       let gap = Simkit.Dist.exponential t.rng ~mean:(1.0 /. peak_rate) in
       ignore
-        (Simkit.Engine.schedule engine ~delay:gap (fun eng ->
+        (Simkit.Engine.schedule engine ~label:"workload" ~delay:gap (fun eng ->
              let time = Simkit.Engine.now eng in
              if t.running then begin
                if Simkit.Prng.chance t.rng (rate_at t.prof time /. peak_rate) then begin

@@ -1,4 +1,4 @@
-type event = { id : int; action : t -> unit }
+type event = { id : int; label : string option; action : t -> unit }
 
 and t = {
   mutable clock : float;
@@ -7,6 +7,9 @@ and t = {
   master_rng : Prng.t;
   mutable next_id : int;
   mutable executed : int;
+  mutable observer : (time:float -> label:string option -> unit) option;
+      (* post-event hook used by Audit's race detector; None (the
+         default) keeps event execution on the historical path *)
 }
 
 type handle = int
@@ -19,35 +22,40 @@ let create ?(seed = 42L) () =
     master_rng = Prng.create seed;
     next_id = 0;
     executed = 0;
+    observer = None;
   }
 
 let now t = t.clock
 let rng t = t.master_rng
+let set_observer t observer = t.observer <- observer
 
-let schedule_at t ~time action =
+let schedule_at t ?label ~time action =
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
   let time = Float.max time t.clock in
-  Heap.push t.queue ~key:time { id; action };
+  Heap.push t.queue ~key:time { id; label; action };
   id
 
-let schedule t ~delay action = schedule_at t ~time:(t.clock +. Float.max 0.0 delay) action
+let schedule t ?label ~delay action =
+  schedule_at t ?label ~time:(t.clock +. Float.max 0.0 delay) action
 
 let cancel t handle =
   if handle >= 0 && handle < t.next_id then Hashtbl.replace t.cancelled handle ()
 
 let cancelled t handle = Hashtbl.mem t.cancelled handle
 
-let rec every t ~period ?(jitter = 0.0) f =
+let rec every t ?label ~period ?(jitter = 0.0) f =
   let reschedule engine =
     if f engine then begin
       let j = if jitter > 0.0 then Prng.float engine.master_rng *. jitter else 0.0 in
-      ignore (schedule engine ~delay:(period +. j) (fun e -> every_tick e ~period ~jitter f))
+      ignore
+        (schedule engine ?label ~delay:(period +. j) (fun e ->
+             every_tick e ?label ~period ~jitter f))
     end
   in
   reschedule t
 
-and every_tick t ~period ~jitter f = every t ~period ~jitter f
+and every_tick t ?label ~period ~jitter f = every t ?label ~period ~jitter f
 
 let step t =
   match Heap.pop t.queue with
@@ -64,6 +72,9 @@ let step t =
       t.clock <- Float.max t.clock time;
       t.executed <- t.executed + 1;
       ev.action t;
+      (match t.observer with
+       | None -> ()
+       | Some f -> f ~time:t.clock ~label:ev.label);
       true
     end
 

@@ -20,10 +20,12 @@ val rng : t -> Prng.t
 (** The engine's master PRNG stream.  Subsystems should [Prng.split] it
     once at construction rather than sharing it. *)
 
-val schedule : t -> delay:float -> (t -> unit) -> handle
-(** [schedule t ~delay f] runs [f] at [now t +. max 0. delay]. *)
+val schedule : t -> ?label:string -> delay:float -> (t -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. max 0. delay].  [label]
+    names the event's logical source (e.g. ["scheduler"]); it is only
+    read by the {!Audit} race detector and has no scheduling effect. *)
 
-val schedule_at : t -> time:float -> (t -> unit) -> handle
+val schedule_at : t -> ?label:string -> time:float -> (t -> unit) -> handle
 (** Absolute-time variant; times in the past fire at the current time. *)
 
 val cancel : t -> handle -> unit
@@ -31,7 +33,7 @@ val cancel : t -> handle -> unit
 
 val cancelled : t -> handle -> bool
 
-val every : t -> period:float -> ?jitter:float -> (t -> bool) -> unit
+val every : t -> ?label:string -> period:float -> ?jitter:float -> (t -> bool) -> unit
 (** [every t ~period f] runs [f] now and then every [period] seconds
     (plus uniform jitter in [\[0, jitter\]]) until [f] returns [false]. *)
 
@@ -50,3 +52,10 @@ val pending : t -> int
 
 val events_executed : t -> int
 (** Total events executed so far (for engine benchmarks). *)
+
+val set_observer : t -> (time:float -> label:string option -> unit) option -> unit
+(** Install (or clear, with [None]) the post-event hook: called after
+    every executed event with its firing time and source label.  [None]
+    by default, costing one pattern match per event; {!Audit} uses it to
+    detect same-timestamp event-ordering races.  Observers must not
+    mutate simulation state. *)

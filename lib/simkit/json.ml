@@ -252,7 +252,7 @@ let of_string s =
   | exception Parse_error msg -> Error msg
 
 let of_string_exn s =
-  match of_string s with Ok v -> v | Error msg -> failwith ("Json.of_string_exn: " ^ msg)
+  match of_string s with Ok v -> v | Error msg -> invalid_arg ("Json.of_string_exn: " ^ msg)
 
 let member key t =
   match t with Obj members -> List.assoc_opt key members | _ -> None

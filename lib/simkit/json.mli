@@ -29,7 +29,8 @@ val of_string : string -> (t, string) result
     standard numbers are accepted). *)
 
 val of_string_exn : string -> t
-(** @raise Failure on parse errors. *)
+(** @raise Invalid_argument on parse errors (like every other [_exn]
+    in the repo). *)
 
 (** Accessors, returning [None] on shape mismatch. *)
 

@@ -1,0 +1,487 @@
+(* Trustlint tests: the linter is clean on every seed/example
+   configuration, each seeded defect class is flagged with exactly its
+   diagnostic code (deterministic cases plus a qcheck mutation suite),
+   and the runtime auditor detects injected invariant violations and
+   same-timestamp event-ordering races while keeping audited campaigns
+   byte-identical to unaudited ones. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let codes diags =
+  List.sort_uniq String.compare (List.map (fun d -> d.Framework.Lint.code) diags)
+
+let check_only_code expected diags =
+  checkb
+    (Printf.sprintf "flags %s and nothing else (got: %s)" expected
+       (String.concat "," (codes diags)))
+    true
+    (codes diags = [ expected ])
+
+(* ---- clean on all seed/example configurations ----------------------------- *)
+
+let test_catalog_clean () =
+  checki "full catalog lints clean" 0
+    (List.length (Framework.Lint.check_catalog ()))
+
+let test_presets_clean () =
+  List.iter
+    (fun (name, cfg) ->
+      let diags = Framework.Lint.run cfg in
+      checkb
+        (Printf.sprintf "preset %s lints clean (got: %s)" name
+           (String.concat "," (codes diags)))
+        true (diags = []))
+    Framework.Lint.presets
+
+(* ---- one deterministic mutation per defect class --------------------------- *)
+
+let some_config family =
+  match Framework.Testdef.expand family with
+  | c :: _ -> c
+  | [] -> Alcotest.failf "family has no configurations"
+
+let test_l001_duplicate_id () =
+  let c = some_config Framework.Testdef.Stdenv in
+  let diags = Framework.Lint.check_configs [ c; c ] in
+  check_only_code "L001" diags;
+  checki "exactly one duplicate diagnostic" 1 (List.length diags)
+
+let test_l002_unknown_cluster () =
+  let c = some_config Framework.Testdef.Stdenv in
+  let diags =
+    Framework.Lint.check_configs
+      [ { c with Framework.Testdef.cluster = Some "atlantis-0" } ]
+  in
+  check_only_code "L002" diags
+
+let test_l002_site_contradicts_cluster () =
+  let c = some_config Framework.Testdef.Stdenv in
+  let spec =
+    Option.get
+      (Testbed.Inventory.find_cluster
+         (Option.get c.Framework.Testdef.cluster))
+  in
+  let wrong_site =
+    List.find
+      (fun s -> not (String.equal s spec.Testbed.Inventory.site))
+      Testbed.Inventory.sites
+  in
+  let diags =
+    Framework.Lint.check_configs
+      [ { c with Framework.Testdef.site = Some wrong_site } ]
+  in
+  check_only_code "L002" diags
+
+let test_l003_kwapi_off_wattmeter_site () =
+  let c = some_config Framework.Testdef.Kwapi in
+  let non_wattmeter =
+    List.find
+      (fun s -> not (List.mem s Testbed.Inventory.wattmeter_sites))
+      Testbed.Inventory.sites
+  in
+  let diags =
+    Framework.Lint.check_configs
+      [ { c with Framework.Testdef.site = Some non_wattmeter } ]
+  in
+  check_only_code "L003" diags
+
+let test_l003_mpigraph_without_ib () =
+  let c = some_config Framework.Testdef.Mpigraph in
+  let no_ib =
+    List.find
+      (fun s -> not s.Testbed.Inventory.has_ib)
+      Testbed.Inventory.clusters
+  in
+  let diags =
+    Framework.Lint.check_configs
+      [ { c with
+          Framework.Testdef.cluster = Some no_ib.Testbed.Inventory.cluster;
+          site = Some no_ib.Testbed.Inventory.site;
+        } ]
+  in
+  check_only_code "L003" diags
+
+let test_l004_unsatisfiable_filter () =
+  (* graphene is in nancy, so pinning it to lyon matches nothing. *)
+  let diags =
+    Framework.Lint.check_filter ~path:"t" "cluster='graphene' and site='lyon'"
+  in
+  check_only_code "L004" diags
+
+let test_l005_vacuous_filter () =
+  let diags = Framework.Lint.check_filter ~path:"t" "deploy='YES'" in
+  check_only_code "L005" diags;
+  checkb "vacuous filter is a warning, not an error" true
+    (Framework.Lint.errors diags = [])
+
+let test_l006_syntax_error () =
+  let diags = Framework.Lint.check_filter ~path:"t" "cluster=='x' and" in
+  check_only_code "L006" diags
+
+let test_l007_unknown_property () =
+  let diags = Framework.Lint.check_filter ~path:"t" "flopsrate>=100" in
+  check_only_code "L007" diags
+
+let test_l008_bad_poll_period () =
+  let diags =
+    Framework.Lint.check_policy ~path:"p"
+      { Framework.Scheduler.smart_policy with
+        Framework.Scheduler.poll_period = 0.0;
+      }
+  in
+  check_only_code "L008" diags
+
+let test_l008_peak_starvation () =
+  let diags =
+    Framework.Lint.check_policy ~path:"p"
+      { Framework.Scheduler.smart_policy with
+        Framework.Scheduler.poll_period = 14.0 *. 3600.0;
+      }
+  in
+  check_only_code "L008" diags
+
+let test_l009_zero_retry_budget () =
+  let diags =
+    Framework.Lint.check_policy ~path:"p"
+      { Framework.Scheduler.smart_policy with Framework.Scheduler.retry_budget = 0 }
+  in
+  check_only_code "L009" diags
+
+let test_l009_bad_breaker () =
+  let diags =
+    Framework.Lint.check_policy ~path:"p"
+      { Framework.Scheduler.smart_policy with
+        Framework.Scheduler.breaker =
+          Some { Framework.Resilience.Breaker.failure_threshold = 0; cooldown = -1.0 };
+      }
+  in
+  check_only_code "L009" diags
+
+let test_l010_unreachable_quarantine () =
+  let diags =
+    Framework.Lint.check_health ~path:"h"
+      { Framework.Health.default_config with
+        Framework.Health.blame_failure = 0.0;
+        blame_unstable = 0.0;
+        down_blame = 0.0;
+      }
+  in
+  check_only_code "L010" diags
+
+let test_l010_bad_mttr () =
+  let diags =
+    Framework.Lint.check_health ~path:"h"
+      { Framework.Health.default_config with
+        Framework.Health.default_mttr = Simkit.Dist.Constant 0.0;
+      }
+  in
+  check_only_code "L010" diags
+
+let test_l011_zero_months () =
+  let diags =
+    Framework.Lint.run
+      { Framework.Campaign.default_config with Framework.Campaign.months = 0 }
+  in
+  check_only_code "L011" diags
+
+let test_l011_beyond_horizon_fault_warns () =
+  let diags =
+    Framework.Lint.run
+      { Framework.Campaign.default_config with
+        Framework.Campaign.months = 1;
+        staged_families = [ (0, Framework.Testdef.all_families) ];
+        infra_faults =
+          [ (2.0 *. Simkit.Calendar.month, Testbed.Faults.Ci_outage) ];
+      }
+  in
+  check_only_code "L011" diags;
+  checkb "beyond-horizon fault is a warning" true
+    (Framework.Lint.errors diags = [])
+
+let test_l012_anti_affinity_bottleneck () =
+  let diags =
+    Framework.Lint.run
+      { Framework.Campaign.default_config with
+        Framework.Campaign.executors = 20;
+        staged_families = [ (0, [ Framework.Testdef.Disk ]) ];
+      }
+  in
+  check_only_code "L012" diags;
+  checkb "bottleneck is a warning" true (Framework.Lint.errors diags = [])
+
+(* ---- qcheck mutation suite -------------------------------------------------- *)
+
+let catalog = Framework.Testdef.catalog ()
+
+let prop_config_mutations =
+  QCheck.Test.make ~count:100
+    ~name:"mutated catalog configs are flagged with exactly their class"
+    QCheck.(pair (int_bound (List.length catalog - 1)) (int_bound 2))
+    (fun (idx, defect) ->
+      let c = List.nth catalog idx in
+      let mutated, expected =
+        match defect with
+        | 0 -> ([ c; c ], "L001")
+        | 1 ->
+          ([ { c with Framework.Testdef.cluster = Some "nonexistent-1" } ], "L002")
+        | _ -> ([ { c with Framework.Testdef.site = Some "atlantis" } ], "L002")
+      in
+      codes (Framework.Lint.check_configs mutated) = [ expected ])
+
+let prop_generated_filters =
+  QCheck.Test.make ~count:100
+    ~name:"filters over a real cluster lint clean; contradictions are L004"
+    QCheck.(
+      pair (int_bound (List.length Testbed.Inventory.clusters - 1)) bool)
+    (fun (idx, contradict) ->
+      let spec = List.nth Testbed.Inventory.clusters idx in
+      if contradict then
+        let wrong_site =
+          List.find
+            (fun s -> not (String.equal s spec.Testbed.Inventory.site))
+            Testbed.Inventory.sites
+        in
+        let filter =
+          Printf.sprintf "cluster='%s' and site='%s'"
+            spec.Testbed.Inventory.cluster wrong_site
+        in
+        codes (Framework.Lint.check_filter ~path:"q" filter) = [ "L004" ]
+      else
+        let filter =
+          Printf.sprintf "cluster='%s' and site='%s'"
+            spec.Testbed.Inventory.cluster spec.Testbed.Inventory.site
+        in
+        Framework.Lint.check_filter ~path:"q" filter = [])
+
+let prop_policy_mutations =
+  QCheck.Test.make ~count:50
+    ~name:"out-of-range policy knobs map to their diagnostic code"
+    QCheck.(pair (int_bound 2) (int_range 1 100))
+    (fun (defect, magnitude_i) ->
+      let magnitude = float_of_int magnitude_i in
+      let p = Framework.Scheduler.smart_policy in
+      let mutated, expected =
+        match defect with
+        | 0 ->
+          ( { p with Framework.Scheduler.poll_period = -.magnitude },
+            "L008" )
+        | 1 ->
+          ( { p with Framework.Scheduler.retry_budget = -int_of_float magnitude },
+            "L009" )
+        | _ ->
+          ( { p with Framework.Scheduler.backoff_jitter = 1.5 +. magnitude },
+            "L009" )
+      in
+      codes (Framework.Lint.check_policy ~path:"q" mutated) = [ expected ])
+
+(* ---- runtime auditor --------------------------------------------------------- *)
+
+let test_audit_registered_check_fires () =
+  let engine = Simkit.Engine.create () in
+  let audit = Simkit.Audit.create ~period:10.0 engine in
+  let healthy = ref true in
+  Simkit.Audit.register audit ~name:"flag" (fun () ->
+      if !healthy then Ok () else Error "flag dropped");
+  Simkit.Audit.start audit;
+  ignore (Simkit.Engine.schedule_at engine ~time:35.0 (fun _ -> healthy := false));
+  Simkit.Engine.run_until engine 60.0;
+  let vs = Simkit.Audit.violations audit in
+  checkb "violations recorded once unhealthy" true (vs <> []);
+  checkb "all violations name the failing check" true
+    (List.for_all (fun v -> String.equal v.Simkit.Audit.check "flag") vs);
+  checkb "first violation at the first tick past the flip" true
+    ((List.hd vs).Simkit.Audit.at >= 35.0);
+  checkb "checks ran at every cadence tick" true
+    (Simkit.Audit.checks_run audit >= 6)
+
+let test_audit_race_detected () =
+  let engine = Simkit.Engine.create () in
+  let audit = Simkit.Audit.create ~period:1e9 engine in
+  let counter = ref 0 in
+  Simkit.Audit.watch audit ~name:"counter" (fun () -> !counter);
+  Simkit.Audit.start audit;
+  ignore (Simkit.Engine.schedule_at engine ~time:5.0 ~label:"a" (fun _ -> incr counter));
+  ignore (Simkit.Engine.schedule_at engine ~time:5.0 ~label:"b" (fun _ -> incr counter));
+  Simkit.Engine.run_until engine 10.0;
+  checki "one race flagged" 1 (Simkit.Audit.races_flagged audit);
+  checkb "race violation names the probe and both sources" true
+    (List.exists
+       (fun v -> String.equal v.Simkit.Audit.check "event-order-race")
+       (Simkit.Audit.violations audit))
+
+let test_audit_no_race_same_source () =
+  let engine = Simkit.Engine.create () in
+  let audit = Simkit.Audit.create ~period:1e9 engine in
+  let counter = ref 0 in
+  Simkit.Audit.watch audit ~name:"counter" (fun () -> !counter);
+  Simkit.Audit.start audit;
+  (* Same logical source: commutation is not an observable hazard. *)
+  ignore (Simkit.Engine.schedule_at engine ~time:5.0 ~label:"a" (fun _ -> incr counter));
+  ignore (Simkit.Engine.schedule_at engine ~time:5.0 ~label:"a" (fun _ -> incr counter));
+  (* Distinct sources at distinct times: no tie, no race. *)
+  ignore (Simkit.Engine.schedule_at engine ~time:6.0 ~label:"b" (fun _ -> incr counter));
+  ignore (Simkit.Engine.schedule_at engine ~time:7.0 ~label:"c" (fun _ -> incr counter));
+  (* Time-tied but only one of them touches the watched state. *)
+  ignore (Simkit.Engine.schedule_at engine ~time:8.0 ~label:"d" (fun _ -> incr counter));
+  ignore (Simkit.Engine.schedule_at engine ~time:8.0 ~label:"e" (fun _ -> ()));
+  Simkit.Engine.run_until engine 10.0;
+  checki "no races flagged" 0 (Simkit.Audit.races_flagged audit)
+
+let test_audit_unlabelled_events_never_race () =
+  let engine = Simkit.Engine.create () in
+  let audit = Simkit.Audit.create ~period:1e9 engine in
+  let counter = ref 0 in
+  Simkit.Audit.watch audit ~name:"counter" (fun () -> !counter);
+  Simkit.Audit.start audit;
+  ignore (Simkit.Engine.schedule_at engine ~time:5.0 (fun _ -> incr counter));
+  ignore (Simkit.Engine.schedule_at engine ~time:5.0 (fun _ -> incr counter));
+  Simkit.Engine.run_until engine 10.0;
+  checki "anonymous events cannot be attributed" 0
+    (Simkit.Audit.races_flagged audit)
+
+let test_scheduler_audit_check_live () =
+  let env = Framework.Env.create ~seed:77L () in
+  Framework.Jobs.define_all env ~on_evidence:(fun _ -> ());
+  let s = Framework.Scheduler.create env in
+  List.iter (Framework.Scheduler.enable_family s) Framework.Testdef.all_families;
+  Framework.Scheduler.start s;
+  let failures = ref [] in
+  (* Cross-check the scheduler's incremental state every 2 simulated
+     hours of a 3-day full-catalog run. *)
+  Simkit.Engine.every (Framework.Env.engine env) ~period:7200.0 (fun _ ->
+      (match Framework.Scheduler.audit_check s with
+       | Ok () -> ()
+       | Error e -> failures := e :: !failures);
+      true);
+  Framework.Env.run_until env (3.0 *. Simkit.Calendar.day);
+  checkb
+    (Printf.sprintf "audit_check holds throughout (%s)"
+       (String.concat " | " !failures))
+    true (!failures = [])
+
+let test_auditor_clean_on_healthy_env () =
+  let env = Framework.Env.create ~seed:78L () in
+  Framework.Jobs.define_all env ~on_evidence:(fun _ -> ());
+  let s = Framework.Scheduler.create env in
+  List.iter (Framework.Scheduler.enable_family s) Framework.Testdef.all_families;
+  Framework.Scheduler.start s;
+  let audit = Framework.Auditor.attach ~period:3600.0 ~scheduler:s env in
+  Simkit.Audit.start audit;
+  Framework.Env.run_until env (2.0 *. Simkit.Calendar.day);
+  let summary = Simkit.Audit.summary audit in
+  checkb "checks ran" true (summary.Simkit.Audit.checks_run > 100);
+  checkb "events observed" true (summary.Simkit.Audit.events_observed > 0);
+  checkb
+    (Printf.sprintf "no violations on a healthy run (%s)"
+       (String.concat " | "
+          (List.map
+             (fun v -> v.Simkit.Audit.check ^ ": " ^ v.Simkit.Audit.detail)
+             summary.Simkit.Audit.violations)))
+    true
+    (summary.Simkit.Audit.violations = [])
+
+let light_workload =
+  { Oar.Workload.default_profile with Oar.Workload.base_rate_per_hour = 8.0 }
+
+let test_campaign_audit_byte_identical () =
+  let base =
+    { Framework.Campaign.default_config with
+      Framework.Campaign.months = 1;
+      seed = 55L;
+      workload = Some light_workload;
+    }
+  in
+  let off = Framework.Campaign.run base in
+  let on_ = Framework.Campaign.run { base with Framework.Campaign.audit = true } in
+  checkb "audit-off report has no audit member" true
+    (off.Framework.Campaign.audit = None);
+  checkb "audit-on report carries the summary" true
+    (on_.Framework.Campaign.audit <> None);
+  let strip r = { r with Framework.Campaign.audit = None } in
+  Alcotest.(check string)
+    "audited campaign reproduces the unaudited report byte for byte"
+    (Framework.Report.to_string (strip off))
+    (Framework.Report.to_string (strip on_));
+  match on_.Framework.Campaign.audit with
+  | Some s ->
+    checkb "campaign audit ran its checks" true (s.Simkit.Audit.checks_run > 0);
+    checkb "campaign audit is violation-free" true (s.Simkit.Audit.violations = [])
+  | None -> ()
+
+(* ---- rendering --------------------------------------------------------------- *)
+
+let test_render_and_json () =
+  let diags =
+    Framework.Lint.check_filter ~path:"example" "cluster='graphene' and site='lyon'"
+  in
+  let text = Framework.Lint.render diags in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "render mentions the code" true (contains text "L004");
+  match Framework.Lint.to_json diags with
+  | Simkit.Json.Obj members ->
+    checkb "json has diagnostics member" true
+      (List.mem_assoc "diagnostics" members);
+    (match List.assoc "errors" members with
+     | Simkit.Json.Int 1 -> ()
+     | _ -> Alcotest.fail "expected exactly one error in json summary")
+  | _ -> Alcotest.fail "expected a json object"
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lint"
+    [
+      ( "clean",
+        [ Alcotest.test_case "catalog" `Quick test_catalog_clean;
+          Alcotest.test_case "presets" `Quick test_presets_clean ] );
+      ( "defect classes",
+        [ Alcotest.test_case "L001 duplicate id" `Quick test_l001_duplicate_id;
+          Alcotest.test_case "L002 unknown cluster" `Quick test_l002_unknown_cluster;
+          Alcotest.test_case "L002 site/cluster contradiction" `Quick
+            test_l002_site_contradicts_cluster;
+          Alcotest.test_case "L003 kwapi off wattmeter site" `Quick
+            test_l003_kwapi_off_wattmeter_site;
+          Alcotest.test_case "L003 mpigraph without ib" `Quick
+            test_l003_mpigraph_without_ib;
+          Alcotest.test_case "L004 unsatisfiable filter" `Quick
+            test_l004_unsatisfiable_filter;
+          Alcotest.test_case "L005 vacuous filter" `Quick test_l005_vacuous_filter;
+          Alcotest.test_case "L006 syntax error" `Quick test_l006_syntax_error;
+          Alcotest.test_case "L007 unknown property" `Quick test_l007_unknown_property;
+          Alcotest.test_case "L008 bad poll period" `Quick test_l008_bad_poll_period;
+          Alcotest.test_case "L008 peak starvation" `Quick test_l008_peak_starvation;
+          Alcotest.test_case "L009 zero retry budget" `Quick
+            test_l009_zero_retry_budget;
+          Alcotest.test_case "L009 bad breaker" `Quick test_l009_bad_breaker;
+          Alcotest.test_case "L010 unreachable quarantine" `Quick
+            test_l010_unreachable_quarantine;
+          Alcotest.test_case "L010 bad mttr" `Quick test_l010_bad_mttr;
+          Alcotest.test_case "L011 zero months" `Quick test_l011_zero_months;
+          Alcotest.test_case "L011 beyond-horizon fault" `Quick
+            test_l011_beyond_horizon_fault_warns;
+          Alcotest.test_case "L012 anti-affinity bottleneck" `Quick
+            test_l012_anti_affinity_bottleneck ] );
+      ( "mutation properties",
+        [ qc prop_config_mutations; qc prop_generated_filters;
+          qc prop_policy_mutations ] );
+      ( "runtime audit",
+        [ Alcotest.test_case "registered check fires" `Quick
+            test_audit_registered_check_fires;
+          Alcotest.test_case "race detected" `Quick test_audit_race_detected;
+          Alcotest.test_case "no race without a hazard" `Quick
+            test_audit_no_race_same_source;
+          Alcotest.test_case "anonymous events never race" `Quick
+            test_audit_unlabelled_events_never_race;
+          Alcotest.test_case "scheduler self-check over 3 days" `Slow
+            test_scheduler_audit_check_live;
+          Alcotest.test_case "auditor clean on healthy env" `Slow
+            test_auditor_clean_on_healthy_env;
+          Alcotest.test_case "campaign byte-identity" `Slow
+            test_campaign_audit_byte_identical ] );
+      ( "rendering",
+        [ Alcotest.test_case "render and json" `Quick test_render_and_json ] );
+    ]

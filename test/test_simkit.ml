@@ -279,6 +279,21 @@ let test_engine_past_schedule_clamped () =
   Simkit.Engine.run e;
   checkf "clock monotonic" 5.0 (Simkit.Engine.now e)
 
+let test_engine_observer_labels () =
+  let e = Simkit.Engine.create () in
+  let seen = ref [] in
+  Simkit.Engine.set_observer e
+    (Some (fun ~time ~label -> seen := (time, label) :: !seen));
+  ignore (Simkit.Engine.schedule e ~label:"a" ~delay:1.0 (fun _ -> ()));
+  ignore (Simkit.Engine.schedule e ~delay:2.0 (fun _ -> ()));
+  Simkit.Engine.run e;
+  checkb "observer saw both events with their labels" true
+    (List.rev !seen = [ (1.0, Some "a"); (2.0, None) ]);
+  Simkit.Engine.set_observer e None;
+  ignore (Simkit.Engine.schedule e ~delay:1.0 (fun _ -> ()));
+  Simkit.Engine.run e;
+  checki "cleared observer sees nothing further" 2 (List.length !seen)
+
 (* ---- Calendar ------------------------------------------------------------- *)
 
 let test_calendar_basics () =
@@ -471,6 +486,21 @@ let test_json_parse_errors () =
       | Error _ -> ())
     [ "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "nul"; "1 2"; "" ]
 
+let test_json_of_string_exn_invalid_arg () =
+  (* Exception-style regression: every other [_exn] in the repo raises
+     Invalid_argument; of_string_exn used to raise Failure. *)
+  (match Simkit.Json.of_string_exn "{\"a\": 1}" with
+   | Simkit.Json.Obj _ -> ()
+   | _ -> Alcotest.fail "expected an object");
+  List.iter
+    (fun bad ->
+      match Simkit.Json.of_string_exn bad with
+      | _ -> Alcotest.failf "should raise on %S" bad
+      | exception Invalid_argument _ -> ()
+      | exception exn ->
+        Alcotest.failf "wrong exception for %S: %s" bad (Printexc.to_string exn))
+    [ "{"; "[1,"; "nul"; "" ]
+
 let test_json_members () =
   check Alcotest.(option string) "string member" (Some "node-1")
     (Simkit.Json.string_member "name" sample_json);
@@ -600,7 +630,9 @@ let () =
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
           Alcotest.test_case "every stops" `Quick test_engine_every_stops;
           Alcotest.test_case "past schedule clamped" `Quick
-            test_engine_past_schedule_clamped ] );
+            test_engine_past_schedule_clamped;
+          Alcotest.test_case "observer sees labels" `Quick
+            test_engine_observer_labels ] );
       ( "calendar",
         [ Alcotest.test_case "basics" `Quick test_calendar_basics;
           Alcotest.test_case "weekend" `Quick test_calendar_weekend;
@@ -626,6 +658,8 @@ let () =
           Alcotest.test_case "pretty roundtrip" `Quick test_json_pretty_roundtrip;
           Alcotest.test_case "escapes" `Quick test_json_escapes;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "of_string_exn raises Invalid_argument" `Quick
+            test_json_of_string_exn_invalid_arg;
           Alcotest.test_case "members" `Quick test_json_members;
           Alcotest.test_case "diff" `Quick test_json_diff;
           Alcotest.test_case "diff nested/missing" `Quick test_json_diff_nested_and_missing;
