@@ -960,6 +960,143 @@ let e14_lint () =
   print_endline text;
   print_endline "written to BENCH_lint.json"
 
+(* ---- E15: triage pipeline at scale ------------------------------------------------------ *)
+
+(* Replays >= 1M synthetic evidence bundles through canonicalization and
+   the bounded signature store.  The population is clustered: a Zipf-ish
+   skew over ~3x max_live distinct failure modes, each mode pinned to one
+   cluster with the reporting host varying inside it — so canonical
+   signatures collapse per-cluster noise, hot modes stay live and the
+   cold tail is forced through eviction.  Checks the memory bound
+   (peak_live <= max_live), occurrence conservation across tombstones,
+   and the O(1) counters against the list-scan oracle; writes
+   BENCH_triage.json.  [--scenario triage] runs only this. *)
+
+let triage_bundles = ref 1_000_000
+
+let e15_triage () =
+  section "E15" "triage: millions of bundles through the bounded signature store";
+  let env = Framework.Env.create ~seed:1515L () in
+  let limits = Framework.Bugtracker.default_limits in
+  let tracker = Framework.Bugtracker.create ~limits () in
+  let bundles = !triage_bundles in
+  let distinct = 3 * limits.Framework.Bugtracker.max_live in
+  let clusters = Array.of_list Testbed.Inventory.clusters in
+  let rng = Simkit.Prng.create 9L in
+  (* ~30 simulated seconds per bundle: over 1M bundles that is nearly a
+     simulated year, so the 6 h idle grace actually distinguishes hot
+     modes from the cold tail. *)
+  let step = 30.0 in
+  let evidence_of m =
+    let spec = clusters.(m mod Array.length clusters) in
+    let host =
+      Printf.sprintf "%s-%d.%s" spec.Testbed.Inventory.cluster
+        ((m mod spec.Testbed.Inventory.nodes) + 1)
+        spec.Testbed.Inventory.site
+    in
+    { Framework.Bugtracker.signature = Printf.sprintf "disk:%s:mode%d" host m;
+      summary = Printf.sprintf "synthetic failure mode %d" m;
+      category = "disk";
+      source_test = "bench_triage";
+      fault_ids = [ m ] }
+  in
+  let live_words0 = Gc.((quick_stat ()).heap_words) in
+  let t0 = Unix.gettimeofday () in
+  let reopened = ref 0 in
+  for i = 1 to bundles do
+    let u = Simkit.Prng.float rng in
+    let m = int_of_float (float_of_int distinct *. (u ** 4.0)) in
+    let now = float_of_int i *. step in
+    let evidence = evidence_of m in
+    let canonical = Framework.Triage.canonicalize env evidence in
+    let key = Framework.Triage.canonical_signature canonical in
+    (match
+       Framework.Bugtracker.file tracker ~now
+         { evidence with Framework.Bugtracker.signature = key }
+     with
+    | `New _ -> ()
+    | `Duplicate bug ->
+      (* Exercise the regression path: periodically "fix" a recurring
+         bug so its next occurrence reopens it. *)
+      if i mod 1000 = 0 && bug.Framework.Bugtracker.status = Framework.Bugtracker.Open
+      then Framework.Bugtracker.mark_fixed tracker ~now bug
+      else if bug.Framework.Bugtracker.status = Framework.Bugtracker.Open
+              && bug.Framework.Bugtracker.reopens > 0
+      then incr reopened)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  Gc.compact ();
+  let live_words = Gc.((quick_stat ()).heap_words) - live_words0 in
+  let stats = Framework.Bugtracker.stats tracker in
+  let filings_per_s = float_of_int bundles /. wall in
+  let dedup_ratio =
+    float_of_int bundles /. float_of_int (Stdlib.max 1 stats.Framework.Bugtracker.filed_total)
+  in
+  (* Conservation: every bundle is accounted for either by a live bug or
+     by a tombstone — eviction may never lose occurrence counts. *)
+  let live_occ =
+    List.fold_left
+      (fun acc b -> acc + b.Framework.Bugtracker.occurrences)
+      0
+      (Framework.Bugtracker.all tracker)
+  in
+  let conserved =
+    live_occ + stats.Framework.Bugtracker.tombstoned_occurrences = bundles
+  in
+  let counters_ok =
+    Framework.Bugtracker.counts tracker = Framework.Bugtracker.counts_scan tracker
+  in
+  let bound_ok =
+    stats.Framework.Bugtracker.peak_live <= limits.Framework.Bugtracker.max_live
+  in
+  Printf.printf "%d bundles over %d distinct modes in %.2f s (%.0f filings/s)\n"
+    bundles distinct wall filings_per_s;
+  Printf.printf
+    "  store: %d live (peak %d, cap %d %s), %d distinct filed, %d evictions, \
+     %d resurrections\n"
+    stats.Framework.Bugtracker.live stats.Framework.Bugtracker.peak_live
+    limits.Framework.Bugtracker.max_live
+    (if bound_ok then "OK" else "EXCEEDED")
+    stats.Framework.Bugtracker.filed_total stats.Framework.Bugtracker.evicted
+    stats.Framework.Bugtracker.resurrected;
+  Printf.printf "  dedup ratio: %.1f filings/signature\n" dedup_ratio;
+  Printf.printf "  occurrence conservation (live %d + tombstoned %d = %d): %s\n"
+    live_occ stats.Framework.Bugtracker.tombstoned_occurrences bundles
+    (if conserved then "OK" else "VIOLATED");
+  Printf.printf "  O(1) counters match list-scan oracle: %b\n" counters_ok;
+  Printf.printf "  retained heap: %.1f MB (%.0f words/live bug)\n"
+    (float_of_int live_words *. float_of_int (Sys.word_size / 8) /. 1048576.0)
+    (float_of_int live_words /. float_of_int (Stdlib.max 1 stats.Framework.Bugtracker.live));
+  if not (bound_ok && conserved && counters_ok) then
+    print_endline "WARNING: triage store invariants violated!";
+  let json =
+    let open Simkit.Json in
+    Obj
+      [ ("bundles", Int bundles);
+        ("distinct_modes", Int distinct);
+        ("wall_s", Float wall);
+        ("filings_per_s", Float filings_per_s);
+        ("dedup_ratio", Float dedup_ratio);
+        ("max_live", Int limits.Framework.Bugtracker.max_live);
+        ("peak_live", Int stats.Framework.Bugtracker.peak_live);
+        ("live", Int stats.Framework.Bugtracker.live);
+        ("filed_total", Int stats.Framework.Bugtracker.filed_total);
+        ("evicted", Int stats.Framework.Bugtracker.evicted);
+        ("resurrected", Int stats.Framework.Bugtracker.resurrected);
+        ("tombstoned_occurrences", Int stats.Framework.Bugtracker.tombstoned_occurrences);
+        ("memory_bound_ok", Bool bound_ok);
+        ("occurrences_conserved", Bool conserved);
+        ("counters_match_oracle", Bool counters_ok);
+        ("retained_heap_words", Int live_words) ]
+  in
+  let text = Simkit.Json.to_string ~indent:2 json in
+  let oc = open_out "BENCH_triage.json" in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  print_endline text;
+  print_endline "written to BENCH_triage.json"
+
 (* ---- Bechamel micro-benchmarks --------------------------------------------------------- *)
 
 let microbenchmarks () =
@@ -1040,6 +1177,7 @@ let run_all () =
   e12_scheduler ();
   e13_health ();
   e14_lint ();
+  e15_triage ();
   a1 ();
   a2_a3 ();
   a4 ();
@@ -1050,7 +1188,7 @@ let run_all () =
 let scenarios =
   [ ("all", run_all); ("resilience", e11_resilience);
     ("scheduler", e12_scheduler); ("health", e13_health);
-    ("lint", e14_lint); ("micro", microbenchmarks) ]
+    ("lint", e14_lint); ("triage", e15_triage); ("micro", microbenchmarks) ]
 
 let () =
   let scenario = ref "all" in
@@ -1058,7 +1196,10 @@ let () =
     [ ( "--scenario",
         Arg.Set_string scenario,
         Printf.sprintf "NAME  run one scenario (%s)"
-          (String.concat "|" (List.map fst scenarios)) ) ]
+          (String.concat "|" (List.map fst scenarios)) );
+      ( "--bundles",
+        Arg.Set_int triage_bundles,
+        "N  synthetic evidence bundles for the triage scenario (default 1000000)" ) ]
     (fun anon -> raise (Arg.Bad ("unexpected argument: " ^ anon)))
     "bench [--scenario NAME]";
   match List.assoc_opt !scenario scenarios with

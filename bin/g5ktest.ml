@@ -6,6 +6,7 @@
      campaign   - run a closed-loop campaign and print the report
      lint       - statically check catalog + example configurations
      hunt       - inject one fault per class and report detections
+     bugs       - triage pipeline demo: clustered bug index from one fault per class
      status     - run a short campaign and print the status page *)
 
 open Cmdliner
@@ -199,6 +200,59 @@ let hunt_cmd =
     (Cmd.info "hunt" ~doc:"Inject one fault per class and report what the tests catch")
     Term.(const run $ seed_arg $ days_arg)
 
+(* ---- bugs -------------------------------------------------------------------- *)
+
+let bugs_cmd =
+  let run seed days json =
+    let env = Framework.Env.create ~seed () in
+    let faults = Framework.Env.faults env in
+    let config = Framework.Triage.default_config in
+    let tracker =
+      Framework.Bugtracker.create ~limits:config.Framework.Triage.limits ()
+    in
+    let alerts = Monitoring.Alerts.create env.Framework.Env.collector in
+    let triage = Framework.Triage.create ~config ~alerts env tracker in
+    Framework.Jobs.define_all env
+      ~on_outcome:(fun ~build outcome ->
+        Framework.Triage.observe triage ~build
+          ~result:outcome.Framework.Scripts.result
+          outcome.Framework.Scripts.evidences)
+      ~on_evidence:(fun _ -> ());
+    let injected =
+      List.filter_map
+        (fun kind -> Testbed.Faults.inject faults ~now:0.0 kind)
+        Testbed.Faults.all_kinds
+    in
+    Oar.Manager.refresh_properties env.Framework.Env.oar;
+    let scheduler = Framework.Scheduler.create env in
+    List.iter (Framework.Scheduler.enable_family scheduler)
+      Framework.Testdef.all_families;
+    Framework.Scheduler.start scheduler;
+    Framework.Env.run_until env (float_of_int days *. Simkit.Calendar.day);
+    let summary = Framework.Triage.summary triage in
+    if json then
+      print_endline
+        (Simkit.Json.to_string ~indent:2
+           (Framework.Triage.summary_to_json summary))
+    else begin
+      Printf.printf
+        "injected %d faults; triage pipeline over %d day(s) of testing\n\n"
+        (List.length injected) days;
+      print_string (Framework.Triage.render summary);
+      print_newline ();
+      print_string (Framework.Bugreport.render_index env tracker)
+    end
+  in
+  let days_arg =
+    Arg.(value & opt int 7 & info [ "days" ] ~docv:"N" ~doc:"Triage duration in days.")
+  in
+  Cmd.v
+    (Cmd.info "bugs"
+       ~doc:
+         "Run the failure-signature triage pipeline against one fault per \
+          class and print the clustered bug index")
+    Term.(const run $ seed_arg $ days_arg $ json_arg)
+
 (* ---- status ------------------------------------------------------------------ *)
 
 let status_cmd =
@@ -303,7 +357,7 @@ let main =
   Cmd.group
     (Cmd.info "g5ktest" ~version:"1.0.0"
        ~doc:"Testbed testing framework on a simulated Grid'5000")
-    [ inventory_cmd; coverage_cmd; campaign_cmd; lint_cmd; hunt_cmd; status_cmd;
-      pernode_cmd; regression_cmd ]
+    [ inventory_cmd; coverage_cmd; campaign_cmd; lint_cmd; hunt_cmd; bugs_cmd;
+      status_cmd; pernode_cmd; regression_cmd ]
 
 let () = exit (Cmd.eval main)

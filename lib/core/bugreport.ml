@@ -29,15 +29,35 @@ let host_of_signature signature =
   String.split_on_char ':' signature
   |> List.find_opt (fun part -> String.contains part '.')
 
+(* Canonical (triage-pipeline) signatures are "category|fingerprint|scope"
+   with a self-describing scope like "cluster/grisou". *)
+let canonical_scope signature =
+  match String.split_on_char '|' signature with
+  | [ _; _; scope ] -> (
+    match String.split_on_char '/' scope with
+    | [ "host"; host ] -> Some (`Host host)
+    | [ "cluster"; cluster ] -> Some (`Named ("cluster " ^ cluster))
+    | [ "site"; site ] -> Some (`Named ("site " ^ site))
+    | [ "image"; image ] -> Some (`Named ("image " ^ image))
+    | [ "global" ] -> Some (`Named "testbed-wide")
+    | _ -> None)
+  | _ -> None
+
+let describe_host env host =
+  match Testbed.Instance.find_node env.Env.instance host with
+  | Some node ->
+    Printf.sprintf "%s (cluster %s, site %s)" host node.Testbed.Node.cluster_name
+      node.Testbed.Node.site_name
+  | None -> host
+
 let affected_scope env (bug : Bugtracker.bug) =
-  match host_of_signature bug.Bugtracker.signature with
-  | Some host -> (
-    match Testbed.Instance.find_node env.Env.instance host with
-    | Some node ->
-      Printf.sprintf "%s (cluster %s, site %s)" host node.Testbed.Node.cluster_name
-        node.Testbed.Node.site_name
-    | None -> host)
-  | None -> Printf.sprintf "reported by %s" bug.Bugtracker.first_test
+  match canonical_scope bug.Bugtracker.signature with
+  | Some (`Host host) -> describe_host env host
+  | Some (`Named scope) -> scope
+  | None -> (
+    match host_of_signature bug.Bugtracker.signature with
+    | Some host -> describe_host env host
+    | None -> Printf.sprintf "reported by %s" bug.Bugtracker.first_test)
 
 let render env (bug : Bugtracker.bug) =
   let buf = Buffer.create 512 in
@@ -87,7 +107,9 @@ let render_index env tracker =
            | _ -> compare a.Bugtracker.id b.Bugtracker.id)
   in
   Simkit.Table.render
-    ~header:[ "id"; "status"; "category"; "age (days)"; "seen"; "summary" ]
+    ~header:
+      [ "id"; "status"; "category"; "age (days)"; "quiet (days)"; "seen";
+        "summary" ]
     (List.map
        (fun (bug : Bugtracker.bug) ->
          [ string_of_int bug.Bugtracker.id;
@@ -97,6 +119,10 @@ let render_index env tracker =
            bug.Bugtracker.category;
            Printf.sprintf "%.1f"
              ((now -. bug.Bugtracker.filed_at) /. Simkit.Calendar.day);
+           (* age since last occurrence: a bug recurring daily reads 0.0
+              here, one that went quiet months ago shows its silence *)
+           Printf.sprintf "%.1f"
+             ((now -. bug.Bugtracker.last_seen) /. Simkit.Calendar.day);
            string_of_int bug.Bugtracker.occurrences;
            bug.Bugtracker.summary ])
        bugs)

@@ -16,6 +16,7 @@ type config = {
   health : Health.config option;
   health_faults : (float * Testbed.Faults.kind * Testbed.Faults.target) list;
   audit : bool;
+  triage : Triage.config option;
 }
 
 let default_config =
@@ -44,6 +45,7 @@ let default_config =
     health = None;
     health_faults = [];
     audit = false;
+    triage = None;
   }
 
 type monthly = {
@@ -73,6 +75,7 @@ type report = {
   resilience : Resilience.summary option;
   health : Health.summary option;
   audit : Simkit.Audit.summary option;
+  triage : Triage.summary option;
   mean_active_faults : float;
   statuspage : string;
   statuspage_html : string;
@@ -105,8 +108,23 @@ let run cfg =
   let env = Env.create ~seed:cfg.seed ~executors:cfg.executors () in
   let engine = Env.engine env in
   let rng = Simkit.Prng.split (Simkit.Engine.rng engine) in
-  let tracker = Bugtracker.create () in
+  let tracker =
+    match cfg.triage with
+    | Some tc -> Bugtracker.create ~limits:tc.Triage.limits ()
+    | None -> Bugtracker.create ()
+  in
   let page = Statuspage.create env in
+
+  (* Failure-signature triage pipeline: opt-in so default campaigns
+     replay bit-for-bit (no extra Prng split unless a drill is armed,
+     no extra listeners, no canonicalized signatures). *)
+  let triage =
+    Option.map
+      (fun tc ->
+        let alerts = Monitoring.Alerts.create env.Env.collector in
+        Triage.create ~config:tc ~alerts env tracker)
+      cfg.triage
+  in
 
   (* Latent problems predating the campaign. *)
   let faults = Env.faults env in
@@ -184,12 +202,22 @@ let run cfg =
   (* Testing framework. *)
   let scheduler =
     if cfg.enable_testing then begin
-      Jobs.define_all env ~on_evidence:(fun evidence ->
-          match Bugtracker.file tracker ~now:(Env.now env) evidence with
-          | `New bug ->
-            Env.tracef env ~category:"bug" "filed #%d [%s] %s" bug.Bugtracker.id
-              bug.Bugtracker.category bug.Bugtracker.summary
-          | `Duplicate _ -> ());
+      (match triage with
+       | None ->
+         Jobs.define_all env ~on_evidence:(fun evidence ->
+             match Bugtracker.file tracker ~now:(Env.now env) evidence with
+             | `New bug ->
+               Env.tracef env ~category:"bug" "filed #%d [%s] %s" bug.Bugtracker.id
+                 bug.Bugtracker.category bug.Bugtracker.summary
+             | `Duplicate _ -> ())
+       | Some tr ->
+         (* Evidence flows through the triage pipeline instead: bundles,
+            canonical signatures, drills. *)
+         Jobs.define_all env
+           ~on_outcome:(fun ~build outcome ->
+             Triage.observe tr ~build ~result:outcome.Scripts.result
+               outcome.Scripts.evidences)
+           ~on_evidence:(fun _ -> ()));
       let scheduler = Scheduler.create ~policy:cfg.policy env in
       List.iter
         (fun (month, families) ->
@@ -202,8 +230,13 @@ let run cfg =
         cfg.staged_families;
       Scheduler.start scheduler;
       if cfg.enable_regression then
-        Regression.define_jobs ~daily:true env ~on_evidence:(fun evidence ->
-            ignore (Bugtracker.file tracker ~now:(Env.now env) evidence));
+        Regression.define_jobs ~daily:true env
+          ~on_evidence:
+            (match triage with
+            | Some tr -> Triage.ingest tr
+            | None ->
+              fun evidence ->
+                ignore (Bugtracker.file tracker ~now:(Env.now env) evidence));
       Some scheduler
     end
     else None
@@ -229,6 +262,10 @@ let run cfg =
     end
     else None
   in
+  (* Evidence bundles cite the invariants failing around each build. *)
+  (match (triage, auditor) with
+   | Some tr, Some a -> Triage.set_auditor tr a
+   | _ -> ());
 
   let operator =
     if cfg.enable_testing then Some (Operator.start ~config:cfg.operator env tracker)
@@ -333,6 +370,7 @@ let run cfg =
       /. float_of_int (List.length monthly)
   in
   let health_summary = Option.map Health.summary health in
+  let triage_summary = Option.map Triage.summary triage in
   {
     cfg;
     monthly;
@@ -351,6 +389,7 @@ let run cfg =
     resilience = resilience_summary;
     health = health_summary;
     audit = Option.map Simkit.Audit.summary auditor;
+    triage = triage_summary;
     mean_active_faults;
     statuspage =
       Statuspage.render_overview page ^ "\n== Cluster confidence ==\n"
@@ -364,6 +403,11 @@ let run cfg =
         | Some s ->
           "\n== Node health (self-healing loop) ==\n"
           ^ Statuspage.render_health page s
+        | None -> "")
+      ^ (match triage_summary with
+        | Some s ->
+          "\n== Triage (failure-signature pipeline) ==\n"
+          ^ Statuspage.render_triage s
         | None -> "");
     statuspage_html = Webstatus.render page;
   }
@@ -387,6 +431,13 @@ let pp_report ppf report =
        "health: %d quarantined, %d released, %d retired, mean %.1f h to release@."
        h.Health.quarantined h.Health.released h.Health.retired
        h.Health.mean_hours_to_release
+   | None -> ());
+  (match report.triage with
+   | Some s ->
+     Format.fprintf ppf
+       "triage: %d bundles, %d bugs, dedup x%.1f, %d reopens, %d flapping@."
+       s.Triage.bundles s.Triage.filed s.Triage.dedup_ratio s.Triage.reopens
+       s.Triage.flapping
    | None -> ());
   List.iter
     (fun m ->

@@ -47,6 +47,11 @@ type config = {
           to the campaign; [false] (default) costs nothing and keeps
           campaigns byte-identical — the auditor draws no engine
           randomness, so even audit-on runs replay the same decisions *)
+  triage : Triage.config option;
+      (** route evidence through the {!Triage} failure-signature pipeline
+          (bundles, canonical signatures, bounded store, flap detection);
+          [None] (default) keeps the historical free-form-signature path
+          and campaigns byte-identical *)
 }
 
 val default_config : config
@@ -85,6 +90,8 @@ type report = {
       (** present iff the campaign ran with a health configuration *)
   audit : Simkit.Audit.summary option;
       (** present iff the campaign ran with [audit = true] *)
+  triage : Triage.summary option;
+      (** present iff the campaign ran with a triage configuration *)
   mean_active_faults : float;
   statuspage : string;  (** rendered overview at campaign end *)
   statuspage_html : string;  (** same views as a standalone HTML page *)

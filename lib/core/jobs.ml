@@ -10,7 +10,7 @@ let config_of_build build =
   | None -> None
   | Some family -> Testdef.config_of_axes family build.Ci.Build.axes
 
-let define_all env ~on_evidence =
+let define_all ?(on_outcome = fun ~build:_ _ -> ()) env ~on_evidence =
   List.iter
     (fun family ->
       let body ~engine:_ ~build ~finish =
@@ -21,6 +21,7 @@ let define_all env ~on_evidence =
         | Some config ->
           Scripts.run env config ~build ~finish:(fun outcome ->
               List.iter on_evidence outcome.Scripts.evidences;
+              on_outcome ~build outcome;
               finish outcome.Scripts.result)
       in
       (* Keep at least a few complete sweeps of the matrix in history, or

@@ -11,10 +11,15 @@ val job_name : Testdef.family -> string
 val family_of_job : string -> Testdef.family option
 
 val define_all :
-  Env.t -> on_evidence:(Bugtracker.evidence -> unit) -> unit
+  ?on_outcome:(build:Ci.Build.t -> Scripts.outcome -> unit) ->
+  Env.t ->
+  on_evidence:(Bugtracker.evidence -> unit) ->
+  unit
 (** Define the 16 matrix jobs on the environment's CI server.  No cron
     trigger is attached: the external scheduler decides when each
-    combination runs. *)
+    combination runs.  [on_outcome] additionally receives the whole
+    outcome with its build — the triage pipeline's hook; it runs after
+    [on_evidence] and before the build result is finalized. *)
 
 val config_of_build : Ci.Build.t -> Testdef.config option
 (** Recover the catalog configuration a build executes. *)

@@ -339,6 +339,84 @@ let check_health ~path (h : Health.config) =
   in
   thresholds @ timing @ mttr
 
+(* {2 Triage configuration checks: L013} *)
+
+let check_triage ~path (tc : Triage.config) =
+  let e fmt = diag "L013" Error path fmt in
+  let w fmt = diag "L013" Warning path fmt in
+  let l = tc.Triage.limits in
+  let limits =
+    (if l.Bugtracker.ring_size <= 0 then
+       [ e "limits.ring_size must be positive (got %d)" l.Bugtracker.ring_size ]
+     else [])
+    @ (if l.Bugtracker.max_live <= 0 then
+         [ e "limits.max_live must be positive (got %d)" l.Bugtracker.max_live ]
+       else [])
+    @ (if l.Bugtracker.min_idle < 0.0 then
+         [ e "limits.min_idle must be non-negative (got %g)"
+             l.Bugtracker.min_idle ]
+       else [])
+    @ (if l.Bugtracker.series_cadence <= 0.0 then
+         [ e "limits.series_cadence must be positive (got %g)"
+             l.Bugtracker.series_cadence ]
+       else [])
+    @
+    if l.Bugtracker.series_points < 2 then
+      [ e "limits.series_points must be at least 2 (got %d)"
+          l.Bugtracker.series_points ]
+    else []
+  in
+  let dedup =
+    (if tc.Triage.dedup_window < 0.0 then
+       [ e "dedup_window must be non-negative (got %g)" tc.Triage.dedup_window ]
+     else [])
+    @
+    (* Eviction thrash: a bug evicted while its duplicate burst is still
+       being collapsed means the next retry resurrects it — correctness
+       holds (tombstones), but the store churns on every retry chain. *)
+    if
+      l.Bugtracker.min_idle >= 0.0 && tc.Triage.dedup_window >= 0.0
+      && l.Bugtracker.min_idle < tc.Triage.dedup_window
+    then
+      [ w "limits.min_idle (%g s) is below dedup_window (%g s): a bug can            be evicted while its retry burst is still collapsing, churning            the tombstone store"
+          l.Bugtracker.min_idle tc.Triage.dedup_window ]
+    else []
+  in
+  let flaps =
+    (if tc.Triage.flap_cycles < 2 then
+       [ e "flap_cycles must be at least 2 (got %d): a single reopen is a             regression, not a flap"
+           tc.Triage.flap_cycles ]
+     else [])
+    @
+    if tc.Triage.flap_window <= 0.0 then
+      [ e "flap_window must be positive (got %g)" tc.Triage.flap_window ]
+    else []
+  in
+  let bundles =
+    if tc.Triage.keep_bundles < 0 then
+      [ e "keep_bundles must be non-negative (got %d)" tc.Triage.keep_bundles ]
+    else []
+  in
+  let drill =
+    match tc.Triage.drill with
+    | None -> []
+    | Some d ->
+      (if d.Triage.evidence_loss < 0.0 || d.Triage.evidence_loss > 1.0 then
+         [ e "drill.evidence_loss must lie in [0, 1] (got %g)"
+             d.Triage.evidence_loss ]
+       else [])
+      @ (if d.Triage.filing_delay < 0.0 then
+           [ e "drill.filing_delay must be non-negative (got %g)"
+               d.Triage.filing_delay ]
+         else [])
+      @
+      if d.Triage.evidence_loss >= 1.0 then
+        [ w "drill.evidence_loss of %g drops every bundle: the pipeline              files nothing"
+            d.Triage.evidence_loss ]
+      else []
+  in
+  limits @ dedup @ flaps @ bundles @ drill
+
 (* {2 Campaign shape and staging checks: L011-L012} *)
 
 let check_campaign_shape (cfg : Campaign.config) =
@@ -461,6 +539,9 @@ let check_campaign (cfg : Campaign.config) =
   @ (match cfg.health with
     | None -> []
     | Some h -> check_health ~path:"campaign.health" h)
+  @ (match cfg.triage with
+    | None -> []
+    | Some tc -> check_triage ~path:"campaign.triage" tc)
   @
   let staged = List.sort_uniq compare (List.concat_map snd cfg.staged_families) in
   check_configs (List.concat_map Testdef.expand staged)
@@ -491,7 +572,9 @@ let presets =
              Testbed.Faults.Site "nancy");
             (60.0 *. Simkit.Calendar.day, Testbed.Faults.Pdu_failure,
              Testbed.Faults.Cluster "graphene") ];
-      } ) ]
+      } );
+    ( "triage",
+      { Campaign.default_config with triage = Some Triage.default_config } ) ]
 
 (* {2 Rendering} *)
 

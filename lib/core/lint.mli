@@ -32,12 +32,16 @@
       executors, negative fault schedules, beyond-horizon faults
     - [L012] (warning) staging and anti-affinity bottlenecks (families
       staged after the campaign ends, duplicate staging, executors that
-      one-job-per-site can never employ) *)
+      one-job-per-site can never employ)
+    - [L013] (error/warning) triage pipeline knobs out of range
+      (non-positive evidence ring or live cap, series bounds, flap
+      thresholds, drill probabilities outside [0, 1]) and eviction
+      thrash (idle grace below the dedup window) *)
 
 type severity = Error | Warning | Info
 
 type diagnostic = {
-  code : string;  (** ["L001"].."[L012]" *)
+  code : string;  (** ["L001"].."[L013]" *)
   severity : severity;
   path : string;  (** what the diagnostic is about, e.g. a config id *)
   message : string;
@@ -71,16 +75,21 @@ val check_policy : path:string -> Scheduler.policy -> diagnostic list
 val check_health : path:string -> Health.config -> diagnostic list
 (** L010. *)
 
+val check_triage : path:string -> Triage.config -> diagnostic list
+(** L013. *)
+
 val check_campaign : Campaign.config -> diagnostic list
-(** L011-L012, plus {!check_policy}, {!check_health} (when attached) and
-    {!check_configs} over every staged family's configurations. *)
+(** L011-L012, plus {!check_policy}, {!check_health} and {!check_triage}
+    (when attached) and {!check_configs} over every staged family's
+    configurations. *)
 
 val run : Campaign.config -> diagnostic list
 (** {!check_campaign}, sorted. *)
 
 val presets : (string * Campaign.config) list
 (** Named example configurations the CLI gate lints alongside the
-    catalog: default, naive policy, resilience drill, health drill. *)
+    catalog: default, naive policy, resilience drill, health drill, and
+    the triage pipeline. *)
 
 val diagnostic_to_json : diagnostic -> Simkit.Json.t
 val to_json : diagnostic list -> Simkit.Json.t

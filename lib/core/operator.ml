@@ -4,6 +4,7 @@ type config = {
   maintenance_period : float;
   maintenance_fault_rate : float;
   complaint_rate_per_day : float;
+  prioritize_reopened : bool;
 }
 
 let default_config =
@@ -13,6 +14,7 @@ let default_config =
     maintenance_period = 10.0 *. Simkit.Calendar.day;
     maintenance_fault_rate = 0.8;
     complaint_rate_per_day = 0.05;
+    prioritize_reopened = false;
   }
 
 type t = {
@@ -58,6 +60,19 @@ let fixing_sweep t =
   let workable =
     Bugtracker.open_bugs t.tracker
     |> List.filter (fun b -> now -. b.Bugtracker.filed_at >= t.cfg.triage_delay)
+  in
+  let workable =
+    (* Regressions first: a bug that keeps coming back blocks trust in
+       the fix loop more than a fresh filing does.  Off by default so
+       historical campaigns replay bit-for-bit. *)
+    if t.cfg.prioritize_reopened then
+      List.stable_sort
+        (fun a b ->
+          match compare b.Bugtracker.reopens a.Bugtracker.reopens with
+          | 0 -> compare a.Bugtracker.filed_at b.Bugtracker.filed_at
+          | c -> c)
+        workable
+    else workable
   in
   let rec work = function
     | [] -> ()

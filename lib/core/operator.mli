@@ -16,6 +16,9 @@ type config = {
   maintenance_fault_rate : float;  (** mean faults introduced per window *)
   complaint_rate_per_day : float;
       (** probability per day that one long-undetected fault surfaces *)
+  prioritize_reopened : bool;
+      (** work regressions (reopened bugs) before fresh filings; [false]
+          (default) keeps the historical filing-order queue *)
 }
 
 val default_config : config

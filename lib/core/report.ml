@@ -43,6 +43,11 @@ let to_json (report : Campaign.report) =
     | Some s -> [ ("health", Health.summary_to_json s) ]
     | None -> []
   in
+  let triage =
+    match report.Campaign.triage with
+    | Some s -> [ ("triage", Triage.summary_to_json s) ]
+    | None -> []
+  in
   let audit =
     match report.Campaign.audit with
     | Some s -> [ ("audit", Simkit.Audit.summary_to_json s) ]
@@ -81,7 +86,7 @@ let to_json (report : Campaign.report) =
         | Some s ->
           scheduler_to_json ~health:(report.Campaign.health <> None) s
         | None -> Null ) ]
-    @ resilience @ health @ audit)
+    @ resilience @ health @ audit @ triage)
 
 let to_string ?(indent = 2) report = Simkit.Json.to_string ~indent (to_json report)
 

@@ -217,6 +217,8 @@ let render_resilience (s : Resilience.summary) =
       [ "builds dropped"; string_of_int s.Resilience.dropped_builds ];
       [ "deferred triggers"; string_of_int s.Resilience.deferred_triggers ] ]
 
+let render_triage (s : Triage.summary) = Triage.render s
+
 let render_health t (s : Health.summary) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

@@ -50,6 +50,10 @@ val render_resilience : Resilience.summary -> string
     trips, outage/queue-loss events weathered), appended to the page by
     campaigns that run with the resilience layer attached. *)
 
+val render_triage : Triage.summary -> string
+(** Triage pipeline section (delegates to {!Triage.render}): pipeline
+    counters, dedup ratio, store stats and per-category MTTR. *)
+
 val render_health : t -> Health.summary -> string
 (** Self-healing loop section: the loop counters, cumulative quarantine
     entries per site, and the success-ratio-over-time series (the

@@ -15,6 +15,7 @@ type source =
   | Metric of rule
   | Healthy_floor of string  (* site *)
   | Quarantine of string  (* host *)
+  | Flapping of int  (* bug id *)
 
 type alert = {
   source : source;
@@ -55,6 +56,7 @@ let same_source a b =
   | Metric r, Metric r' -> String.equal r.rule_name r'.rule_name
   | Healthy_floor s, Healthy_floor s' -> String.equal s s'
   | Quarantine h, Quarantine h' -> String.equal h h'
+  | Flapping b, Flapping b' -> Int.equal b b'
   | _ -> false
 
 let currently_firing t source =
@@ -160,6 +162,27 @@ let resolve_quarantine t ~now ~host =
   | Some alert -> alert.resolved_at <- Some now
   | None -> ()
 
+let notify_flapping t ~now ~bug ~reason =
+  match currently_firing t (Flapping bug) with
+  | Some alert -> alert
+  | None ->
+    let alert =
+      {
+        source = Flapping bug;
+        fired_at = now;
+        value = None;
+        reason;
+        resolved_at = None;
+      }
+    in
+    t.alerts <- alert :: t.alerts;
+    alert
+
+let resolve_flapping t ~now ~bug =
+  match currently_firing t (Flapping bug) with
+  | Some alert -> alert.resolved_at <- Some now
+  | None -> ()
+
 let source_to_strings = function
   | Metric rule ->
     ( rule.rule_name,
@@ -168,6 +191,8 @@ let source_to_strings = function
       condition_to_string rule.condition )
   | Healthy_floor site -> ("healthy-floor", site, "healthy_fraction", "below floor")
   | Quarantine host -> ("quarantine", host, "node_health", "quarantined")
+  | Flapping bug ->
+    ("flapping", Printf.sprintf "bug #%d" bug, "bugtracker", "fixed<->reopened")
 
 let render t =
   Simkit.Table.render ~header:[ "alert"; "subject"; "metric"; "condition"; "since"; "value" ]

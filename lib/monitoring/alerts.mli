@@ -30,11 +30,13 @@ type rule = {
 }
 
 (** What raised the alert: a metric rule, a site whose healthy fraction
-    sank below its floor, or a quarantined host. *)
+    sank below its floor, a quarantined host, or a flapping bug (the
+    triage loop's fixed<->reopened escalation). *)
 type source =
   | Metric of rule
   | Healthy_floor of string  (** site *)
   | Quarantine of string  (** host *)
+  | Flapping of int  (** bug id *)
 
 type alert = {
   source : source;
@@ -81,5 +83,12 @@ val notify_quarantine : t -> now:float -> host:string -> reason:string -> alert
 
 val resolve_quarantine : t -> now:float -> host:string -> unit
 (** The host rejoined service: resolve its firing alert, if any. *)
+
+val notify_flapping : t -> now:float -> bug:int -> reason:string -> alert
+(** The triage loop flagged a bug cycling between fixed and reopened:
+    fire (or return the already-firing) {!Flapping} alert for it. *)
+
+val resolve_flapping : t -> now:float -> bug:int -> unit
+(** The flapping bug was fixed again: resolve its firing alert, if any. *)
 
 val render : t -> string

@@ -3,24 +3,56 @@ type t = {
   mutable times : float array;
   mutable values : float array;
   mutable size : int;
+  cadence : float option;
+  max_points : int option;
+  mutable dropped : int;
 }
 
-let create ?(capacity = 64) ~name () =
+let create ?(capacity = 64) ?cadence ?max_points ~name () =
+  (match cadence with
+   | Some c when c <= 0.0 -> invalid_arg "Timeseries.create: cadence must be positive"
+   | _ -> ());
+  (match max_points with
+   | Some n when n < 2 -> invalid_arg "Timeseries.create: max_points must be at least 2"
+   | _ -> ());
+  let capacity =
+    match max_points with
+    | Some n -> Stdlib.min (Stdlib.max 1 capacity) n
+    | None -> Stdlib.max 1 capacity
+  in
   {
     series_name = name;
-    times = Array.make (Stdlib.max 1 capacity) 0.0;
-    values = Array.make (Stdlib.max 1 capacity) 0.0;
+    times = Array.make capacity 0.0;
+    values = Array.make capacity 0.0;
     size = 0;
+    cadence;
+    max_points;
+    dropped = 0;
   }
 
 let name t = t.series_name
 let length t = t.size
+let dropped t = t.dropped
+
+(* Bounded series discard their oldest quarter in one block move; the
+   amortized cost per append stays O(1) and the newest samples survive. *)
+let trim_oldest t =
+  let shed = Stdlib.max 1 (t.size / 4) in
+  let kept = t.size - shed in
+  Array.blit t.times shed t.times 0 kept;
+  Array.blit t.values shed t.values 0 kept;
+  t.size <- kept;
+  t.dropped <- t.dropped + shed
 
 let add t ~time v =
   if t.size > 0 && time < t.times.(t.size - 1) then
     invalid_arg "Timeseries.add: time going backwards";
+  (match t.max_points with
+   | Some cap when t.size >= cap -> trim_oldest t
+   | _ -> ());
   if t.size = Array.length t.times then begin
     let ncap = 2 * Array.length t.times in
+    let ncap = match t.max_points with Some cap -> Stdlib.min ncap cap | None -> ncap in
     let ntimes = Array.make ncap 0.0 and nvalues = Array.make ncap 0.0 in
     Array.blit t.times 0 ntimes 0 t.size;
     Array.blit t.values 0 nvalues 0 t.size;
@@ -30,6 +62,15 @@ let add t ~time v =
   t.times.(t.size) <- time;
   t.values.(t.size) <- v;
   t.size <- t.size + 1
+
+let add_binned t ~time v =
+  match t.cadence with
+  | None -> add t ~time v
+  | Some cadence ->
+    let bucket = Float.floor (time /. cadence) *. cadence in
+    if t.size > 0 && t.times.(t.size - 1) = bucket then
+      t.values.(t.size - 1) <- t.values.(t.size - 1) +. v
+    else add t ~time:bucket v
 
 let last t = if t.size = 0 then None else Some (t.times.(t.size - 1), t.values.(t.size - 1))
 

@@ -3,12 +3,28 @@
 
 type t
 
-val create : ?capacity:int -> name:string -> unit -> t
+val create :
+  ?capacity:int -> ?cadence:float -> ?max_points:int -> name:string -> unit -> t
+(** [cadence] arms {!add_binned} accumulation buckets of that many
+    seconds; [max_points] bounds memory — when full, the oldest quarter
+    of the samples is discarded in O(1) amortized time (see {!dropped}).
+    @raise Invalid_argument on non-positive [cadence] or [max_points < 2]. *)
+
 val name : t -> string
 
 val add : t -> time:float -> float -> unit
 (** Samples must be appended in non-decreasing time order.
     @raise Invalid_argument when going backwards. *)
+
+val add_binned : t -> time:float -> float -> unit
+(** With a [cadence], accumulate [v] into the bucket containing [time]
+    (buckets are keyed by their start); without one, behaves as {!add}.
+    The downsampled occurrence series of the bug tracker uses this to
+    stay bounded over millions of filings. *)
+
+val dropped : t -> int
+(** Samples discarded so far by the [max_points] bound (0 when
+    unbounded): the series is explicit about what it forgot. *)
 
 val length : t -> int
 val last : t -> (float * float) option
