@@ -1097,6 +1097,105 @@ let e15_triage () =
   print_endline text;
   print_endline "written to BENCH_triage.json"
 
+(* ---- E16: engine raw speed ------------------------------------------------------------- *)
+
+(* Drives the 2-month reference campaign by hand through the engine's
+   [next_time]/[step] API so every step's wall latency can be sampled,
+   then reports events/s, minor words allocated per event and the step
+   latency percentiles.  Writes BENCH_engine.json — the checked-in copy
+   of that file is the baseline the CI perf gate compares against.
+   [--scenario engine] runs only this. *)
+
+let e16_engine () =
+  section "E16" "engine: events/s, allocation and step latency on the 2-month reference campaign";
+  let months = 2 in
+  let anchor_events_per_s = 6500.0 in
+  let samples = ref [||] in
+  let nsamples = ref 0 in
+  let events = ref 0 in
+  let steps = ref 0 in
+  let wall = ref 0.0 in
+  let minor_words = ref 0.0 in
+  let drive engine horizon =
+    let cap = ref 65536 in
+    let buf = ref (Array.make !cap 0.0) in
+    let n = ref 0 in
+    let minor0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let continue = ref true in
+    while !continue do
+      match Simkit.Engine.next_time engine with
+      | Some next when next <= horizon ->
+        let s0 = Unix.gettimeofday () in
+        ignore (Simkit.Engine.step engine);
+        let dt = Unix.gettimeofday () -. s0 in
+        if !n = !cap then begin
+          let nbuf = Array.make (2 * !cap) 0.0 in
+          Array.blit !buf 0 nbuf 0 !cap;
+          buf := nbuf;
+          cap := 2 * !cap
+        end;
+        !buf.(!n) <- dt;
+        incr n
+      | _ -> continue := false
+    done;
+    wall := Unix.gettimeofday () -. t0;
+    minor_words := Gc.minor_words () -. minor0;
+    (* Clamp the clock to the horizon exactly as [run_until] would. *)
+    Simkit.Engine.run_until engine horizon;
+    events := Simkit.Engine.events_executed engine;
+    steps := !n;
+    samples := !buf;
+    nsamples := !n
+  in
+  let cfg = { Framework.Campaign.default_config with months } in
+  let report = Framework.Campaign.run ~drive cfg in
+  let sorted = Array.sub !samples 0 !nsamples in
+  Array.sort compare sorted;
+  let percentile p =
+    if !nsamples = 0 then 0.0
+    else begin
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int !nsamples)) - 1 in
+      sorted.(Stdlib.max 0 (Stdlib.min (!nsamples - 1) rank)) *. 1e6
+    end
+  in
+  let events_per_s = float_of_int !events /. !wall in
+  let minor_words_per_event = !minor_words /. float_of_int (Stdlib.max 1 !events) in
+  let p50 = percentile 50.0 and p95 = percentile 95.0 and p99 = percentile 99.0 in
+  let max_us = if !nsamples = 0 then 0.0 else sorted.(!nsamples - 1) *. 1e6 in
+  let speedup = events_per_s /. anchor_events_per_s in
+  Printf.printf "%d events (%d steps) over %d months in %.2f s\n" !events !steps months !wall;
+  Printf.printf "  throughput: %.0f events/s (%.1fx the %.0f events/s anchor)\n"
+    events_per_s speedup anchor_events_per_s;
+  Printf.printf "  allocation: %.1f minor words/event\n" minor_words_per_event;
+  Printf.printf "  step latency: p50 %.2f us, p95 %.2f us, p99 %.2f us, max %.0f us\n"
+    p50 p95 p99 max_us;
+  Printf.printf "  campaign sanity: %d builds, %d bugs filed\n"
+    report.Framework.Campaign.builds_total report.Framework.Campaign.bugs_filed;
+  let json =
+    let open Simkit.Json in
+    Obj
+      [ ("scenario", String "engine");
+        ("months", Int months);
+        ("events_executed", Int !events);
+        ("steps", Int !steps);
+        ("wall_s", Float !wall);
+        ("events_per_s", Float events_per_s);
+        ("minor_words_per_event", Float minor_words_per_event);
+        ("step_latency_us",
+         Obj [ ("p50", Float p50); ("p95", Float p95); ("p99", Float p99);
+               ("max", Float max_us) ]);
+        ("anchor_events_per_s", Float anchor_events_per_s);
+        ("speedup_vs_anchor", Float speedup) ]
+  in
+  let text = Simkit.Json.to_string ~indent:2 json in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  print_endline text;
+  print_endline "written to BENCH_engine.json"
+
 (* ---- Bechamel micro-benchmarks --------------------------------------------------------- *)
 
 let microbenchmarks () =
@@ -1178,6 +1277,7 @@ let run_all () =
   e13_health ();
   e14_lint ();
   e15_triage ();
+  e16_engine ();
   a1 ();
   a2_a3 ();
   a4 ();
@@ -1188,7 +1288,8 @@ let run_all () =
 let scenarios =
   [ ("all", run_all); ("resilience", e11_resilience);
     ("scheduler", e12_scheduler); ("health", e13_health);
-    ("lint", e14_lint); ("triage", e15_triage); ("micro", microbenchmarks) ]
+    ("lint", e14_lint); ("triage", e15_triage); ("engine", e16_engine);
+    ("micro", microbenchmarks) ]
 
 let () =
   let scenario = ref "all" in

@@ -161,6 +161,53 @@ let lint_cmd =
           configurations; exit non-zero on any error-severity diagnostic")
     Term.(const run $ json_arg)
 
+(* ---- perfgate ---------------------------------------------------------------- *)
+
+let perfgate_cmd =
+  let run baseline current threshold =
+    let read_file path =
+      try
+        let ic = open_in_bin path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Ok text
+      with Sys_error e -> Error e
+    in
+    let load role path =
+      match Result.bind (read_file path) Framework.Perfgate.metrics_of_string with
+      | Ok metrics -> metrics
+      | Error e ->
+        Printf.eprintf "perfgate: cannot load %s %s: %s\n" role path e;
+        exit 2
+    in
+    let baseline = load "baseline" baseline in
+    let current = load "current" current in
+    let verdict =
+      Framework.Perfgate.check ~threshold_pct:threshold ~baseline ~current ()
+    in
+    List.iter print_endline verdict.Framework.Perfgate.lines;
+    if not verdict.Framework.Perfgate.ok then exit 1
+  in
+  let baseline_arg =
+    let doc = "Checked-in baseline BENCH_engine.json." in
+    Arg.(value & opt string "BENCH_engine.json" & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let current_arg =
+    let doc = "Freshly generated BENCH_engine.json to judge." in
+    Arg.(required & opt (some string) None & info [ "current" ] ~docv:"FILE" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Allowed p95 step-latency regression, in percent." in
+    Arg.(value & opt float 20.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "perfgate"
+       ~doc:
+         "Compare an engine benchmark run against the checked-in baseline; \
+          exit non-zero when the p95 step latency regresses beyond the \
+          threshold (default 20%)")
+    Term.(const run $ baseline_arg $ current_arg $ threshold_arg)
+
 (* ---- hunt ------------------------------------------------------------------- *)
 
 let hunt_cmd =
@@ -357,7 +404,7 @@ let main =
   Cmd.group
     (Cmd.info "g5ktest" ~version:"1.0.0"
        ~doc:"Testbed testing framework on a simulated Grid'5000")
-    [ inventory_cmd; coverage_cmd; campaign_cmd; lint_cmd; hunt_cmd; bugs_cmd;
-      status_cmd; pernode_cmd; regression_cmd ]
+    [ inventory_cmd; coverage_cmd; campaign_cmd; lint_cmd; perfgate_cmd;
+      hunt_cmd; bugs_cmd; status_cmd; pernode_cmd; regression_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -104,7 +104,7 @@ let pick_kind rng =
   in
   pick 0.0 kind_weights
 
-let run cfg =
+let run ?(drive = Simkit.Engine.run_until) cfg =
   let env = Env.create ~seed:cfg.seed ~executors:cfg.executors () in
   let engine = Env.engine env in
   let rng = Simkit.Prng.split (Simkit.Engine.rng engine) in
@@ -297,7 +297,7 @@ let run cfg =
            Hashtbl.replace snapshots (m - 1) (active, enabled, filed, fixed)))
   done;
 
-  Simkit.Engine.run_until engine (float_of_int cfg.months *. Simkit.Calendar.month);
+  drive engine (float_of_int cfg.months *. Simkit.Calendar.month);
 
   (* Assemble the report. *)
   let month_stats = Statuspage.monthly_success page in

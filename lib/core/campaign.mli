@@ -97,7 +97,11 @@ type report = {
   statuspage_html : string;  (** same views as a standalone HTML page *)
 }
 
-val run : config -> report
-(** Execute the whole campaign synchronously (simulated time only). *)
+val run : ?drive:(Simkit.Engine.t -> float -> unit) -> config -> report
+(** Execute the whole campaign synchronously (simulated time only).
+    [drive] (default {!Simkit.Engine.run_until}) receives the engine and
+    the campaign horizon in seconds and must drain events up to it; the
+    engine benchmark uses it to step the reference campaign manually and
+    sample per-step latencies without disturbing the run. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,54 @@
+type metrics = {
+  events_per_s : float;
+  minor_words_per_event : float;
+  p95_step_us : float;
+}
+
+let metrics_of_json json =
+  let num path value =
+    match value with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "missing numeric field %S" path)
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* events_per_s = num "events_per_s" (Simkit.Json.float_member "events_per_s" json) in
+  let* minor_words_per_event =
+    num "minor_words_per_event" (Simkit.Json.float_member "minor_words_per_event" json)
+  in
+  let* p95_step_us =
+    match Simkit.Json.member "step_latency_us" json with
+    | Some latency -> num "step_latency_us.p95" (Simkit.Json.float_member "p95" latency)
+    | None -> Error "missing object \"step_latency_us\""
+  in
+  Ok { events_per_s; minor_words_per_event; p95_step_us }
+
+let metrics_of_string text =
+  match Simkit.Json.of_string text with
+  | Error e -> Error e
+  | Ok json -> metrics_of_json json
+
+type verdict = {
+  ok : bool;
+  lines : string list;
+}
+
+let default_threshold_pct = 20.0
+
+let check ?threshold_pct ~baseline ~current () =
+  let threshold_pct = Option.value threshold_pct ~default:default_threshold_pct in
+  let limit = baseline.p95_step_us *. (1.0 +. (threshold_pct /. 100.0)) in
+  let ok = current.p95_step_us <= limit in
+  let delta_pct base cur = if base = 0.0 then 0.0 else (cur -. base) /. base *. 100.0 in
+  let lines =
+    [ Printf.sprintf "p95 step latency: baseline %.2f us, current %.2f us (%+.1f%%, limit %.2f us at +%.0f%%)"
+        baseline.p95_step_us current.p95_step_us
+        (delta_pct baseline.p95_step_us current.p95_step_us)
+        limit threshold_pct;
+      Printf.sprintf "events/s:         baseline %.0f, current %.0f (%+.1f%%, informational)"
+        baseline.events_per_s current.events_per_s
+        (delta_pct baseline.events_per_s current.events_per_s);
+      Printf.sprintf "minor words/evt:  baseline %.1f, current %.1f (informational)"
+        baseline.minor_words_per_event current.minor_words_per_event;
+      (if ok then "perfgate: PASS" else "perfgate: FAIL (p95 step latency regressed beyond threshold)") ]
+  in
+  { ok; lines }

@@ -1,0 +1,40 @@
+(** Performance-regression gate over the engine benchmark.
+
+    The bench's [--scenario engine] run writes [BENCH_engine.json] with
+    the throughput and step-latency figures of the 2-month reference
+    campaign; a baseline copy of that file is checked into the repository.
+    This module compares a fresh run against the baseline and fails the
+    gate when the p95 step latency regresses by more than the threshold
+    (20% by default), so an accidental slow-down of the hot loop breaks
+    CI instead of silently eating the arena rewrite's gains.
+
+    Throughput and allocation figures are reported for context but do not
+    gate: events/s varies with runner load far more than the latency
+    percentile does. *)
+
+type metrics = {
+  events_per_s : float;
+  minor_words_per_event : float;
+  p95_step_us : float;  (** the gating figure *)
+}
+
+val metrics_of_json : Simkit.Json.t -> (metrics, string) result
+(** Extract the gate's metrics from a [BENCH_engine.json] document
+    ([events_per_s], [minor_words_per_event] and
+    [step_latency_us.p95]). *)
+
+val metrics_of_string : string -> (metrics, string) result
+(** Parse then extract; [Error] carries the parse or shape complaint. *)
+
+type verdict = {
+  ok : bool;  (** [false] = regression beyond the threshold *)
+  lines : string list;  (** human-readable comparison, one line each *)
+}
+
+val default_threshold_pct : float
+(** [20.] — the CI gate's allowance. *)
+
+val check : ?threshold_pct:float -> baseline:metrics -> current:metrics -> unit -> verdict
+(** Compare a fresh run against the baseline.  The gate fails iff
+    [current.p95_step_us > baseline.p95_step_us * (1 + threshold_pct/100)];
+    [threshold_pct] defaults to {!default_threshold_pct}. *)

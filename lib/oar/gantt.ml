@@ -1,9 +1,17 @@
 type interval = { start : float; stop : float; job : int }
 
-type t = { slots : (string, interval list) Hashtbl.t }
+type t = {
+  slots : (string, interval list) Hashtbl.t;
+  by_job : (int, string list) Hashtbl.t;
+      (* hosts a job has (or had) reservations on, so [release_job]
+         touches only those instead of folding over the whole cluster;
+         entries may go stale after [truncate]/[prune] (releasing a
+         host the job no longer occupies is a no-op) and are dropped on
+         [release_job] *)
+}
 (* Interval lists are kept sorted by [start] and non-overlapping. *)
 
-let create () = { slots = Hashtbl.create 1024 }
+let create () = { slots = Hashtbl.create 1024; by_job = Hashtbl.create 256 }
 
 let get t host = Option.value ~default:[] (Hashtbl.find_opt t.slots host)
 let set t host intervals = Hashtbl.replace t.slots host intervals
@@ -19,13 +27,25 @@ let reserve t ~host ~start ~stop ~job =
   let sorted =
     List.sort (fun a b -> compare a.start b.start) (interval :: existing)
   in
-  set t host sorted
+  set t host sorted;
+  let hosts = Option.value ~default:[] (Hashtbl.find_opt t.by_job job) in
+  if not (List.mem host hosts) then Hashtbl.replace t.by_job job (host :: hosts)
 
-let release t ~host ~job = set t host (List.filter (fun i -> i.job <> job) (get t host))
+let release t ~host ~job =
+  set t host (List.filter (fun i -> i.job <> job) (get t host));
+  match Hashtbl.find_opt t.by_job job with
+  | Some hosts when List.mem host hosts ->
+    Hashtbl.replace t.by_job job (List.filter (fun h -> h <> host) hosts)
+  | _ -> ()
 
 let release_job t ~job =
-  let hosts = Hashtbl.fold (fun host _ acc -> host :: acc) t.slots [] in
-  List.iter (fun host -> release t ~host ~job) hosts
+  match Hashtbl.find_opt t.by_job job with
+  | None -> ()
+  | Some hosts ->
+    Hashtbl.remove t.by_job job;
+    List.iter
+      (fun host -> set t host (List.filter (fun i -> i.job <> job) (get t host)))
+      hosts
 
 let truncate t ~host ~job ~stop =
   let updated =
@@ -60,7 +80,11 @@ let reservations t ~host = List.map (fun i -> (i.start, i.stop, i.job)) (get t h
 let prune t ~before =
   let hosts = Hashtbl.fold (fun host _ acc -> host :: acc) t.slots [] in
   List.iter
-    (fun host -> set t host (List.filter (fun i -> i.stop >= before) (get t host)))
+    (fun host ->
+      let intervals = get t host in
+      (* Only rebuild lists that actually hold expired intervals. *)
+      if List.exists (fun i -> i.stop < before) intervals then
+        set t host (List.filter (fun i -> i.stop >= before) intervals))
     hosts
 
 let utilisation t ~host ~lo ~hi =

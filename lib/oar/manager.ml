@@ -18,6 +18,14 @@ type t = {
   mutable next_id : int;
   mutable queue : int list;  (* waiting job ids, submission order *)
   mutable listeners : (Job.t -> unit) list;
+  besteffort_scheduled : (int, Job.t) Hashtbl.t;
+      (* best-effort jobs currently in [Scheduled]: the release scan in
+         [schedule_pass] walks this live set instead of every job ever
+         submitted *)
+  running : (int, Job.t) Hashtbl.t;
+      (* jobs currently in [Running], so consistency checks that run on
+         every test round stay O(live) as the job history grows *)
+  mutable last_prune : float;  (* gantt pruning runs at most hourly *)
   filter_cache : string array Filter_cache.t;
       (* parsed filter -> matching hosts (sorted); properties change
          rarely (on refresh), so filter evaluation over 894 hosts is
@@ -45,6 +53,9 @@ let create instance =
       next_id = 1;
       queue = [];
       listeners = [];
+      besteffort_scheduled = Hashtbl.create 16;
+      running = Hashtbl.create 256;
+      last_prune = Float.neg_infinity;
       filter_cache = Filter_cache.create 64;
     }
   in
@@ -57,7 +68,9 @@ let jobs t =
   Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs []
   |> List.sort (fun a b -> compare a.Job.id b.Job.id)
 
-let running_jobs t = List.filter (fun j -> j.Job.state = Job.Running) (jobs t)
+let running_jobs t =
+  Hashtbl.fold (fun _ j acc -> j :: acc) t.running []
+  |> List.sort (fun a b -> compare a.Job.id b.Job.id)
 let waiting_jobs t = List.filter (fun j -> j.Job.state = Job.Waiting) (jobs t)
 
 let on_job_end t f = t.listeners <- f :: t.listeners
@@ -65,6 +78,8 @@ let on_job_end t f = t.listeners <- f :: t.listeners
 let finish t job state =
   job.Job.state <- state;
   job.Job.ended_at <- Some (now t);
+  Hashtbl.remove t.besteffort_scheduled job.Job.id;
+  Hashtbl.remove t.running job.Job.id;
   Gantt.release_job t.gantt ~job:job.Job.id;
   List.iter (fun f -> f job) t.listeners
 
@@ -248,6 +263,8 @@ let rec start_job t job =
   else begin
     job.Job.state <- Job.Running;
     job.Job.started_at <- Some (now t);
+    Hashtbl.remove t.besteffort_scheduled job.Job.id;
+    Hashtbl.replace t.running job.Job.id job;
     let run_time = Float.min job.Job.duration job.Job.request.Request.walltime in
     ignore
       (Simkit.Engine.schedule (engine t) ~label:"oar" ~delay:run_time (fun _ ->
@@ -268,6 +285,8 @@ and try_place_job t job =
     job.Job.assigned <- hosts;
     job.Job.scheduled_start <- start;
     job.Job.state <- Job.Scheduled;
+    if job.Job.jtype = Job.Besteffort then
+      Hashtbl.replace t.besteffort_scheduled job.Job.id job;
     if start <= now t +. 1e-6 then start_job t job
     else begin
       (* Best-effort reservations can be re-placed before they start; the
@@ -281,23 +300,38 @@ and try_place_job t job =
     true
 
 and schedule_pass t =
-  Gantt.prune t.gantt ~before:(now t -. 3600.0);
+  let current = now t in
+  (* Expired intervals can never collide with future placements, so
+     pruning more than once per simulated hour is pure overhead. *)
+  if current -. t.last_prune >= 3600.0 then begin
+    t.last_prune <- current;
+    Gantt.prune t.gantt ~before:(current -. 3600.0)
+  end;
   (* Best-effort reservations that have not started yet are fair game:
      release them so higher-priority jobs can take their slots (they are
-     re-placed at the end of this pass). *)
-  Hashtbl.iter
-    (fun _ j ->
-      if
-        j.Job.jtype = Job.Besteffort && j.Job.state = Job.Scheduled
-        && j.Job.started_at = None
-        && j.Job.scheduled_start > now t +. 1.0
-      then begin
-        Gantt.release_job t.gantt ~job:j.Job.id;
-        j.Job.assigned <- [];
-        j.Job.state <- Job.Waiting;
-        if not (List.mem j.Job.id t.queue) then t.queue <- t.queue @ [ j.Job.id ]
-      end)
-    t.jobs;
+     re-placed at the end of this pass).  Only the live Scheduled set is
+     scanned — not every job ever submitted — in id (submission) order
+     for determinism. *)
+  if Hashtbl.length t.besteffort_scheduled > 0 then begin
+    let candidates =
+      Hashtbl.fold (fun _ j acc -> j :: acc) t.besteffort_scheduled []
+      |> List.sort (fun a b -> compare a.Job.id b.Job.id)
+    in
+    List.iter
+      (fun j ->
+        if
+          j.Job.state = Job.Scheduled
+          && j.Job.started_at = None
+          && j.Job.scheduled_start > current +. 1.0
+        then begin
+          Hashtbl.remove t.besteffort_scheduled j.Job.id;
+          Gantt.release_job t.gantt ~job:j.Job.id;
+          j.Job.assigned <- [];
+          j.Job.state <- Job.Waiting;
+          if not (List.mem j.Job.id t.queue) then t.queue <- t.queue @ [ j.Job.id ]
+        end)
+      candidates
+  end;
   (* Best-effort jobs go last; otherwise submission order. *)
   let pending =
     List.filter_map (job t) t.queue
@@ -402,6 +436,8 @@ let submit_at t ?(user = "anon") ?(jtype = Job.Default) ?duration ~start request
       in
       t.next_id <- t.next_id + 1;
       Hashtbl.replace t.jobs job.Job.id job;
+      if jtype = Job.Besteffort then
+        Hashtbl.replace t.besteffort_scheduled job.Job.id job;
       let stop = start +. request.Request.walltime in
       List.iter (fun host -> Gantt.reserve t.gantt ~host ~start ~stop ~job:job.Job.id) hosts;
       ignore

@@ -17,6 +17,8 @@ type t = {
   period : float;
   mutable checks : check list;  (* registration order *)
   mutable probes : probe list;
+  mutable probe_arr : probe array;  (* probes snapshot for the hot path *)
+  mutable changed_buf : string array;  (* scratch, length = #probes *)
   mutable violations : violation list;  (* newest first *)
   mutable checks_run : int;
   mutable events_observed : int;
@@ -35,6 +37,8 @@ let create ?(period = 6.0 *. 3600.0) engine =
     period;
     checks = [];
     probes = [];
+    probe_arr = [||];
+    changed_buf = [||];
     violations = [];
     checks_run = 0;
     events_observed = 0;
@@ -55,7 +59,9 @@ let register t ~name run =
 let watch t ~name digest =
   if List.exists (fun p -> String.equal p.probe_name name) t.probes then
     invalid_arg ("Audit.watch: duplicate probe " ^ name);
-  t.probes <- t.probes @ [ { probe_name = name; digest; last_digest = digest () } ]
+  t.probes <- t.probes @ [ { probe_name = name; digest; last_digest = digest () } ];
+  t.probe_arr <- Array.of_list t.probes;
+  t.changed_buf <- Array.make (Array.length t.probe_arr) ""
 
 let run_checks t =
   List.iter
@@ -77,18 +83,22 @@ let run_checks t =
    (wall-clock) deployment could order events either way — flag them. *)
 let observe t ~time ~label =
   t.events_observed <- t.events_observed + 1;
-  let changed =
-    List.filter_map
-      (fun p ->
-        let d = p.digest () in
-        if d <> p.last_digest then begin
-          p.last_digest <- d;
-          Some p.probe_name
-        end
-        else None)
-      t.probes
-  in
-  if changed <> [] then begin
+  (* Hot path: runs after every executed event when probes exist.  Scan
+     the probe array into a preallocated scratch so the common
+     nothing-changed case allocates nothing. *)
+  let probes = t.probe_arr in
+  let nchanged = ref 0 in
+  for i = 0 to Array.length probes - 1 do
+    let p = probes.(i) in
+    let d = p.digest () in
+    if d <> p.last_digest then begin
+      p.last_digest <- d;
+      t.changed_buf.(!nchanged) <- p.probe_name;
+      incr nchanged
+    end
+  done;
+  if !nchanged > 0 then begin
+    let changed = Array.to_list (Array.sub t.changed_buf 0 !nchanged) in
     (match t.last_change with
      | Some prev when prev.lc_time = time -> (
        match (prev.lc_label, label) with

@@ -29,16 +29,28 @@ val schedule_at : t -> ?label:string -> time:float -> (t -> unit) -> handle
 (** Absolute-time variant; times in the past fire at the current time. *)
 
 val cancel : t -> handle -> unit
-(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+(** Cancelling an already-fired or already-cancelled event is a no-op
+    and leaves no bookkeeping behind: the engine only remembers
+    cancellations of events still waiting in the queue. *)
 
 val cancelled : t -> handle -> bool
 
 val every : t -> ?label:string -> period:float -> ?jitter:float -> (t -> bool) -> unit
 (** [every t ~period f] runs [f] now and then every [period] seconds
-    (plus uniform jitter in [\[0, jitter\]]) until [f] returns [false]. *)
+    (plus uniform jitter in [\[0, jitter\]]) until [f] returns [false].
+    When [jitter > 0.] the jitter values come from a dedicated PRNG
+    stream split off the master once at registration, so a jittered
+    timer never perturbs the deterministic sequence consumed by other
+    subsystems; [jitter = 0.] draws nothing at all. *)
 
 val step : t -> bool
 (** Execute the next pending event.  [false] if the queue is empty. *)
+
+val next_time : t -> float option
+(** Firing time of the next queued (possibly cancelled) event, without
+    consuming it.  [step]ping while [next_time t <= Some horizon] drains
+    exactly the events [run_until t horizon] would; external drivers
+    (e.g. the engine benchmark) use this to instrument the loop. *)
 
 val run_until : t -> float -> unit
 (** Execute events up to and including time [t]; afterwards [now] equals

@@ -1,0 +1,96 @@
+(* Open-addressing set of non-negative ints, tuned for the engine's
+   dense, monotonically allocated event handles: identity hashing plus
+   linear probing keeps consecutive ids in consecutive slots, and
+   backward-shift deletion avoids tombstone buildup under the engine's
+   add-on-cancel / remove-on-pop churn. *)
+
+type t = {
+  mutable slots : int array;  (* -1 = empty *)
+  mutable mask : int;  (* capacity - 1, capacity a power of two *)
+  mutable size : int;
+}
+
+let min_capacity = 16
+
+let create () =
+  { slots = Array.make min_capacity (-1); mask = min_capacity - 1; size = 0 }
+
+let cardinal t = t.size
+let is_empty t = t.size = 0
+
+let mem t k =
+  let mask = t.mask in
+  let slots = t.slots in
+  let rec probe i =
+    let v = slots.(i) in
+    v = k || (v >= 0 && probe ((i + 1) land mask))
+  in
+  k >= 0 && probe (k land mask)
+
+let rec add t k =
+  if k < 0 then invalid_arg "Intset.add: negative key";
+  let mask = t.mask in
+  let slots = t.slots in
+  let rec probe i =
+    let v = slots.(i) in
+    if v = k then ()
+    else if v < 0 then begin
+      slots.(i) <- k;
+      t.size <- t.size + 1;
+      if 2 * t.size > mask then grow t
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe (k land mask)
+
+and grow t =
+  let old = t.slots in
+  let cap = 2 * (t.mask + 1) in
+  t.slots <- Array.make cap (-1);
+  t.mask <- cap - 1;
+  t.size <- 0;
+  Array.iter (fun k -> if k >= 0 then add t k) old
+
+let remove t k =
+  if k >= 0 then begin
+    let mask = t.mask in
+    let slots = t.slots in
+    let rec find i =
+      let v = slots.(i) in
+      if v = k then Some i else if v < 0 then None else find ((i + 1) land mask)
+    in
+    match find (k land mask) with
+    | None -> ()
+    | Some hole ->
+      t.size <- t.size - 1;
+      (* Backward-shift deletion: pull later probe-chain members into the
+         hole when their home slot lies cyclically at or before it. *)
+      let rec shift hole j =
+        let v = slots.(j) in
+        if v < 0 then slots.(hole) <- -1
+        else begin
+          let home = v land mask in
+          if (j - home) land mask >= (j - hole) land mask then begin
+            slots.(hole) <- v;
+            shift j ((j + 1) land mask)
+          end
+          else shift hole ((j + 1) land mask)
+        end
+      in
+      shift hole ((hole + 1) land mask)
+  end
+
+let clear t =
+  if t.mask + 1 > min_capacity then begin
+    t.slots <- Array.make min_capacity (-1);
+    t.mask <- min_capacity - 1
+  end
+  else Array.fill t.slots 0 (t.mask + 1) (-1);
+  t.size <- 0
+
+let iter f t =
+  Array.iter (fun k -> if k >= 0 then f k) t.slots
+
+let to_list t =
+  Array.fold_left (fun acc k -> if k >= 0 then k :: acc else acc) [] t.slots
+  |> List.sort compare

@@ -1,0 +1,27 @@
+(** Imperative set of non-negative ints.
+
+    Open addressing with identity hashing and backward-shift deletion,
+    tuned for dense keys such as the engine's event handles; membership,
+    insertion and removal are O(1) expected with no per-element
+    allocation. *)
+
+type t
+
+val create : unit -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+(** @raise Invalid_argument on negative keys. *)
+
+val remove : t -> int -> unit
+(** Removing an absent (or negative) key is a no-op. *)
+
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** Unspecified order. *)
+
+val to_list : t -> int list
+(** Ascending order. *)

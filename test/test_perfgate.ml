@@ -1,0 +1,94 @@
+(* The CI perf gate: must fail on a real engine slow-down, pass on
+   run-to-run jitter within the threshold, and reject unreadable
+   benchmark documents rather than waving them through. *)
+
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let metrics ?(events_per_s = 50000.0) ?(p95 = 100.0) () =
+  { Framework.Perfgate.events_per_s;
+    minor_words_per_event = 3000.0;
+    p95_step_us = p95 }
+
+let test_pass_within_threshold () =
+  let v =
+    Framework.Perfgate.check ~baseline:(metrics ()) ~current:(metrics ~p95:115.0 ()) ()
+  in
+  checkb "15% regression passes at 20% threshold" true v.Framework.Perfgate.ok
+
+let test_exact_limit_passes () =
+  let v =
+    Framework.Perfgate.check ~baseline:(metrics ()) ~current:(metrics ~p95:120.0 ()) ()
+  in
+  checkb "exactly the limit still passes" true v.Framework.Perfgate.ok
+
+let test_fail_beyond_threshold () =
+  (* The acceptance scenario: an injected >=25% slow-down must break CI. *)
+  let v =
+    Framework.Perfgate.check ~baseline:(metrics ()) ~current:(metrics ~p95:125.0 ()) ()
+  in
+  checkb "25% regression fails" false v.Framework.Perfgate.ok;
+  checkb "verdict says FAIL" true
+    (List.exists
+       (fun line -> String.length line >= 14 && String.sub line 0 14 = "perfgate: FAIL")
+       v.Framework.Perfgate.lines)
+
+let test_throughput_does_not_gate () =
+  let v =
+    Framework.Perfgate.check ~baseline:(metrics ())
+      ~current:(metrics ~events_per_s:10000.0 ~p95:100.0 ())
+      ()
+  in
+  checkb "events/s drop alone is informational" true v.Framework.Perfgate.ok
+
+let test_custom_threshold () =
+  let v =
+    Framework.Perfgate.check ~threshold_pct:10.0 ~baseline:(metrics ())
+      ~current:(metrics ~p95:115.0 ()) ()
+  in
+  checkb "15% regression fails at 10% threshold" false v.Framework.Perfgate.ok
+
+let bench_json =
+  {|{
+  "scenario": "engine",
+  "months": 2,
+  "events_executed": 183842,
+  "wall_s": 3.8,
+  "events_per_s": 48211.9,
+  "minor_words_per_event": 2937.7,
+  "step_latency_us": { "p50": 2.1, "p95": 64.8, "p99": 416.0, "max": 6837.8 },
+  "anchor_events_per_s": 6500.0
+}|}
+
+let test_parse_bench_document () =
+  match Framework.Perfgate.metrics_of_string bench_json with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok m ->
+    checkf "events/s" 48211.9 m.Framework.Perfgate.events_per_s;
+    checkf "minor words/event" 2937.7 m.Framework.Perfgate.minor_words_per_event;
+    checkf "p95" 64.8 m.Framework.Perfgate.p95_step_us
+
+let test_parse_rejects_garbage () =
+  checkb "syntax error rejected" true
+    (Result.is_error (Framework.Perfgate.metrics_of_string "not json"));
+  checkb "missing p95 rejected" true
+    (Result.is_error
+       (Framework.Perfgate.metrics_of_string
+          {|{"events_per_s": 1.0, "minor_words_per_event": 2.0, "step_latency_us": {}}|}));
+  checkb "missing events/s rejected" true
+    (Result.is_error (Framework.Perfgate.metrics_of_string {|{"step_latency_us": {"p95": 1.0}}|}))
+
+let () =
+  Alcotest.run "perfgate"
+    [
+      ( "gate",
+        [ Alcotest.test_case "pass within threshold" `Quick test_pass_within_threshold;
+          Alcotest.test_case "exact limit passes" `Quick test_exact_limit_passes;
+          Alcotest.test_case "fail beyond threshold" `Quick test_fail_beyond_threshold;
+          Alcotest.test_case "throughput informational" `Quick
+            test_throughput_does_not_gate;
+          Alcotest.test_case "custom threshold" `Quick test_custom_threshold ] );
+      ( "parse",
+        [ Alcotest.test_case "bench document" `Quick test_parse_bench_document;
+          Alcotest.test_case "rejects garbage" `Quick test_parse_rejects_garbage ] );
+    ]

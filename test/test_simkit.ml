@@ -208,6 +208,94 @@ let prop_heap_sorts =
       let popped = drain [] in
       popped = List.sort compare keys)
 
+let prop_heap_model =
+  (* Interleaved push/pop against a sorted-list oracle; values carry the
+     insertion sequence so the FIFO tie-break is checked too. *)
+  QCheck.Test.make ~name:"heap matches sorted-list oracle under push/pop" ~count:300
+    QCheck.(list (pair bool (int_bound 9)))
+    (fun ops ->
+      let h = Simkit.Heap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (push, k) ->
+          if push then begin
+            let key = float_of_int k in
+            Simkit.Heap.push h ~key !seq;
+            model := List.merge compare !model [ (key, !seq) ];
+            incr seq
+          end
+          else
+            match (Simkit.Heap.pop h, !model) with
+            | None, [] -> ()
+            | Some (key, v), (mk, mv) :: rest ->
+              ok := !ok && key = mk && v = mv;
+              model := rest
+            | _ -> ok := false)
+        ops;
+      !ok && Simkit.Heap.length h = List.length !model)
+
+let test_heap_pop_releases_value () =
+  (* A popped value must be collectable immediately: the vacated slot
+     may not pin it. *)
+  let h = Simkit.Heap.create () in
+  let weak = Weak.create 1 in
+  let () =
+    let v = ref 42 in
+    Weak.set weak 0 (Some v);
+    Simkit.Heap.push h ~key:1.0 v;
+    Simkit.Heap.push h ~key:2.0 (ref 0)
+  in
+  (match Simkit.Heap.pop h with Some _ -> () | None -> Alcotest.fail "pop");
+  Gc.full_major ();
+  checkb "popped value collected" true (Weak.get weak 0 = None);
+  checki "remaining entry intact" 1 (Simkit.Heap.length h)
+
+(* ---- Intset --------------------------------------------------------------- *)
+
+let test_intset_basics () =
+  let s = Simkit.Intset.create () in
+  checkb "fresh set empty" true (Simkit.Intset.is_empty s);
+  Simkit.Intset.add s 3;
+  Simkit.Intset.add s 3;
+  Simkit.Intset.add s 7;
+  checki "duplicate add ignored" 2 (Simkit.Intset.cardinal s);
+  checkb "mem present" true (Simkit.Intset.mem s 3);
+  checkb "mem absent" false (Simkit.Intset.mem s 5);
+  Simkit.Intset.remove s 3;
+  Simkit.Intset.remove s 3;
+  checkb "removed" false (Simkit.Intset.mem s 3);
+  checki "cardinal after remove" 1 (Simkit.Intset.cardinal s);
+  Simkit.Intset.clear s;
+  checkb "cleared" true (Simkit.Intset.is_empty s)
+
+module Int_set_oracle = Set.Make (Int)
+
+let prop_intset_model =
+  (* Small key range on purpose: lots of hash collisions, so the
+     backward-shift deletion path is exercised hard. *)
+  QCheck.Test.make ~name:"intset matches Set oracle under add/remove" ~count:300
+    QCheck.(list (pair bool (int_bound 63)))
+    (fun ops ->
+      let s = Simkit.Intset.create () in
+      let model =
+        List.fold_left
+          (fun m (add, k) ->
+            if add then begin
+              Simkit.Intset.add s k;
+              Int_set_oracle.add k m
+            end
+            else begin
+              Simkit.Intset.remove s k;
+              Int_set_oracle.remove k m
+            end)
+          Int_set_oracle.empty ops
+      in
+      Simkit.Intset.cardinal s = Int_set_oracle.cardinal model
+      && List.sort compare (Simkit.Intset.to_list s) = Int_set_oracle.elements model
+      && Int_set_oracle.for_all (fun k -> Simkit.Intset.mem s k) model)
+
 (* ---- Engine --------------------------------------------------------------- *)
 
 let test_engine_ordering () =
@@ -293,6 +381,166 @@ let test_engine_observer_labels () =
   ignore (Simkit.Engine.schedule e ~delay:1.0 (fun _ -> ()));
   Simkit.Engine.run e;
   checki "cleared observer sees nothing further" 2 (List.length !seen)
+
+let test_engine_cancel_after_fire_no_leak () =
+  (* Regression: cancelling an already-fired handle used to be remembered
+     forever, and [pending] could go negative. *)
+  let e = Simkit.Engine.create () in
+  let h = Simkit.Engine.schedule e ~delay:1.0 (fun _ -> ()) in
+  Simkit.Engine.run e;
+  Simkit.Engine.cancel e h;
+  Simkit.Engine.cancel e h;
+  checkb "fired handle not remembered as cancelled" false (Simkit.Engine.cancelled e h);
+  checki "pending stays at zero" 0 (Simkit.Engine.pending e);
+  let h2 = Simkit.Engine.schedule e ~delay:1.0 (fun _ -> ()) in
+  checki "new event counted" 1 (Simkit.Engine.pending e);
+  Simkit.Engine.cancel e h2;
+  checki "cancelled event not counted" 0 (Simkit.Engine.pending e);
+  Simkit.Engine.run e;
+  Simkit.Engine.cancel e h2;
+  checki "pending never negative" 0 (Simkit.Engine.pending e);
+  checki "only the first event executed" 1 (Simkit.Engine.events_executed e)
+
+let test_engine_cancel_same_instant () =
+  (* An event may cancel a later event of the same timestamp: the batch
+     drain must re-check cancellation at consumption time. *)
+  let e = Simkit.Engine.create () in
+  let fired = ref false in
+  let hb = ref None in
+  ignore
+    (Simkit.Engine.schedule e ~delay:1.0 (fun e ->
+         match !hb with Some h -> Simkit.Engine.cancel e h | None -> ()));
+  hb := Some (Simkit.Engine.schedule e ~delay:1.0 (fun _ -> fired := true));
+  Simkit.Engine.run e;
+  checkb "same-instant victim skipped" false !fired;
+  checki "pending drained" 0 (Simkit.Engine.pending e)
+
+let test_engine_run_until_cancelled_prefix () =
+  (* A cancelled-only queue prefix must not stall the clock short of the
+     horizon, and skipped events are not executions. *)
+  let e = Simkit.Engine.create () in
+  let h = Simkit.Engine.schedule e ~delay:1.0 (fun _ -> ()) in
+  Simkit.Engine.cancel e h;
+  Simkit.Engine.run_until e 5.0;
+  checkf "clock clamped to horizon" 5.0 (Simkit.Engine.now e);
+  checki "no events executed" 0 (Simkit.Engine.events_executed e);
+  checki "nothing pending" 0 (Simkit.Engine.pending e)
+
+let test_engine_next_time_matches_run_until () =
+  (* Stepping while next_time <= horizon must drain exactly what
+     run_until drains (the bench driver relies on this). *)
+  let trace engine_of =
+    let e = engine_of () in
+    let trace = ref [] in
+    for i = 1 to 8 do
+      ignore
+        (Simkit.Engine.schedule e ~delay:(float_of_int (i mod 4))
+           (fun _ -> trace := i :: !trace))
+    done;
+    (e, trace)
+  in
+  let a, ta = trace (fun () -> Simkit.Engine.create ()) in
+  Simkit.Engine.run_until a 2.5;
+  let b, tb = trace (fun () -> Simkit.Engine.create ()) in
+  let continue = ref true in
+  while !continue do
+    match Simkit.Engine.next_time b with
+    | Some next when next <= 2.5 -> ignore (Simkit.Engine.step b)
+    | _ -> continue := false
+  done;
+  Simkit.Engine.run_until b 2.5;
+  checkb "same execution order" true (!ta = !tb);
+  checkf "same clock" (Simkit.Engine.now a) (Simkit.Engine.now b);
+  checki "same pending" (Simkit.Engine.pending a) (Simkit.Engine.pending b)
+
+let test_engine_jitter_zero_draws_nothing () =
+  (* A jitter-free periodic timer must consume no engine randomness. *)
+  let master_after ~with_timer =
+    let e = Simkit.Engine.create ~seed:7L () in
+    if with_timer then
+      Simkit.Engine.every e ~period:1.0 ~jitter:0.0 (fun e -> Simkit.Engine.now e < 5.0);
+    Simkit.Engine.run_until e 10.0;
+    Simkit.Prng.next_int64 (Simkit.Engine.rng e)
+  in
+  check Alcotest.int64 "master stream untouched" (master_after ~with_timer:false)
+    (master_after ~with_timer:true)
+
+let test_engine_jitter_isolated () =
+  (* Regression: jitter used to draw from the master stream at every
+     tick, so how long an unrelated jittered timer had been running
+     changed the seed of any subsystem splitting the master later.  Now
+     a jittered timer costs exactly one split at registration, whatever
+     its period or lifetime. *)
+  let late_split_draw ~period =
+    let e = Simkit.Engine.create ~seed:99L () in
+    Simkit.Engine.every e ~period ~jitter:0.5 (fun e -> Simkit.Engine.now e < 20.0);
+    let draw = ref 0L in
+    ignore
+      (Simkit.Engine.schedule e ~delay:5.0 (fun e ->
+           let r = Simkit.Prng.split (Simkit.Engine.rng e) in
+           draw := Simkit.Prng.next_int64 r));
+    Simkit.Engine.run_until e 30.0;
+    !draw
+  in
+  check Alcotest.int64 "late subsystem seed independent of timer cadence"
+    (late_split_draw ~period:1.0) (late_split_draw ~period:3.0)
+
+let prop_engine_pending_consistent =
+  (* pending / events_executed against a naive list model under random
+     schedule / cancel / step sequences. *)
+  QCheck.Test.make ~name:"engine: pending and events_executed match a list model"
+    ~count:300
+    QCheck.(list (pair (int_bound 5) (int_bound 9)))
+    (fun ops ->
+      let e = Simkit.Engine.create () in
+      (* model entries: handle, firing time, consumed, cancelled *)
+      let model = ref [] in
+      let clock = ref 0.0 in
+      let executed = ref 0 in
+      let ok = ref true in
+      let live () =
+        List.filter (fun (_, _, consumed, cancelled) -> not (!consumed || !cancelled)) !model
+      in
+      let apply (tag, a) =
+        if tag <= 2 then begin
+          let delay = float_of_int a in
+          let h = Simkit.Engine.schedule e ~delay (fun _ -> ()) in
+          (* append keeps the model in schedule order = FIFO tie order *)
+          model := !model @ [ (h, !clock +. delay, ref false, ref false) ]
+        end
+        else if tag = 3 then begin
+          match live () with
+          | [] -> ()
+          | l ->
+            let h, _, _, cancelled = List.nth l (a mod List.length l) in
+            Simkit.Engine.cancel e h;
+            cancelled := true
+        end
+        else begin
+          match List.filter (fun (_, _, consumed, _) -> not !consumed) !model with
+          | [] -> ok := !ok && not (Simkit.Engine.step e)
+          | first :: rest ->
+            let _, time, consumed, cancelled =
+              List.fold_left
+                (fun ((_, bt, _, _) as best) ((_, t, _, _) as cand) ->
+                  if t < bt then cand else best)
+                first rest
+            in
+            ok := !ok && Simkit.Engine.step e;
+            consumed := true;
+            if not !cancelled then begin
+              incr executed;
+              clock := Float.max !clock time
+            end
+        end;
+        ok :=
+          !ok
+          && Simkit.Engine.pending e = List.length (live ())
+          && Simkit.Engine.events_executed e = !executed
+          && Simkit.Engine.pending e >= 0
+      in
+      List.iter apply ops;
+      !ok)
 
 (* ---- Calendar ------------------------------------------------------------- *)
 
@@ -621,7 +869,12 @@ let () =
         [ Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "to_list sorted" `Quick test_heap_to_list_sorted;
-          qc prop_heap_sorts ] );
+          Alcotest.test_case "pop releases value" `Quick test_heap_pop_releases_value;
+          qc prop_heap_sorts;
+          qc prop_heap_model ] );
+      ( "intset",
+        [ Alcotest.test_case "basics" `Quick test_intset_basics;
+          qc prop_intset_model ] );
       ( "engine",
         [ Alcotest.test_case "ordering" `Quick test_engine_ordering;
           Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
@@ -632,7 +885,20 @@ let () =
           Alcotest.test_case "past schedule clamped" `Quick
             test_engine_past_schedule_clamped;
           Alcotest.test_case "observer sees labels" `Quick
-            test_engine_observer_labels ] );
+            test_engine_observer_labels;
+          Alcotest.test_case "cancel after fire leaks nothing" `Quick
+            test_engine_cancel_after_fire_no_leak;
+          Alcotest.test_case "cancel within same instant" `Quick
+            test_engine_cancel_same_instant;
+          Alcotest.test_case "run_until over cancelled prefix" `Quick
+            test_engine_run_until_cancelled_prefix;
+          Alcotest.test_case "next_time stepping = run_until" `Quick
+            test_engine_next_time_matches_run_until;
+          Alcotest.test_case "jitter 0 draws nothing" `Quick
+            test_engine_jitter_zero_draws_nothing;
+          Alcotest.test_case "jitter stream isolated" `Quick
+            test_engine_jitter_isolated;
+          qc prop_engine_pending_consistent ] );
       ( "calendar",
         [ Alcotest.test_case "basics" `Quick test_calendar_basics;
           Alcotest.test_case "weekend" `Quick test_calendar_weekend;
