@@ -1196,6 +1196,125 @@ let e16_engine () =
   print_endline text;
   print_endline "written to BENCH_engine.json"
 
+(* ---- E17: status-page serving layer ----------------------------------------------------- *)
+
+(* A 2-month full-catalog campaign with the serving layer attached and a
+   workload hot enough to resolve >= 1M reads, including daily flash
+   crowds that overwhelm admission and a Serve_crash at day 30 (repaired
+   12 h later) that forces a journal-replay recovery.  The wall-clock
+   probe is injected here — the library never reads real time — so
+   reads/s reflects the service loop's true per-read cost.  Writes
+   BENCH_serve.json, whose checked-in copy is the serve perf-gate
+   baseline.  [--scenario serve] runs only this. *)
+
+let e17_serve () =
+  section "E17" "serving: snapshot cache, shedding and crash recovery under >= 1M reads";
+  let day = Simkit.Calendar.day in
+  let months = 2 in
+  let horizon = float_of_int months *. Simkit.Calendar.month in
+  let serve_cfg =
+    { Framework.Serve.default_config with
+      Framework.Serve.rate_limit = 200.0;
+      burst = 8000.0;
+      queue_limit = 10_000;
+      stale_queue = 500;
+      fallback_queue = 5000;
+      readers_per_s = 5.0;
+    }
+  in
+  let env = Framework.Env.create ~seed:1717L () in
+  Framework.Jobs.define_all env ~on_evidence:(fun _ -> ());
+  let page = Framework.Statuspage.create env in
+  let serve = Framework.Serve.attach ~config:serve_cfg env page in
+  Framework.Serve.set_clock serve Unix.gettimeofday;
+  let scheduler = Framework.Scheduler.create env in
+  List.iter (Framework.Scheduler.enable_family scheduler) Framework.Testdef.all_families;
+  Framework.Scheduler.start scheduler;
+  let faults = Framework.Env.faults env in
+  ignore
+    (Simkit.Engine.schedule_at (Framework.Env.engine env) ~time:(30.0 *. day)
+       (fun eng ->
+         match
+           Testbed.Faults.inject_on faults ~now:(Simkit.Engine.now eng)
+             Testbed.Faults.Serve_crash
+             (Testbed.Faults.Global Testbed.Faults.serve_crash_flag)
+         with
+         | Some fault ->
+           ignore
+             (Simkit.Engine.schedule eng ~delay:(12.0 *. 3600.0) (fun eng ->
+                  Testbed.Faults.repair faults ~now:(Simkit.Engine.now eng) fault))
+         | None -> ()));
+  let t0 = Unix.gettimeofday () in
+  Framework.Env.run_until env horizon;
+  let wall = Unix.gettimeofday () -. t0 in
+  let s = Framework.Serve.summary serve in
+  let busy = Framework.Serve.busy_seconds serve in
+  let reads_per_s =
+    if busy > 0.0 then float_of_int s.Framework.Serve.reads /. busy else 0.0
+  in
+  let served =
+    s.Framework.Serve.fresh + s.Framework.Serve.not_modified
+    + s.Framework.Serve.stale + s.Framework.Serve.fallback
+  in
+  let conserved = served + s.Framework.Serve.shed = s.Framework.Serve.reads in
+  Printf.printf "%d reads resolved over %d months in %.2f s wall (%.2f s serving)\n"
+    s.Framework.Serve.reads months wall busy;
+  Printf.printf "  throughput: %.0f reads/s of serving time %s\n" reads_per_s
+    (if s.Framework.Serve.reads >= 1_000_000 then "(target >= 1M reads: OK)"
+     else "(target >= 1M reads: MISSED)");
+  Printf.printf
+    "  outcomes: %d fresh, %d not-modified, %d stale, %d fallback, %d shed \
+     (conservation: %s)\n"
+    s.Framework.Serve.fresh s.Framework.Serve.not_modified
+    s.Framework.Serve.stale s.Framework.Serve.fallback s.Framework.Serve.shed
+    (if conserved then "OK" else "VIOLATED");
+  Printf.printf "  cache: %d renders for %d served reads (hit ratio %.4f)\n"
+    s.Framework.Serve.renders served s.Framework.Serve.hit_ratio;
+  Printf.printf
+    "  degradation: %.0f s degraded, %d alerts, queue peak %d; staleness p50 \
+     %.1f s, p99 %.1f s, max %.1f s\n"
+    s.Framework.Serve.degraded_seconds s.Framework.Serve.alerts_fired
+    s.Framework.Serve.queued_peak s.Framework.Serve.staleness_p50
+    s.Framework.Serve.staleness_p99 s.Framework.Serve.staleness_max;
+  Printf.printf "  crash drill: %d crash(es), %d recovery replay(s)\n"
+    s.Framework.Serve.crashes s.Framework.Serve.recoveries;
+  if not conserved then print_endline "WARNING: serve read conservation violated!";
+  let json =
+    let open Simkit.Json in
+    Obj
+      [ ("scenario", String "serve");
+        ("months", Int months);
+        ("reads", Int s.Framework.Serve.reads);
+        ("wall_s", Float wall);
+        ("serving_wall_s", Float busy);
+        ("reads_per_s", Float reads_per_s);
+        ("hit_ratio", Float s.Framework.Serve.hit_ratio);
+        ("fresh", Int s.Framework.Serve.fresh);
+        ("not_modified", Int s.Framework.Serve.not_modified);
+        ("stale", Int s.Framework.Serve.stale);
+        ("fallback", Int s.Framework.Serve.fallback);
+        ("shed", Int s.Framework.Serve.shed);
+        ("conservation_ok", Bool conserved);
+        ("renders", Int s.Framework.Serve.renders);
+        ("renders_saved", Int s.Framework.Serve.renders_saved);
+        ("queued_peak", Int s.Framework.Serve.queued_peak);
+        ("degraded_seconds", Float s.Framework.Serve.degraded_seconds);
+        ("alerts_fired", Int s.Framework.Serve.alerts_fired);
+        ("crashes", Int s.Framework.Serve.crashes);
+        ("recoveries", Int s.Framework.Serve.recoveries);
+        ("staleness_s",
+         Obj [ ("p50", Float s.Framework.Serve.staleness_p50);
+               ("p99", Float s.Framework.Serve.staleness_p99);
+               ("max", Float s.Framework.Serve.staleness_max) ]) ]
+  in
+  let text = Simkit.Json.to_string ~indent:2 json in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  print_endline text;
+  print_endline "written to BENCH_serve.json"
+
 (* ---- Bechamel micro-benchmarks --------------------------------------------------------- *)
 
 let microbenchmarks () =
@@ -1278,6 +1397,7 @@ let run_all () =
   e14_lint ();
   e15_triage ();
   e16_engine ();
+  e17_serve ();
   a1 ();
   a2_a3 ();
   a4 ();
@@ -1289,7 +1409,7 @@ let scenarios =
   [ ("all", run_all); ("resilience", e11_resilience);
     ("scheduler", e12_scheduler); ("health", e13_health);
     ("lint", e14_lint); ("triage", e15_triage); ("engine", e16_engine);
-    ("micro", microbenchmarks) ]
+    ("serve", e17_serve); ("micro", microbenchmarks) ]
 
 let () =
   let scenario = ref "all" in

@@ -7,7 +7,8 @@
      lint       - statically check catalog + example configurations
      hunt       - inject one fault per class and report detections
      bugs       - triage pipeline demo: clustered bug index from one fault per class
-     status     - run a short campaign and print the status page *)
+     status     - run a short campaign and print the status page
+     serve      - run a campaign with the status-page serving layer enabled *)
 
 open Cmdliner
 
@@ -164,7 +165,7 @@ let lint_cmd =
 (* ---- perfgate ---------------------------------------------------------------- *)
 
 let perfgate_cmd =
-  let run baseline current threshold =
+  let run baseline current threshold serve_baseline serve_current =
     let read_file path =
       try
         let ic = open_in_bin path in
@@ -173,20 +174,51 @@ let perfgate_cmd =
         Ok text
       with Sys_error e -> Error e
     in
-    let load role path =
-      match Result.bind (read_file path) Framework.Perfgate.metrics_of_string with
+    let load parse role path =
+      match Result.bind (read_file path) parse with
       | Ok metrics -> metrics
       | Error e ->
         Printf.eprintf "perfgate: cannot load %s %s: %s\n" role path e;
         exit 2
     in
-    let baseline = load "baseline" baseline in
-    let current = load "current" current in
-    let verdict =
-      Framework.Perfgate.check ~threshold_pct:threshold ~baseline ~current ()
+    let engine_verdict =
+      match current with
+      | None -> None
+      | Some current ->
+        let baseline =
+          load Framework.Perfgate.metrics_of_string "baseline" baseline
+        in
+        let current =
+          load Framework.Perfgate.metrics_of_string "current" current
+        in
+        Some (Framework.Perfgate.check ~threshold_pct:threshold ~baseline ~current ())
     in
-    List.iter print_endline verdict.Framework.Perfgate.lines;
-    if not verdict.Framework.Perfgate.ok then exit 1
+    let serve_verdict =
+      match serve_current with
+      | None -> None
+      | Some current ->
+        let baseline =
+          load Framework.Perfgate.serve_metrics_of_string "serve baseline"
+            serve_baseline
+        in
+        let current =
+          load Framework.Perfgate.serve_metrics_of_string "serve current" current
+        in
+        Some
+          (Framework.Perfgate.check_serve ~threshold_pct:threshold ~baseline
+             ~current ())
+    in
+    (match (engine_verdict, serve_verdict) with
+     | None, None ->
+       Printf.eprintf
+         "perfgate: nothing to compare (pass --current and/or --serve-current)\n";
+       exit 2
+     | _ -> ());
+    let verdicts = List.filter_map Fun.id [ engine_verdict; serve_verdict ] in
+    List.iter
+      (fun v -> List.iter print_endline v.Framework.Perfgate.lines)
+      verdicts;
+    if List.exists (fun v -> not v.Framework.Perfgate.ok) verdicts then exit 1
   in
   let baseline_arg =
     let doc = "Checked-in baseline BENCH_engine.json." in
@@ -194,19 +226,31 @@ let perfgate_cmd =
   in
   let current_arg =
     let doc = "Freshly generated BENCH_engine.json to judge." in
-    Arg.(required & opt (some string) None & info [ "current" ] ~docv:"FILE" ~doc)
+    Arg.(value & opt (some string) None & info [ "current" ] ~docv:"FILE" ~doc)
   in
   let threshold_arg =
-    let doc = "Allowed p95 step-latency regression, in percent." in
+    let doc = "Allowed regression (p95 step latency / p99 staleness), in percent." in
     Arg.(value & opt float 20.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let serve_baseline_arg =
+    let doc = "Checked-in baseline BENCH_serve.json." in
+    Arg.(value & opt string "BENCH_serve.json"
+         & info [ "serve-baseline" ] ~docv:"FILE" ~doc)
+  in
+  let serve_current_arg =
+    let doc = "Freshly generated BENCH_serve.json to judge." in
+    Arg.(value & opt (some string) None
+         & info [ "serve-current" ] ~docv:"FILE" ~doc)
   in
   Cmd.v
     (Cmd.info "perfgate"
        ~doc:
-         "Compare an engine benchmark run against the checked-in baseline; \
-          exit non-zero when the p95 step latency regresses beyond the \
-          threshold (default 20%)")
-    Term.(const run $ baseline_arg $ current_arg $ threshold_arg)
+         "Compare benchmark runs against the checked-in baselines; exit \
+          non-zero when the engine's p95 step latency or the serve \
+          scenario's p99 staleness regresses beyond the threshold \
+          (default 20%)")
+    Term.(const run $ baseline_arg $ current_arg $ threshold_arg
+          $ serve_baseline_arg $ serve_current_arg)
 
 (* ---- hunt ------------------------------------------------------------------- *)
 
@@ -324,6 +368,55 @@ let status_cmd =
     (Cmd.info "status" ~doc:"Run a one-month campaign and print the status page")
     Term.(const run $ seed_arg $ html_arg)
 
+(* ---- serve ------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run seed months crash json =
+    let cfg =
+      { Framework.Campaign.default_config with
+        Framework.Campaign.months;
+        seed;
+        serve = Some Framework.Serve.default_config;
+        infra_faults =
+          (if crash then
+             [ (float_of_int months /. 2.0 *. 30.0 *. Simkit.Calendar.day,
+                Testbed.Faults.Serve_crash) ]
+           else []);
+      }
+    in
+    let report = Framework.Campaign.run cfg in
+    match report.Framework.Campaign.serve with
+    | None -> prerr_endline "serve: campaign produced no serving summary"; exit 2
+    | Some s ->
+      if json then
+        print_endline
+          (Simkit.Json.to_string ~indent:2 (Framework.Serve.summary_to_json s))
+      else begin
+        print_string (Framework.Serve.render s);
+        Printf.printf
+          "\nconservation: %s (every read is fresh, not-modified, stale, \
+           fallback or shed)\n"
+          (if s.Framework.Serve.reads
+              = s.Framework.Serve.fresh + s.Framework.Serve.not_modified
+                + s.Framework.Serve.stale + s.Framework.Serve.fallback
+                + s.Framework.Serve.shed
+           then "OK" else "VIOLATED")
+      end
+  in
+  let crash_arg =
+    Arg.(value & flag
+         & info [ "crash" ]
+             ~doc:"Inject a Serve_crash mid-campaign to exercise the \
+                   journal-replay recovery drill.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a campaign with the status-page serving layer enabled and \
+          print the serving summary (snapshot cache, load shedding, \
+          degraded reads, crash recovery)")
+    Term.(const run $ seed_arg $ months_arg $ crash_arg $ json_arg)
+
 (* ---- pernode ------------------------------------------------------------------ *)
 
 let pernode_cmd =
@@ -405,6 +498,6 @@ let main =
     (Cmd.info "g5ktest" ~version:"1.0.0"
        ~doc:"Testbed testing framework on a simulated Grid'5000")
     [ inventory_cmd; coverage_cmd; campaign_cmd; lint_cmd; perfgate_cmd;
-      hunt_cmd; bugs_cmd; status_cmd; pernode_cmd; regression_cmd ]
+      hunt_cmd; bugs_cmd; status_cmd; serve_cmd; pernode_cmd; regression_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -17,6 +17,7 @@ type config = {
   health_faults : (float * Testbed.Faults.kind * Testbed.Faults.target) list;
   audit : bool;
   triage : Triage.config option;
+  serve : Serve.config option;
 }
 
 let default_config =
@@ -46,6 +47,7 @@ let default_config =
     health_faults = [];
     audit = false;
     triage = None;
+    serve = None;
   }
 
 type monthly = {
@@ -76,6 +78,7 @@ type report = {
   health : Health.summary option;
   audit : Simkit.Audit.summary option;
   triage : Triage.summary option;
+  serve : Serve.summary option;
   mean_active_faults : float;
   statuspage : string;
   statuspage_html : string;
@@ -124,6 +127,18 @@ let run ?(drive = Simkit.Engine.run_until) cfg =
         let alerts = Monitoring.Alerts.create env.Env.collector in
         Triage.create ~config:tc ~alerts env tracker)
       cfg.triage
+  in
+
+  (* Status-page serving layer: opt-in, and its synthetic read workload
+     draws from a dedicated seeded PRNG (never the engine master), so a
+     serving campaign replays the unserved one's decisions byte for
+     byte. *)
+  let serve =
+    Option.map
+      (fun sconfig ->
+        let alerts = Monitoring.Alerts.create env.Env.collector in
+        Serve.attach ~alerts ~config:sconfig env page)
+      cfg.serve
   in
 
   (* Latent problems predating the campaign. *)
@@ -371,6 +386,7 @@ let run ?(drive = Simkit.Engine.run_until) cfg =
   in
   let health_summary = Option.map Health.summary health in
   let triage_summary = Option.map Triage.summary triage in
+  let serve_summary = Option.map Serve.summary serve in
   {
     cfg;
     monthly;
@@ -390,6 +406,7 @@ let run ?(drive = Simkit.Engine.run_until) cfg =
     health = health_summary;
     audit = Option.map Simkit.Audit.summary auditor;
     triage = triage_summary;
+    serve = serve_summary;
     mean_active_faults;
     statuspage =
       Statuspage.render_overview page ^ "\n== Cluster confidence ==\n"
@@ -408,6 +425,10 @@ let run ?(drive = Simkit.Engine.run_until) cfg =
         | Some s ->
           "\n== Triage (failure-signature pipeline) ==\n"
           ^ Statuspage.render_triage s
+        | None -> "")
+      ^ (match serve_summary with
+        | Some s ->
+          "\n== Serving (status-page service) ==\n" ^ Serve.render s
         | None -> "");
     statuspage_html = Webstatus.render page;
   }
@@ -439,11 +460,19 @@ let pp_report ppf report =
        s.Triage.bundles s.Triage.filed s.Triage.dedup_ratio s.Triage.reopens
        s.Triage.flapping
    | None -> ());
+  (match report.serve with
+   | Some s ->
+     Format.fprintf ppf
+       "serving: %d reads (%d shed), %d renders, %d crashes, p99 staleness \
+        %.1f s@."
+       s.Serve.reads s.Serve.shed s.Serve.renders s.Serve.crashes
+       s.Serve.staleness_p99
+   | None -> ());
   List.iter
     (fun m ->
       Format.fprintf ppf
         "  month %d: %4d builds, success %s, bugs %d/%d, active faults %d@."
         m.month m.builds
-        (Simkit.Table.fmt_pct m.success_ratio)
+        (Statuspage.fmt_ratio m.success_ratio)
         m.bugs_filed_cum m.bugs_fixed_cum m.active_faults)
     report.monthly

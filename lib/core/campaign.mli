@@ -52,6 +52,13 @@ type config = {
           (bundles, canonical signatures, bounded store, flap detection);
           [None] (default) keeps the historical free-form-signature path
           and campaigns byte-identical *)
+  serve : Serve.config option;
+      (** attach the {!Serve} status-page serving layer (snapshot cache,
+          load shedding, degraded reads, crash recovery) and drive its
+          synthetic read workload during the campaign; [None] (default)
+          serves nothing — and because the workload draws from its own
+          seeded PRNG, serve-on campaigns replay the same decisions
+          byte for byte *)
 }
 
 val default_config : config
@@ -92,6 +99,8 @@ type report = {
       (** present iff the campaign ran with [audit = true] *)
   triage : Triage.summary option;
       (** present iff the campaign ran with a triage configuration *)
+  serve : Serve.summary option;
+      (** present iff the campaign ran with a serve configuration *)
   mean_active_faults : float;
   statuspage : string;  (** rendered overview at campaign end *)
   statuspage_html : string;  (** same views as a standalone HTML page *)

@@ -417,6 +417,106 @@ let check_triage ~path (tc : Triage.config) =
   in
   limits @ dedup @ flaps @ bundles @ drill
 
+(* {2 Serving configuration checks: L014} *)
+
+let check_serve ~path (sc : Serve.config) =
+  let e fmt = diag "L014" Error path fmt in
+  let w fmt = diag "L014" Warning path fmt in
+  let admission =
+    (if sc.Serve.rate_limit <= 0.0 then
+       [ e "rate_limit must be positive (got %g): the bucket never refills \
+            and every read is shed"
+           sc.Serve.rate_limit ]
+     else [])
+    @ (if sc.Serve.burst < 1.0 then
+         [ e "burst must be at least 1 (got %g): admission needs one whole \
+              token to ever serve a read"
+             sc.Serve.burst ]
+       else [])
+    @ (if sc.Serve.queue_limit < 0 then
+         [ e "queue_limit must be non-negative (got %d)" sc.Serve.queue_limit ]
+       else [])
+    @
+    (* The bucket refills once per service tick, capped at burst: a
+       burst below rate_limit x tick_period silently caps sustained
+       admission below the configured rate. *)
+    if
+      sc.Serve.rate_limit > 0.0 && sc.Serve.tick_period > 0.0
+      && sc.Serve.burst < sc.Serve.rate_limit *. sc.Serve.tick_period
+    then
+      [ w "burst (%g) is below rate_limit x tick_period (%g): sustained \
+           admission is capped at burst/tick_period = %g reads/s, not \
+           rate_limit"
+          sc.Serve.burst
+          (sc.Serve.rate_limit *. sc.Serve.tick_period)
+          (sc.Serve.burst /. sc.Serve.tick_period) ]
+    else []
+  in
+  let ladder =
+    (if sc.Serve.stale_queue <= 0 then
+       [ e "stale_queue must be positive (got %d): the service would start \
+            degraded"
+           sc.Serve.stale_queue ]
+     else [])
+    @ (if sc.Serve.fallback_queue <= sc.Serve.stale_queue then
+         [ e
+             "degradation thresholds must be ordered stale_queue (%d) < \
+              fallback_queue (%d): Fresh -> Stale -> Static_fallback"
+             sc.Serve.stale_queue sc.Serve.fallback_queue ]
+       else [])
+    @ (if sc.Serve.hysteresis_s < 0.0 then
+         [ e "hysteresis_s must be non-negative (got %g)" sc.Serve.hysteresis_s ]
+       else [])
+    @ (if sc.Serve.rebuild_s < 0.0 then
+         [ e "rebuild_s must be non-negative (got %g)" sc.Serve.rebuild_s ]
+       else [])
+    @
+    if
+      sc.Serve.queue_limit >= 0 && sc.Serve.stale_queue > 0
+      && sc.Serve.stale_queue > sc.Serve.queue_limit
+    then
+      [ w "stale_queue (%d) exceeds queue_limit (%d): the queue can never \
+           get deep enough to degrade, overload is pure shedding"
+          sc.Serve.stale_queue sc.Serve.queue_limit ]
+    else []
+  in
+  let workload =
+    (if sc.Serve.tick_period <= 0.0 then
+       [ e "tick_period must be positive (got %g)" sc.Serve.tick_period ]
+     else [])
+    @ (if sc.Serve.readers_per_s < 0.0 then
+         [ e "readers_per_s must be non-negative (got %g)"
+             sc.Serve.readers_per_s ]
+       else [])
+    @ (if
+         sc.Serve.conditional_fraction < 0.0
+         || sc.Serve.conditional_fraction > 1.0
+       then
+         [ e "conditional_fraction must lie in [0, 1] (got %g)"
+             sc.Serve.conditional_fraction ]
+       else [])
+    @ (if sc.Serve.flash_every < 0.0 then
+         [ e "flash_every must be non-negative (got %g)" sc.Serve.flash_every ]
+       else [])
+    @
+    if sc.Serve.flash_every > 0.0 then
+      (if
+         sc.Serve.flash_duration <= 0.0
+         || sc.Serve.flash_duration > sc.Serve.flash_every
+       then
+         [ e "flash_duration must lie in (0, flash_every] (got %g with \
+              flash_every %g)"
+             sc.Serve.flash_duration sc.Serve.flash_every ]
+       else [])
+      @
+      if sc.Serve.flash_multiplier < 1.0 then
+        [ w "flash_multiplier %g is below 1: the 'flash crowd' lowers load"
+            sc.Serve.flash_multiplier ]
+      else []
+    else []
+  in
+  admission @ ladder @ workload
+
 (* {2 Campaign shape and staging checks: L011-L012} *)
 
 let check_campaign_shape (cfg : Campaign.config) =
@@ -542,6 +642,9 @@ let check_campaign (cfg : Campaign.config) =
   @ (match cfg.triage with
     | None -> []
     | Some tc -> check_triage ~path:"campaign.triage" tc)
+  @ (match cfg.serve with
+    | None -> []
+    | Some sc -> check_serve ~path:"campaign.serve" sc)
   @
   let staged = List.sort_uniq compare (List.concat_map snd cfg.staged_families) in
   check_configs (List.concat_map Testdef.expand staged)
@@ -574,7 +677,14 @@ let presets =
              Testbed.Faults.Cluster "graphene") ];
       } );
     ( "triage",
-      { Campaign.default_config with triage = Some Triage.default_config } ) ]
+      { Campaign.default_config with triage = Some Triage.default_config } );
+    ( "serve",
+      {
+        Campaign.default_config with
+        serve = Some Serve.default_config;
+        infra_faults =
+          [ (40.0 *. Simkit.Calendar.day, Testbed.Faults.Serve_crash) ];
+      } ) ]
 
 (* {2 Rendering} *)
 

@@ -36,12 +36,18 @@
     - [L013] (error/warning) triage pipeline knobs out of range
       (non-positive evidence ring or live cap, series bounds, flap
       thresholds, drill probabilities outside [0, 1]) and eviction
-      thrash (idle grace below the dedup window) *)
+      thrash (idle grace below the dedup window)
+    - [L014] (error/warning) serving layer misconfiguration
+      (non-positive admission rate or sub-token burst, negative queue
+      bound, degradation thresholds out of order — the ladder must run
+      Fresh < Stale < Static_fallback — negative hysteresis or rebuild
+      window, workload knobs out of range) and unreachable degradation
+      rungs (stale_queue beyond queue_limit) *)
 
 type severity = Error | Warning | Info
 
 type diagnostic = {
-  code : string;  (** ["L001"].."[L013]" *)
+  code : string;  (** ["L001"].."[L014]" *)
   severity : severity;
   path : string;  (** what the diagnostic is about, e.g. a config id *)
   message : string;
@@ -78,18 +84,22 @@ val check_health : path:string -> Health.config -> diagnostic list
 val check_triage : path:string -> Triage.config -> diagnostic list
 (** L013. *)
 
+val check_serve : path:string -> Serve.config -> diagnostic list
+(** L014. *)
+
 val check_campaign : Campaign.config -> diagnostic list
-(** L011-L012, plus {!check_policy}, {!check_health} and {!check_triage}
-    (when attached) and {!check_configs} over every staged family's
-    configurations. *)
+(** L011-L012, plus {!check_policy}, {!check_health}, {!check_triage}
+    and {!check_serve} (when attached) and {!check_configs} over every
+    staged family's configurations. *)
 
 val run : Campaign.config -> diagnostic list
 (** {!check_campaign}, sorted. *)
 
 val presets : (string * Campaign.config) list
 (** Named example configurations the CLI gate lints alongside the
-    catalog: default, naive policy, resilience drill, health drill, and
-    the triage pipeline. *)
+    catalog: default, naive policy, resilience drill, health drill, the
+    triage pipeline, and the serving layer (with a scheduled
+    [Serve_crash] drill). *)
 
 val diagnostic_to_json : diagnostic -> Simkit.Json.t
 val to_json : diagnostic list -> Simkit.Json.t

@@ -27,6 +27,33 @@ let metrics_of_string text =
   | Error e -> Error e
   | Ok json -> metrics_of_json json
 
+type serve_metrics = {
+  reads_per_s : float;
+  hit_ratio : float;
+  p99_staleness_s : float;
+}
+
+let serve_metrics_of_json json =
+  let num path value =
+    match value with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "missing numeric field %S" path)
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* reads_per_s = num "reads_per_s" (Simkit.Json.float_member "reads_per_s" json) in
+  let* hit_ratio = num "hit_ratio" (Simkit.Json.float_member "hit_ratio" json) in
+  let* p99_staleness_s =
+    match Simkit.Json.member "staleness_s" json with
+    | Some staleness -> num "staleness_s.p99" (Simkit.Json.float_member "p99" staleness)
+    | None -> Error "missing object \"staleness_s\""
+  in
+  Ok { reads_per_s; hit_ratio; p99_staleness_s }
+
+let serve_metrics_of_string text =
+  match Simkit.Json.of_string text with
+  | Error e -> Error e
+  | Ok json -> serve_metrics_of_json json
+
 type verdict = {
   ok : bool;
   lines : string list;
@@ -50,5 +77,32 @@ let check ?threshold_pct ~baseline ~current () =
       Printf.sprintf "minor words/evt:  baseline %.1f, current %.1f (informational)"
         baseline.minor_words_per_event current.minor_words_per_event;
       (if ok then "perfgate: PASS" else "perfgate: FAIL (p95 step latency regressed beyond threshold)") ]
+  in
+  { ok; lines }
+
+let check_serve ?threshold_pct ~baseline ~current () =
+  let threshold_pct = Option.value threshold_pct ~default:default_threshold_pct in
+  let delta_pct base cur = if base = 0.0 then 0.0 else (cur -. base) /. base *. 100.0 in
+  (* p99 staleness is simulation-deterministic, so the same allowance
+     that absorbs runner noise on the engine gate here only tolerates a
+     deliberate behaviour change; any regression beyond it fails. *)
+  let limit =
+    if baseline.p99_staleness_s = 0.0 then 0.0
+    else baseline.p99_staleness_s *. (1.0 +. (threshold_pct /. 100.0))
+  in
+  let ok = current.p99_staleness_s <= limit in
+  let lines =
+    [ Printf.sprintf
+        "p99 staleness:    baseline %.2f s, current %.2f s (%+.1f%%, limit %.2f s at +%.0f%%)"
+        baseline.p99_staleness_s current.p99_staleness_s
+        (delta_pct baseline.p99_staleness_s current.p99_staleness_s)
+        limit threshold_pct;
+      Printf.sprintf "reads/s:          baseline %.0f, current %.0f (%+.1f%%, informational)"
+        baseline.reads_per_s current.reads_per_s
+        (delta_pct baseline.reads_per_s current.reads_per_s);
+      Printf.sprintf "cache hit ratio:  baseline %.4f, current %.4f (informational)"
+        baseline.hit_ratio current.hit_ratio;
+      (if ok then "perfgate(serve): PASS"
+       else "perfgate(serve): FAIL (p99 staleness regressed beyond threshold)") ]
   in
   { ok; lines }

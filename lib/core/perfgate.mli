@@ -10,7 +10,13 @@
 
     Throughput and allocation figures are reported for context but do not
     gate: events/s varies with runner load far more than the latency
-    percentile does. *)
+    percentile does.
+
+    The serve scenario ([--scenario serve], [BENCH_serve.json]) is gated
+    the same way on its p99 page staleness — which is
+    simulation-deterministic, so a regression there is a behaviour
+    change, not runner noise — with reads/s and the cache hit ratio
+    reported for context. *)
 
 type metrics = {
   events_per_s : float;
@@ -26,6 +32,18 @@ val metrics_of_json : Simkit.Json.t -> (metrics, string) result
 val metrics_of_string : string -> (metrics, string) result
 (** Parse then extract; [Error] carries the parse or shape complaint. *)
 
+type serve_metrics = {
+  reads_per_s : float;
+  hit_ratio : float;
+  p99_staleness_s : float;  (** the gating figure *)
+}
+
+val serve_metrics_of_json : Simkit.Json.t -> (serve_metrics, string) result
+(** Extract the serve gate's metrics from a [BENCH_serve.json] document
+    ([reads_per_s], [hit_ratio] and [staleness_s.p99]). *)
+
+val serve_metrics_of_string : string -> (serve_metrics, string) result
+
 type verdict = {
   ok : bool;  (** [false] = regression beyond the threshold *)
   lines : string list;  (** human-readable comparison, one line each *)
@@ -38,3 +56,13 @@ val check : ?threshold_pct:float -> baseline:metrics -> current:metrics -> unit 
 (** Compare a fresh run against the baseline.  The gate fails iff
     [current.p95_step_us > baseline.p95_step_us * (1 + threshold_pct/100)];
     [threshold_pct] defaults to {!default_threshold_pct}. *)
+
+val check_serve :
+  ?threshold_pct:float ->
+  baseline:serve_metrics ->
+  current:serve_metrics ->
+  unit ->
+  verdict
+(** Serve-scenario comparison: fails iff the p99 staleness regresses
+    beyond the threshold (a zero baseline tolerates only zero); reads/s
+    and hit ratio are informational. *)

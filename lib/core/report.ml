@@ -53,6 +53,11 @@ let to_json (report : Campaign.report) =
     | Some s -> [ ("audit", Simkit.Audit.summary_to_json s) ]
     | None -> []
   in
+  let serve =
+    match report.Campaign.serve with
+    | Some s -> [ ("serve", Serve.summary_to_json s) ]
+    | None -> []
+  in
   Obj
     ([ ("schema", String "g5ktest/campaign-report/1");
       ("months", Int report.Campaign.cfg.Campaign.months);
@@ -86,7 +91,7 @@ let to_json (report : Campaign.report) =
         | Some s ->
           scheduler_to_json ~health:(report.Campaign.health <> None) s
         | None -> Null ) ]
-    @ resilience @ health @ audit @ triage)
+    @ resilience @ health @ audit @ triage @ serve)
 
 let to_string ?(indent = 2) report = Simkit.Json.to_string ~indent (to_json report)
 

@@ -22,6 +22,15 @@ type t = {
       (* (family, site, scope) *)
   months : (int, month_counter) Hashtbl.t;
   families : (string, family_counter) Hashtbl.t;
+  (* Snapshot versioning for the serving layer: the global counter bumps
+     on every recorded completion, the per-site counters only when a
+     build of that site lands, so a cached per-site view invalidates in
+     O(delta) — a completion elsewhere leaves it untouched.  Counters
+     are monotonic for the lifetime of the value: [reset] wipes the
+     aggregates but never rewinds them, so a cache keyed on a generation
+     can never mistake a post-reset page for the one it stamped. *)
+  mutable generation : int;
+  site_generations : (string, int) Hashtbl.t;
 }
 
 let cell_to_string = function
@@ -29,6 +38,13 @@ let cell_to_string = function
   | Ko -> "KO"
   | Unst -> "??"
   | Missing -> "--"
+
+(* Success ratios over an empty store are [nan]; rendered pages show the
+   same "--" placeholder as a [Missing] cell instead of leaking a float
+   artifact.  Non-empty stores never produce [nan] (counters only exist
+   once a completion was recorded), so populated pages are unchanged. *)
+let fmt_ratio ratio =
+  if Float.is_nan ratio then cell_to_string Missing else Simkit.Table.fmt_pct ratio
 
 let cell_of_result = function
   | Ci.Build.Success -> Ok_
@@ -69,7 +85,15 @@ let on_completed t build =
   | Some config, Some result ->
     let family = Testdef.family_to_string config.Testdef.family in
     let scope = scope_of_config config in
-    let now = Env.now t.env in
+    (* Timestamp with the build's own completion time (the CI server sets
+       it before notifying listeners, so live operation is unchanged):
+       replaying the same builds later — the serving layer's crash
+       recovery — reproduces every record byte for byte. *)
+    let now =
+      match build.Ci.Build.finished_at with
+      | Some finished -> finished
+      | None -> Env.now t.env
+    in
     let cell = cell_of_result result in
     let store table key =
       let record =
@@ -83,6 +107,12 @@ let on_completed t build =
       record.latest <- Some (now, cell)
     in
     store t.cells (family, scope);
+    t.generation <- t.generation + 1;
+    (match Testdef.effective_site config with
+     | Some site ->
+       Hashtbl.replace t.site_generations site
+         (1 + Option.value ~default:0 (Hashtbl.find_opt t.site_generations site))
+     | None -> ());
     (match config.Testdef.site with
      | Some site -> store t.site_cells (family, site, scope)
      | None -> ());
@@ -111,10 +141,27 @@ let create env =
       site_cells = Hashtbl.create 2048;
       months = Hashtbl.create 16;
       families = Hashtbl.create 16;
+      generation = 0;
+      site_generations = Hashtbl.create 16;
     }
   in
   Ci.Server.on_build_complete env.Env.ci (fun build -> on_completed t build);
   t
+
+let apply t build = on_completed t build
+
+let reset t =
+  (* Wipe the aggregates (the serving layer's crash drill) but keep the
+     generation counters monotonic — see the type comment. *)
+  Hashtbl.reset t.cells;
+  Hashtbl.reset t.site_cells;
+  Hashtbl.reset t.months;
+  Hashtbl.reset t.families
+
+let generation t = t.generation
+
+let site_generation t ~site =
+  Option.value ~default:0 (Hashtbl.find_opt t.site_generations site)
 
 let latest t ~family ~scope =
   match Hashtbl.find_opt t.cells (Testdef.family_to_string family, scope) with
@@ -183,7 +230,7 @@ let summary_rows t =
 
 let monthly_success t =
   Hashtbl.fold (fun month c acc -> (month, c) :: acc) t.months []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.map (fun (month, c) ->
          let ratio =
            if c.completed = 0 then nan
@@ -249,8 +296,7 @@ let render_health t (s : Health.summary) =
        ~header:[ "month"; "builds"; "success" ]
        (List.map
           (fun (month, completed, _, ratio) ->
-            [ string_of_int month; string_of_int completed;
-              Simkit.Table.fmt_pct ratio ])
+            [ string_of_int month; string_of_int completed; fmt_ratio ratio ])
           (monthly_success t)));
   Buffer.contents buf
 
@@ -265,7 +311,7 @@ let render_overview t =
        (List.map
           (fun (name, ok, ko, unstable, ratio) ->
             [ name; string_of_int ok; string_of_int ko; string_of_int unstable;
-              Simkit.Table.fmt_pct ratio ])
+              fmt_ratio ratio ])
           (summary_rows t)));
   Buffer.add_string buf "\n== Job weather (stability over the last 5 builds) ==\n";
   Buffer.add_string buf (Ci.Weather.render t.env.Env.ci);
@@ -276,6 +322,6 @@ let render_overview t =
        (List.map
           (fun (month, completed, successful, ratio) ->
             [ string_of_int month; string_of_int completed; string_of_int successful;
-              Simkit.Table.fmt_pct ratio ])
+              fmt_ratio ratio ])
           (monthly_success t)));
   Buffer.contents buf

@@ -12,9 +12,37 @@ type cell = Ok_ | Ko | Unst | Missing
 type t
 
 val create : Env.t -> t
-(** Subscribes to build completions. *)
+(** Subscribes to build completions.  Records are timestamped with each
+    build's [finished_at], so re-applying the same completion stream
+    (see {!apply}) reproduces the aggregates exactly. *)
+
+val apply : t -> Ci.Build.t -> unit
+(** Feed one completed build directly, exactly as the subscription
+    would.  The serving layer's crash recovery replays a journal of
+    completions through this after {!reset}; applying a build twice
+    double-counts it. *)
+
+val reset : t -> unit
+(** Wipe every aggregate (cells, site cells, months, per-family
+    counters) — the serving layer's [Serve_crash] drill.  Generation
+    counters are {e not} rewound: they are monotonic for the lifetime of
+    the value, so snapshot caches keyed on a generation can never
+    confuse a rebuilt page with the one they stamped. *)
+
+val generation : t -> int
+(** Bumped once per recorded completion; a cached rendering of any view
+    is current iff its stamped generation still matches. *)
+
+val site_generation : t -> site:string -> int
+(** Per-site generation: bumps only when a completion touches the site
+    (its {!Testdef.effective_site}), so per-site views invalidate in
+    O(delta). *)
 
 val cell_to_string : cell -> string
+
+val fmt_ratio : float -> string
+(** {!Simkit.Table.fmt_pct}, except that a [nan] ratio (empty store)
+    renders as the ["--"] placeholder used for {!Missing} cells. *)
 
 val latest : t -> family:Testdef.family -> scope:string -> cell
 (** Latest result of a family on a scope key (site, cluster or vlan id,

@@ -66,7 +66,7 @@ let summary_table page =
         (Printf.sprintf
            "<tr><th>%s</th><td>%d</td><td>%d</td><td>%d</td><td>%s</td></tr>"
            (html_escape name) ok ko unstable
-           (html_escape (Simkit.Table.fmt_pct ratio))))
+           (html_escape (Statuspage.fmt_ratio ratio))))
     (Statuspage.summary_rows page);
   Buffer.add_string buf "</table>";
   Buffer.contents buf
@@ -81,7 +81,7 @@ let history_table page =
       Buffer.add_string buf
         (Printf.sprintf "<tr><th>%d</th><td>%d</td><td>%d</td><td>%s</td></tr>" month
            completed successful
-           (html_escape (Simkit.Table.fmt_pct ratio))))
+           (html_escape (Statuspage.fmt_ratio ratio))))
     (Statuspage.monthly_success page);
   Buffer.add_string buf "</table>";
   Buffer.contents buf

@@ -16,6 +16,7 @@ type source =
   | Healthy_floor of string  (* site *)
   | Quarantine of string  (* host *)
   | Flapping of int  (* bug id *)
+  | Serving_degraded of string  (* service *)
 
 type alert = {
   source : source;
@@ -57,6 +58,7 @@ let same_source a b =
   | Healthy_floor s, Healthy_floor s' -> String.equal s s'
   | Quarantine h, Quarantine h' -> String.equal h h'
   | Flapping b, Flapping b' -> Int.equal b b'
+  | Serving_degraded s, Serving_degraded s' -> String.equal s s'
   | _ -> false
 
 let currently_firing t source =
@@ -183,6 +185,27 @@ let resolve_flapping t ~now ~bug =
   | Some alert -> alert.resolved_at <- Some now
   | None -> ()
 
+let notify_serving_degraded t ~now ~service ~reason =
+  match currently_firing t (Serving_degraded service) with
+  | Some alert -> alert
+  | None ->
+    let alert =
+      {
+        source = Serving_degraded service;
+        fired_at = now;
+        value = None;
+        reason;
+        resolved_at = None;
+      }
+    in
+    t.alerts <- alert :: t.alerts;
+    alert
+
+let resolve_serving_degraded t ~now ~service =
+  match currently_firing t (Serving_degraded service) with
+  | Some alert -> alert.resolved_at <- Some now
+  | None -> ()
+
 let source_to_strings = function
   | Metric rule ->
     ( rule.rule_name,
@@ -193,6 +216,8 @@ let source_to_strings = function
   | Quarantine host -> ("quarantine", host, "node_health", "quarantined")
   | Flapping bug ->
     ("flapping", Printf.sprintf "bug #%d" bug, "bugtracker", "fixed<->reopened")
+  | Serving_degraded service ->
+    ("serving-degraded", service, "serve_mode", "not fresh")
 
 let render t =
   Simkit.Table.render ~header:[ "alert"; "subject"; "metric"; "condition"; "since"; "value" ]

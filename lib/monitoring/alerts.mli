@@ -30,13 +30,15 @@ type rule = {
 }
 
 (** What raised the alert: a metric rule, a site whose healthy fraction
-    sank below its floor, a quarantined host, or a flapping bug (the
-    triage loop's fixed<->reopened escalation). *)
+    sank below its floor, a quarantined host, a flapping bug (the
+    triage loop's fixed<->reopened escalation), or a status-page
+    service that left fresh serving mode. *)
 type source =
   | Metric of rule
   | Healthy_floor of string  (** site *)
   | Quarantine of string  (** host *)
   | Flapping of int  (** bug id *)
+  | Serving_degraded of string  (** service *)
 
 type alert = {
   source : source;
@@ -90,5 +92,15 @@ val notify_flapping : t -> now:float -> bug:int -> reason:string -> alert
 
 val resolve_flapping : t -> now:float -> bug:int -> unit
 (** The flapping bug was fixed again: resolve its firing alert, if any. *)
+
+val notify_serving_degraded :
+  t -> now:float -> service:string -> reason:string -> alert
+(** The status-page service dropped out of fresh serving (stale reads,
+    static fallback or crash rebuild): fire (or return the
+    already-firing) {!Serving_degraded} alert for it. *)
+
+val resolve_serving_degraded : t -> now:float -> service:string -> unit
+(** The service is serving fresh pages again (after hysteresis):
+    resolve its firing alert, if any. *)
 
 val render : t -> string

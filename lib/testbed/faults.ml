@@ -20,6 +20,7 @@ type kind =
   | Ci_outage
   | Build_hang
   | Queue_loss
+  | Serve_crash
   | Site_outage
   | Pdu_failure
   | Network_partition
@@ -64,8 +65,8 @@ let all_kinds =
     Disk_firmware; Disk_write_cache; Ram_dimm_loss; Cabling_swap;
     Kwapi_misattribution; Random_reboots; Kernel_boot_race; Ofed_flaky;
     Console_broken; Service_outage; Refapi_desync; Oar_property_desync;
-    Env_image_corrupt; Ci_outage; Build_hang; Queue_loss; Site_outage;
-    Pdu_failure; Network_partition ]
+    Env_image_corrupt; Ci_outage; Build_hang; Queue_loss; Serve_crash;
+    Site_outage; Pdu_failure; Network_partition ]
 
 (* Correlated faults take out many nodes at once; a PDU powers a fixed
    slice of a cluster's racks. *)
@@ -78,11 +79,13 @@ let partition_flag site = "partition:" ^ site
 let ci_outage_flag = "ci_outage"
 let build_hang_flag = "build_hang"
 let queue_loss_flag = "queue_loss"
+let serve_crash_flag = "serve_crash"
 
 let infra_flag = function
   | Ci_outage -> Some ci_outage_flag
   | Build_hang -> Some build_hang_flag
   | Queue_loss -> Some queue_loss_flag
+  | Serve_crash -> Some serve_crash_flag
   | _ -> None
 
 let kind_to_string = function
@@ -107,6 +110,7 @@ let kind_to_string = function
   | Ci_outage -> "ci-outage"
   | Build_hang -> "build-hang"
   | Queue_loss -> "queue-loss"
+  | Serve_crash -> "serve-crash"
   | Site_outage -> "site-outage"
   | Pdu_failure -> "pdu-failure"
   | Network_partition -> "network-partition"
@@ -120,7 +124,7 @@ let category = function
   | Refapi_desync | Oar_property_desync -> "description"
   | Console_broken | Service_outage -> "services"
   | Kernel_boot_race | Ofed_flaky | Env_image_corrupt -> "software"
-  | Ci_outage | Build_hang | Queue_loss -> "ci"
+  | Ci_outage | Build_hang | Queue_loss | Serve_crash -> "ci"
   | Site_outage | Pdu_failure | Network_partition -> "correlated"
 
 let create ~rng ctx = { ctx; rng; faults = []; next_id = 0 }
@@ -311,7 +315,7 @@ let effect_on_host t kind node =
     Some (Printf.sprintf "%s: OAR property diverges from reference API" host)
   | Cabling_swap | Kwapi_misattribution | Kernel_boot_race | Ofed_flaky
   | Service_outage | Env_image_corrupt | Ci_outage | Build_hang | Queue_loss
-  | Site_outage | Pdu_failure | Network_partition ->
+  | Serve_crash | Site_outage | Pdu_failure | Network_partition ->
     None
 
 let inject t ~now kind =
@@ -380,9 +384,9 @@ let inject t ~now kind =
     apply t ~now kind (Site_service (site, service))
       (Printf.sprintf "%s@%s: service %s" (Services.kind_to_string service) site
          (match severity with Services.Down -> "down" | _ -> "degraded"))
-  | Ci_outage | Build_hang | Queue_loss ->
+  | Ci_outage | Build_hang | Queue_loss | Serve_crash ->
     (* Infrastructure faults: one at a time per kind; the flag is read
-       by the resilience layer, which drives the CI server's degraded
+       by the resilience/serving layer, which drives the degraded
        modes. *)
     let key = Option.get (infra_flag kind) in
     if Hashtbl.mem t.ctx.flags key then None
@@ -392,6 +396,7 @@ let inject t ~now kind =
         (match kind with
          | Ci_outage -> "CI server unreachable: triggers deferred"
          | Build_hang -> "builds hang instead of completing"
+         | Serve_crash -> "status-page service crashed: in-memory snapshots lost"
          | _ -> "CI build queue lost")
     end
   | Site_outage | Network_partition -> (
@@ -487,7 +492,7 @@ let inject_on t ~now kind target =
       match correlated_effect t kind target with
       | Some what -> apply t ~now kind target what
       | None -> None)
-  | (Ci_outage | Build_hang | Queue_loss), Global key
+  | (Ci_outage | Build_hang | Queue_loss | Serve_crash), Global key
     when infra_flag kind = Some key ->
     (* Validated: the target key must be the kind's canonical flag, and
        only one fault per kind may be active at a time (like inject). *)
@@ -560,7 +565,8 @@ let revert t fault =
   | Service_outage, Site_service (site, service) ->
     Services.repair ctx.services ~site service
   | Env_image_corrupt, Global key -> Hashtbl.remove ctx.flags key
-  | (Ci_outage | Build_hang | Queue_loss), Global key -> Hashtbl.remove ctx.flags key
+  | (Ci_outage | Build_hang | Queue_loss | Serve_crash), Global key ->
+    Hashtbl.remove ctx.flags key
   | Site_outage, Site site ->
     (* Power restored: everything at the site boots back up.  Nodes that
        were dead for unrelated reasons come back too — restoring power

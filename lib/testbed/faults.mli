@@ -8,11 +8,11 @@
     reboots, a kernel race delaying boots, OFED random start failures,
     flapping services and stale descriptions.
 
-    The [Ci_outage], [Build_hang] and [Queue_loss] kinds degrade the
-    *testing infrastructure itself* (the paper's "Jenkins misbehaves,
-    builds hang" lesson): they only set flags
-    ({!ci_outage_flag} etc.) that the framework's resilience layer
-    translates into CI-server degraded modes.
+    The [Ci_outage], [Build_hang], [Queue_loss] and [Serve_crash] kinds
+    degrade the *testing infrastructure itself* (the paper's "Jenkins
+    misbehaves, builds hang" lesson): they only set flags
+    ({!ci_outage_flag} etc.) that the framework's resilience and
+    serving layers translate into degraded modes.
 
     The correlated kinds take out many nodes in one event, exercising
     mass quarantine and graceful degradation in the self-healing loop:
@@ -45,6 +45,7 @@ type kind =
   | Ci_outage
   | Build_hang
   | Queue_loss
+  | Serve_crash
   | Site_outage
   | Pdu_failure
   | Network_partition
@@ -104,8 +105,12 @@ val partition_flag : string -> string
 val ci_outage_flag : string
 val build_hang_flag : string
 val queue_loss_flag : string
-(** Canonical flag keys (and [Global] targets) of the three
-    infrastructure fault kinds. *)
+val serve_crash_flag : string
+(** Canonical flag keys (and [Global] targets) of the infrastructure
+    fault kinds.  [serve_crash_flag] is consumed by the framework's
+    status-page serving layer: while raised, the service's in-memory
+    snapshots are considered lost and it must rebuild from its
+    build-completion journal. *)
 
 val create : rng:Simkit.Prng.t -> ctx -> t
 val context : t -> ctx

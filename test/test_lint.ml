@@ -210,6 +210,53 @@ let test_l012_anti_affinity_bottleneck () =
   check_only_code "L012" diags;
   checkb "bottleneck is a warning" true (Framework.Lint.errors diags = [])
 
+let test_l014_unordered_ladder () =
+  let diags =
+    Framework.Lint.check_serve ~path:"s"
+      { Framework.Serve.default_config with
+        Framework.Serve.stale_queue = 500;
+        fallback_queue = 100;
+      }
+  in
+  check_only_code "L014" diags;
+  checkb "unordered ladder is an error" true (Framework.Lint.errors diags <> [])
+
+let test_l014_dead_bucket () =
+  let diags =
+    Framework.Lint.check_serve ~path:"s"
+      { Framework.Serve.default_config with Framework.Serve.rate_limit = 0.0 }
+  in
+  check_only_code "L014" diags;
+  checkb "dead bucket is an error" true (Framework.Lint.errors diags <> [])
+
+let test_l014_burst_caps_admission_warns () =
+  (* burst < rate_limit x tick_period: the once-per-tick refill silently
+     caps sustained admission below the configured rate. *)
+  let diags =
+    Framework.Lint.check_serve ~path:"s"
+      { Framework.Serve.default_config with
+        Framework.Serve.rate_limit = 200.0;
+        burst = 100.0;
+        tick_period = 30.0;
+      }
+  in
+  check_only_code "L014" diags;
+  checkb "capped burst is a warning, not an error" true
+    (Framework.Lint.errors diags = [])
+
+let test_l014_via_campaign_config () =
+  let diags =
+    Framework.Lint.run
+      { Framework.Campaign.default_config with
+        Framework.Campaign.serve =
+          Some
+            { Framework.Serve.default_config with
+              Framework.Serve.conditional_fraction = 1.5;
+            };
+      }
+  in
+  check_only_code "L014" diags
+
 (* ---- qcheck mutation suite -------------------------------------------------- *)
 
 let catalog = Framework.Testdef.catalog ()
@@ -274,6 +321,26 @@ let prop_policy_mutations =
             "L009" )
       in
       codes (Framework.Lint.check_policy ~path:"q" mutated) = [ expected ])
+
+let prop_serve_mutations =
+  QCheck.Test.make ~count:50
+    ~name:"out-of-range serve knobs are flagged L014"
+    QCheck.(pair (int_bound 4) (int_range 1 100))
+    (fun (defect, magnitude_i) ->
+      let magnitude = float_of_int magnitude_i in
+      let sc = Framework.Serve.default_config in
+      let mutated =
+        match defect with
+        | 0 -> { sc with Framework.Serve.rate_limit = -.magnitude }
+        | 1 -> { sc with Framework.Serve.tick_period = -.magnitude }
+        | 2 -> { sc with Framework.Serve.conditional_fraction = 1.0 +. magnitude }
+        | 3 -> { sc with Framework.Serve.hysteresis_s = -.magnitude }
+        | _ ->
+          { sc with
+            Framework.Serve.fallback_queue = sc.Framework.Serve.stale_queue;
+          }
+      in
+      codes (Framework.Lint.check_serve ~path:"q" mutated) = [ "L014" ])
 
 (* ---- runtime auditor --------------------------------------------------------- *)
 
@@ -464,10 +531,17 @@ let () =
           Alcotest.test_case "L011 beyond-horizon fault" `Quick
             test_l011_beyond_horizon_fault_warns;
           Alcotest.test_case "L012 anti-affinity bottleneck" `Quick
-            test_l012_anti_affinity_bottleneck ] );
+            test_l012_anti_affinity_bottleneck;
+          Alcotest.test_case "L014 unordered ladder" `Quick
+            test_l014_unordered_ladder;
+          Alcotest.test_case "L014 dead bucket" `Quick test_l014_dead_bucket;
+          Alcotest.test_case "L014 burst caps admission" `Quick
+            test_l014_burst_caps_admission_warns;
+          Alcotest.test_case "L014 via campaign config" `Quick
+            test_l014_via_campaign_config ] );
       ( "mutation properties",
         [ qc prop_config_mutations; qc prop_generated_filters;
-          qc prop_policy_mutations ] );
+          qc prop_policy_mutations; qc prop_serve_mutations ] );
       ( "runtime audit",
         [ Alcotest.test_case "registered check fires" `Quick
             test_audit_registered_check_fires;

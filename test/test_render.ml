@@ -22,6 +22,32 @@ let test_cell_classes () =
   Alcotest.(check string) "missing" "missing"
     (Framework.Webstatus.cell_class Framework.Statuspage.Missing)
 
+(* Whatever the input, the escaped output carries no unescaped markup
+   character: every '<', '>' and '"' is gone, and every remaining '&'
+   starts one of the four entities the escaper emits. *)
+let prop_html_escape_no_unescaped_markup =
+  QCheck.Test.make ~count:500 ~name:"html_escape leaves no unescaped markup"
+    QCheck.string
+    (fun s ->
+      let escaped = Framework.Webstatus.html_escape s in
+      let n = String.length escaped in
+      let entity_at i =
+        List.exists
+          (fun entity ->
+            let k = String.length entity in
+            i + k <= n && String.sub escaped i k = entity)
+          [ "&lt;"; "&gt;"; "&amp;"; "&quot;" ]
+      in
+      let ok = ref true in
+      String.iteri
+        (fun i c ->
+          match c with
+          | '<' | '>' | '"' -> ok := false
+          | '&' -> if not (entity_at i) then ok := false
+          | _ -> ())
+        escaped;
+      !ok)
+
 let test_html_document_structure () =
   let env = Framework.Env.create ~seed:8001L () in
   let page = Framework.Statuspage.create env in
@@ -99,6 +125,7 @@ let () =
     [
       ( "webstatus",
         [ Alcotest.test_case "escape" `Quick test_html_escape;
+          QCheck_alcotest.to_alcotest prop_html_escape_no_unescaped_markup;
           Alcotest.test_case "cell classes" `Quick test_cell_classes;
           Alcotest.test_case "document structure" `Quick test_html_document_structure ] );
       ( "oarstat",

@@ -98,6 +98,61 @@ let test_overview_includes_weather () =
   checkb "weather section" true (contains overview "weather");
   checkb "history section" true (contains overview "History")
 
+(* ---- empty-page placeholders ------------------------------------------------ *)
+
+let test_empty_page_no_nan () =
+  let _, page = mk () in
+  Alcotest.(check string) "nan ratio renders as the Missing placeholder" "--"
+    (Framework.Statuspage.fmt_ratio nan);
+  let overview = Framework.Statuspage.render_overview page in
+  (* "nan" alone would match the site name nancy; the float artifact the
+     placeholder replaces renders as "nan%". *)
+  checkb "empty page never leaks a nan ratio" false (contains overview "nan%");
+  checkb "overall ratio shows the placeholder" true (contains overview "--")
+
+(* ---- monthly series order determinism ---------------------------------------- *)
+
+let mk_build ~number ~finished_at result =
+  { Ci.Build.job_name = Framework.Jobs.job_name Framework.Testdef.Refapi;
+    number;
+    axes = [ ("cluster", "graphene") ];
+    cause = "test";
+    retry_of = None;
+    queued_at = finished_at;
+    started_at = Some finished_at;
+    finished_at = Some finished_at;
+    result = Some result;
+    log = [];
+    artifacts = [];
+    touched_hosts = [];
+  }
+
+let prop_monthly_success_order_independent =
+  QCheck.Test.make ~count:100
+    ~name:"monthly_success is sorted and insertion-order independent"
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_bound 11))
+    (fun months ->
+      let feed order =
+        let env = Framework.Env.create ~seed:6010L () in
+        let page = Framework.Statuspage.create env in
+        List.iteri
+          (fun i month ->
+            Framework.Statuspage.apply page
+              (mk_build ~number:(i + 1)
+                 ~finished_at:
+                   ((float_of_int month +. 0.5) *. Simkit.Calendar.month)
+                 (if month mod 3 = 0 then Ci.Build.Failure else Ci.Build.Success)))
+          order;
+        Framework.Statuspage.monthly_success page
+      in
+      let shuffled = feed months
+      and sorted = feed (List.sort Int.compare months) in
+      let ascending rows =
+        let ms = List.map (fun (m, _, _, _) -> m) rows in
+        List.sort Int.compare ms = ms
+      in
+      ascending shuffled && shuffled = sorted)
+
 (* ---- campaign regression integration -------------------------------------------- *)
 
 let test_campaign_with_regression_jobs () =
@@ -137,6 +192,10 @@ let () =
           Alcotest.test_case "summary rows" `Quick test_summary_rows_accumulate;
           Alcotest.test_case "per-cluster matrix" `Quick test_per_cluster_matrix_renders;
           Alcotest.test_case "overview sections" `Quick test_overview_includes_weather ] );
+      ( "placeholders",
+        [ Alcotest.test_case "empty page shows -- not nan" `Quick
+            test_empty_page_no_nan;
+          QCheck_alcotest.to_alcotest prop_monthly_success_order_independent ] );
       ( "campaign",
         [ Alcotest.test_case "regression jobs nightly" `Slow
             test_campaign_with_regression_jobs ] );

@@ -291,9 +291,9 @@ let test_refapi_corrupt_detectable () =
 (* ---- Faults ------------------------------------------------------------------------ *)
 
 let test_fault_catalogue_strings () =
-  checki "24 kinds" 24 (List.length Testbed.Faults.all_kinds);
+  checki "25 kinds" 25 (List.length Testbed.Faults.all_kinds);
   let strings = List.map Testbed.Faults.kind_to_string Testbed.Faults.all_kinds in
-  checki "distinct strings" 24 (List.length (List.sort_uniq compare strings));
+  checki "distinct strings" 25 (List.length (List.sort_uniq compare strings));
   List.iter
     (fun k -> checkb "category non-empty" true (String.length (Testbed.Faults.category k) > 0))
     Testbed.Faults.all_kinds
