@@ -1315,6 +1315,146 @@ let e17_serve () =
   print_endline text;
   print_endline "written to BENCH_serve.json"
 
+(* ---- E18: federation sharding --------------------------------------------------------- *)
+
+(* A 10-testbed federation (one month per member) driven two ways: the
+   sharded conservative-lookahead path, which coordinates only at
+   6-hourly barriers, and the unsharded Reference driver, which runs the
+   whole federation through one global event loop and re-establishes the
+   cross-testbed coupling state after every event — the discipline a
+   single engine with no lookahead contract must follow.  Both produce
+   byte-identical reports (checked here across shard counts 1/2/4/8 and
+   the sequential/parallel/interleaved drivers); the speedup of the
+   sharded path over the reference is the gating figure.  Writes
+   BENCH_federation.json, whose checked-in copy is the federation
+   perf-gate baseline.  [--scenario federation] runs only this. *)
+
+let e18_federation () =
+  section "E18" "federation: sharded lookahead barriers vs unsharded reference";
+  let base_cfg =
+    { Framework.Federation.default_config with
+      Framework.Federation.testbeds = 10;
+      shards = 4;
+      (* High enough that a one-month window actually sees federation-wide
+         backbone events, so the gated run exercises the cross-shard
+         injection path. *)
+      backbone_faults_per_year = 36.0;
+      base =
+        { Framework.Federation.default_config.Framework.Federation.base with
+          Framework.Campaign.months = 1 };
+    }
+  in
+  (* Reports are compared on the full per-member serialization, with the
+     fields that legitimately vary (shard count, driver) normalized away. *)
+  let fingerprint report =
+    let normalized =
+      { report with
+        Framework.Federation.fed_cfg =
+          { report.Framework.Federation.fed_cfg with
+            Framework.Federation.shards = 1;
+            driver = Framework.Federation.Sequential;
+          };
+      }
+    in
+    Simkit.Json.to_string
+      (Framework.Federation.report_to_json ~full:true normalized)
+  in
+  let timed cfg =
+    let t0 = Unix.gettimeofday () in
+    let report = Framework.Federation.run cfg in
+    (report, Unix.gettimeofday () -. t0)
+  in
+  let sharded, sharded_wall = timed base_cfg in
+  let reference, reference_wall =
+    timed
+      { base_cfg with
+        Framework.Federation.shards = 1;
+        driver = Framework.Federation.Reference;
+      }
+  in
+  let expected = fingerprint sharded in
+  let variants =
+    [ ("K=1 sequential", { base_cfg with Framework.Federation.shards = 1 });
+      ("K=2 sequential", { base_cfg with Framework.Federation.shards = 2 });
+      ("K=8 sequential", { base_cfg with Framework.Federation.shards = 8 });
+      ( "K=4 parallel",
+        { base_cfg with Framework.Federation.driver = Framework.Federation.Parallel } );
+      ( "K=4 interleaved",
+        { base_cfg with
+          Framework.Federation.driver = Framework.Federation.Interleaved 77L } ) ]
+  in
+  let matrix =
+    ("K=4 sequential", true)
+    :: ("K=1 reference", String.equal expected (fingerprint reference))
+    :: List.map
+         (fun (name, cfg) ->
+           (name, String.equal expected (fingerprint (Framework.Federation.run cfg))))
+         variants
+  in
+  let identical = List.for_all snd matrix in
+  let events = sharded.Framework.Federation.events_total in
+  let sharded_events_per_s = float_of_int events /. sharded_wall in
+  let reference_events_per_s =
+    float_of_int reference.Framework.Federation.events_total /. reference_wall
+  in
+  let speedup = sharded_events_per_s /. reference_events_per_s in
+  let c = sharded.Framework.Federation.coordination in
+  Printf.printf "%d members, %d aggregate events, %d barriers\n"
+    base_cfg.Framework.Federation.testbeds events c.Framework.Federation.barriers;
+  Printf.printf "  sharded (K=4):   %.2f s wall, %.0f events/s\n" sharded_wall
+    sharded_events_per_s;
+  Printf.printf "  reference (K=1): %.2f s wall, %.0f events/s\n" reference_wall
+    reference_events_per_s;
+  Printf.printf "  speedup: %.2fx %s\n" speedup
+    (if speedup >= 3.0 then "(target >= 3x: OK)" else "(target >= 3x: MISSED)");
+  List.iter
+    (fun (name, same) ->
+      Printf.printf "  %-18s %s\n" name
+        (if same then "byte-identical" else "DIVERGED"))
+    matrix;
+  Printf.printf
+    "  coordination: %d backbone faults, %d/%d VLANs granted, %d link tests, %d audits\n"
+    c.Framework.Federation.backbone_faults c.Framework.Federation.vlan_grants
+    c.Framework.Federation.vlan_requests c.Framework.Federation.link_tests
+    c.Framework.Federation.audits;
+  if not identical then
+    print_endline "WARNING: federation runs diverged across shard counts!";
+  let json =
+    let open Simkit.Json in
+    Obj
+      [ ("scenario", String "federation");
+        ("testbeds", Int base_cfg.Framework.Federation.testbeds);
+        ("months", Int 1);
+        ("lookahead_s", Float base_cfg.Framework.Federation.lookahead);
+        ("events_total", Int events);
+        ("sharded_wall_s", Float sharded_wall);
+        ("reference_wall_s", Float reference_wall);
+        ("sharded_events_per_s", Float sharded_events_per_s);
+        ("reference_events_per_s", Float reference_events_per_s);
+        ("speedup", Float speedup);
+        ("identical_across_shards", Bool identical);
+        ( "matrix",
+          Obj (List.map (fun (name, same) -> (name, Bool same)) matrix) );
+        ( "coordination",
+          Obj
+            [ ("barriers", Int c.Framework.Federation.barriers);
+              ("backbone_faults", Int c.Framework.Federation.backbone_faults);
+              ("vlan_requests", Int c.Framework.Federation.vlan_requests);
+              ("vlan_grants", Int c.Framework.Federation.vlan_grants);
+              ("vlan_denials", Int c.Framework.Federation.vlan_denials);
+              ("link_tests", Int c.Framework.Federation.link_tests);
+              ("link_failures", Int c.Framework.Federation.link_failures);
+              ("audits", Int c.Framework.Federation.audits);
+              ("min_in_service", Int c.Framework.Federation.min_in_service) ] ) ]
+  in
+  let text = Simkit.Json.to_string ~indent:2 json in
+  let oc = open_out "BENCH_federation.json" in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  print_endline text;
+  print_endline "written to BENCH_federation.json"
+
 (* ---- Bechamel micro-benchmarks --------------------------------------------------------- *)
 
 let microbenchmarks () =
@@ -1398,6 +1538,7 @@ let run_all () =
   e15_triage ();
   e16_engine ();
   e17_serve ();
+  e18_federation ();
   a1 ();
   a2_a3 ();
   a4 ();
@@ -1409,7 +1550,8 @@ let scenarios =
   [ ("all", run_all); ("resilience", e11_resilience);
     ("scheduler", e12_scheduler); ("health", e13_health);
     ("lint", e14_lint); ("triage", e15_triage); ("engine", e16_engine);
-    ("serve", e17_serve); ("micro", microbenchmarks) ]
+    ("serve", e17_serve); ("federation", e18_federation);
+    ("micro", microbenchmarks) ]
 
 let () =
   let scenario = ref "all" in

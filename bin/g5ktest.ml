@@ -8,7 +8,8 @@
      hunt       - inject one fault per class and report detections
      bugs       - triage pipeline demo: clustered bug index from one fault per class
      status     - run a short campaign and print the status page
-     serve      - run a campaign with the status-page serving layer enabled *)
+     serve      - run a campaign with the status-page serving layer enabled
+     federation - run a sharded federation of testbeds (deterministic parallel DES) *)
 
 open Cmdliner
 
@@ -129,6 +130,10 @@ let lint_cmd =
       List.map
         (fun (name, cfg) -> (name, Framework.Lint.run cfg))
         Framework.Lint.presets
+      @ [ ( "federation",
+            Framework.Lint.sort
+              (Framework.Lint.check_federation ~path:"federation"
+                 Framework.Federation.default_config) ) ]
     in
     let all = catalog @ List.concat_map snd per_preset in
     if json then
@@ -165,7 +170,8 @@ let lint_cmd =
 (* ---- perfgate ---------------------------------------------------------------- *)
 
 let perfgate_cmd =
-  let run baseline current threshold serve_baseline serve_current =
+  let run baseline current threshold serve_baseline serve_current
+      federation_baseline federation_current =
     let read_file path =
       try
         let ic = open_in_bin path in
@@ -208,13 +214,32 @@ let perfgate_cmd =
           (Framework.Perfgate.check_serve ~threshold_pct:threshold ~baseline
              ~current ())
     in
-    (match (engine_verdict, serve_verdict) with
-     | None, None ->
+    let federation_verdict =
+      match federation_current with
+      | None -> None
+      | Some current ->
+        let baseline =
+          load Framework.Perfgate.federation_metrics_of_string
+            "federation baseline" federation_baseline
+        in
+        let current =
+          load Framework.Perfgate.federation_metrics_of_string
+            "federation current" current
+        in
+        Some
+          (Framework.Perfgate.check_federation ~threshold_pct:threshold
+             ~baseline ~current ())
+    in
+    (match (engine_verdict, serve_verdict, federation_verdict) with
+     | None, None, None ->
        Printf.eprintf
-         "perfgate: nothing to compare (pass --current and/or --serve-current)\n";
+         "perfgate: nothing to compare (pass --current, --serve-current \
+          and/or --federation-current)\n";
        exit 2
      | _ -> ());
-    let verdicts = List.filter_map Fun.id [ engine_verdict; serve_verdict ] in
+    let verdicts =
+      List.filter_map Fun.id [ engine_verdict; serve_verdict; federation_verdict ]
+    in
     List.iter
       (fun v -> List.iter print_endline v.Framework.Perfgate.lines)
       verdicts;
@@ -242,15 +267,28 @@ let perfgate_cmd =
     Arg.(value & opt (some string) None
          & info [ "serve-current" ] ~docv:"FILE" ~doc)
   in
+  let federation_baseline_arg =
+    let doc = "Checked-in baseline BENCH_federation.json." in
+    Arg.(value & opt string "BENCH_federation.json"
+         & info [ "federation-baseline" ] ~docv:"FILE" ~doc)
+  in
+  let federation_current_arg =
+    let doc = "Freshly generated BENCH_federation.json to judge." in
+    Arg.(value & opt (some string) None
+         & info [ "federation-current" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "perfgate"
        ~doc:
          "Compare benchmark runs against the checked-in baselines; exit \
-          non-zero when the engine's p95 step latency or the serve \
-          scenario's p99 staleness regresses beyond the threshold \
-          (default 20%)")
+          non-zero when the engine's p95 step latency, the serve \
+          scenario's p99 staleness, or the federation scenario's \
+          sharding speedup regresses beyond the threshold (default 20%) \
+          — or when federated runs stop being byte-identical across \
+          shard counts")
     Term.(const run $ baseline_arg $ current_arg $ threshold_arg
-          $ serve_baseline_arg $ serve_current_arg)
+          $ serve_baseline_arg $ serve_current_arg
+          $ federation_baseline_arg $ federation_current_arg)
 
 (* ---- hunt ------------------------------------------------------------------- *)
 
@@ -417,6 +455,87 @@ let serve_cmd =
           degraded reads, crash recovery)")
     Term.(const run $ seed_arg $ months_arg $ crash_arg $ json_arg)
 
+(* ---- federation ---------------------------------------------------------------- *)
+
+let federation_cmd =
+  let run seed testbeds shards months lookahead_h driver json full =
+    let driver =
+      match driver with
+      | "sequential" -> Framework.Federation.Sequential
+      | "parallel" -> Framework.Federation.Parallel
+      | "reference" -> Framework.Federation.Reference
+      | "interleaved" -> Framework.Federation.Interleaved seed
+      | other ->
+        Printf.eprintf
+          "federation: unknown driver %S (sequential|parallel|reference|interleaved)\n"
+          other;
+        exit 2
+    in
+    let cfg =
+      { Framework.Federation.default_config with
+        Framework.Federation.testbeds;
+        shards;
+        seed;
+        lookahead = lookahead_h *. Simkit.Calendar.hour;
+        base =
+          { Framework.Federation.default_config.Framework.Federation.base with
+            Framework.Campaign.months };
+        driver;
+      }
+    in
+    let diags = Framework.Lint.check_federation ~path:"federation" cfg in
+    (match Framework.Lint.errors diags with
+     | [] -> ()
+     | _ ->
+       prerr_string (Framework.Lint.render (Framework.Lint.sort diags));
+       exit 1);
+    let report = Framework.Federation.run cfg in
+    if json then
+      print_endline
+        (Simkit.Json.to_string ~indent:2
+           (Framework.Federation.report_to_json ~full report))
+    else print_string (Framework.Federation.render report)
+  in
+  let testbeds_arg =
+    Arg.(value & opt int 10
+         & info [ "testbeds" ] ~docv:"N" ~doc:"Federation size (member testbeds).")
+  in
+  let shards_arg =
+    Arg.(value & opt int 4
+         & info [ "shards" ] ~docv:"K" ~doc:"Shard count; member i belongs to shard i mod K.")
+  in
+  let fed_months_arg =
+    Arg.(value & opt int 2
+         & info [ "months" ] ~docv:"N" ~doc:"Member campaign length in 30-day months.")
+  in
+  let lookahead_arg =
+    Arg.(value & opt float 6.0
+         & info [ "lookahead" ] ~docv:"HOURS"
+             ~doc:"Synchronization window between barriers, in simulated hours.")
+  in
+  let driver_arg =
+    Arg.(value & opt string "sequential"
+         & info [ "driver" ] ~docv:"NAME"
+             ~doc:"Execution driver: sequential, parallel (one domain per \
+                   shard), reference (unsharded global event loop), or \
+                   interleaved (shuffled shard service order).")
+  in
+  let full_arg =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"With --json, embed every member's complete campaign \
+                   report (the serialization the differential harness \
+                   compares byte for byte).")
+  in
+  Cmd.v
+    (Cmd.info "federation"
+       ~doc:
+         "Run a sharded federation of simulated testbeds to the campaign \
+          horizon and print the aggregate report; results are \
+          byte-identical for any shard count and driver")
+    Term.(const run $ seed_arg $ testbeds_arg $ shards_arg $ fed_months_arg
+          $ lookahead_arg $ driver_arg $ json_arg $ full_arg)
+
 (* ---- pernode ------------------------------------------------------------------ *)
 
 let pernode_cmd =
@@ -498,6 +617,7 @@ let main =
     (Cmd.info "g5ktest" ~version:"1.0.0"
        ~doc:"Testbed testing framework on a simulated Grid'5000")
     [ inventory_cmd; coverage_cmd; campaign_cmd; lint_cmd; perfgate_cmd;
-      hunt_cmd; bugs_cmd; status_cmd; serve_cmd; pernode_cmd; regression_cmd ]
+      hunt_cmd; bugs_cmd; status_cmd; serve_cmd; federation_cmd; pernode_cmd;
+      regression_cmd ]
 
 let () = exit (Cmd.eval main)

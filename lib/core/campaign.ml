@@ -107,7 +107,31 @@ let pick_kind rng =
   in
   pick 0.0 kind_weights
 
-let run ?(drive = Simkit.Engine.run_until) cfg =
+(* A campaign that has been fully wired onto its engine but not driven
+   yet.  [run] is [prepare] + drive + [finalize]; the federation layer
+   interleaves many prepared campaigns window by window instead of
+   driving each to its horizon in one call. *)
+type sim = {
+  sim_cfg : config;
+  env : Env.t;
+  tracker : Bugtracker.t;
+  page : Statuspage.t;
+  triage : Triage.t option;
+  serve : Serve.t option;
+  infra : Resilience.Infra.t option;
+  workload : Oar.Workload.t option;
+  scheduler : Scheduler.t option;
+  health : Health.t option;
+  auditor : Simkit.Audit.t option;
+  snapshots : (int, int * int * int * int) Hashtbl.t;
+  faults : Testbed.Faults.t;
+}
+
+let sim_engine sim = Env.engine sim.env
+let sim_env sim = sim.env
+let sim_horizon sim = float_of_int sim.sim_cfg.months *. Simkit.Calendar.month
+
+let prepare cfg =
   let env = Env.create ~seed:cfg.seed ~executors:cfg.executors () in
   let engine = Env.engine env in
   let rng = Simkit.Prng.split (Simkit.Engine.rng engine) in
@@ -312,8 +336,40 @@ let run ?(drive = Simkit.Engine.run_until) cfg =
            Hashtbl.replace snapshots (m - 1) (active, enabled, filed, fixed)))
   done;
 
-  drive engine (float_of_int cfg.months *. Simkit.Calendar.month);
+  {
+    sim_cfg = cfg;
+    env;
+    tracker;
+    page;
+    triage;
+    serve;
+    infra;
+    workload;
+    scheduler;
+    health;
+    auditor;
+    snapshots;
+    faults;
+  }
 
+let finalize sim =
+  let {
+    sim_cfg = cfg;
+    env;
+    tracker;
+    page;
+    triage;
+    serve;
+    infra;
+    workload;
+    scheduler;
+    health;
+    auditor;
+    snapshots;
+    faults;
+  } =
+    sim
+  in
   (* Assemble the report. *)
   let month_stats = Statuspage.monthly_success page in
   let monthly =
@@ -432,6 +488,11 @@ let run ?(drive = Simkit.Engine.run_until) cfg =
         | None -> "");
     statuspage_html = Webstatus.render page;
   }
+
+let run ?(drive = Simkit.Engine.run_until) cfg =
+  let sim = prepare cfg in
+  drive (sim_engine sim) (sim_horizon sim);
+  finalize sim
 
 let pp_report ppf report =
   Format.fprintf ppf "campaign: %d months, %d builds, %d bugs filed (%d fixed)@."

@@ -106,6 +106,34 @@ type report = {
   statuspage_html : string;  (** same views as a standalone HTML page *)
 }
 
+type sim
+(** A campaign wired onto its own engine arena (environment, scheduler,
+    operator loop, fault processes, monthly snapshots) but not driven
+    yet.  {!run} is [prepare] + drive + [finalize]; the federation layer
+    holds one [sim] per member testbed and advances them window by
+    window between synchronization barriers instead of driving each to
+    its horizon in one call. *)
+
+val prepare : config -> sim
+(** Build the campaign without executing any simulated time.  All
+    construction-time randomness is drawn here, in a fixed order, so a
+    prepared-then-driven campaign replays {!run} byte for byte. *)
+
+val sim_engine : sim -> Simkit.Engine.t
+(** The member's private engine; external drivers advance it with
+    {!Simkit.Engine.run_until} / {!Simkit.Engine.step}. *)
+
+val sim_env : sim -> Env.t
+(** The member's environment (inventory, faults, OAR, CI), for
+    cross-testbed coordination reads at barriers. *)
+
+val sim_horizon : sim -> float
+(** The campaign end in simulated seconds ([months] x 30 days). *)
+
+val finalize : sim -> report
+(** Assemble the report.  Call once, after the engine reached
+    {!sim_horizon}. *)
+
 val run : ?drive:(Simkit.Engine.t -> float -> unit) -> config -> report
 (** Execute the whole campaign synchronously (simulated time only).
     [drive] (default {!Simkit.Engine.run_until}) receives the engine and

@@ -517,6 +517,105 @@ let check_serve ~path (sc : Serve.config) =
   in
   admission @ ladder @ workload
 
+(* {2 Federation configuration checks: L015} *)
+
+let check_federation ~path (fc : Federation.config) =
+  let e fmt = diag "L015" Error path fmt in
+  let w fmt = diag "L015" Warning path fmt in
+  let shape =
+    (if fc.Federation.testbeds <= 0 then
+       [ e "testbeds must be positive (got %d)" fc.Federation.testbeds ]
+     else [])
+    @ (if fc.Federation.shards <= 0 then
+         [ e "shards must be positive (got %d)" fc.Federation.shards ]
+       else [])
+    @
+    if
+      fc.Federation.testbeds > 0 && fc.Federation.shards > 0
+      && fc.Federation.shards > fc.Federation.testbeds
+    then
+      [ e "shard count %d exceeds testbed count %d: %d shards would own no \
+           member"
+          fc.Federation.shards fc.Federation.testbeds
+          (fc.Federation.shards - fc.Federation.testbeds) ]
+    else []
+  in
+  let lookahead =
+    if fc.Federation.lookahead < Federation.min_cross_latency then
+      [ e "lookahead %g s is below the smallest cross-testbed latency \
+           (%g s): a barrier decision could land inside the window it was \
+           computed for, breaking the conservative-synchronization \
+           contract"
+          fc.Federation.lookahead Federation.min_cross_latency ]
+    else []
+  in
+  let r = fc.Federation.ranges in
+  let range_f what (lo, hi) =
+    if not (lo > 0.0) then
+      [ e "%s range lower bound must be positive (got %g)" what lo ]
+    else if hi < lo then
+      [ e "%s range is inverted (%g > %g)" what lo hi ]
+    else []
+  in
+  let ranges =
+    range_f "fault_bias" r.Testbed.Fleet.fault_bias
+    @ range_f "workload_scale" r.Testbed.Fleet.workload_scale
+    @
+    let lo, hi = r.Testbed.Fleet.executors in
+    if lo < 1 then [ e "executors range lower bound must be at least 1 (got %d)" lo ]
+    else if hi < lo then [ e "executors range is inverted (%d > %d)" lo hi ]
+    else []
+  in
+  let ids =
+    (* Only synthesizable configurations can be checked for collisions;
+       shape/range errors above already explain the rest. *)
+    if fc.Federation.testbeds > 0 && ranges = [] then begin
+      let seen = Hashtbl.create 16 in
+      List.filter_map
+        (fun (s : Testbed.Fleet.spec) ->
+          if Hashtbl.mem seen s.Testbed.Fleet.id then
+            Some
+              (e "duplicate member id '%s' (member %d): per-member reports \
+                  and coordination streams would collide"
+                 s.Testbed.Fleet.id s.Testbed.Fleet.index)
+          else begin
+            Hashtbl.replace seen s.Testbed.Fleet.id ();
+            None
+          end)
+        (Federation.synthesize fc)
+    end
+    else []
+  in
+  let coordination =
+    (if fc.Federation.global_vlans < 0 then
+       [ e "global_vlans must be non-negative (got %d)" fc.Federation.global_vlans ]
+     else if fc.Federation.global_vlans = 0 then
+       [ w "global_vlans is 0: every VLAN request is denied and no \
+            federation link test ever runs" ]
+     else [])
+    @ (if fc.Federation.backbone_faults_per_year < 0.0 then
+         [ e "backbone_faults_per_year must be non-negative (got %g)"
+             fc.Federation.backbone_faults_per_year ]
+       else [])
+    @ (if
+         fc.Federation.backbone_faults_per_year > 0.0
+         && fc.Federation.backbone_outage_hours <= 0.0
+       then
+         [ e "backbone_outage_hours must be positive when backbone faults \
+              are enabled (got %g)"
+             fc.Federation.backbone_outage_hours ]
+       else [])
+    @ (if fc.Federation.vlan_request_period <= 0.0 then
+         [ e "vlan_request_period must be positive (got %g)"
+             fc.Federation.vlan_request_period ]
+       else [])
+    @
+    if fc.Federation.audit_period <= 0.0 then
+      [ e "audit_period must be positive (got %g)" fc.Federation.audit_period ]
+    else []
+  in
+  shape @ lookahead @ ranges @ ids @ coordination
+
 (* {2 Campaign shape and staging checks: L011-L012} *)
 
 let check_campaign_shape (cfg : Campaign.config) =

@@ -42,12 +42,17 @@
       bound, degradation thresholds out of order — the ladder must run
       Fresh < Stale < Static_fallback — negative hysteresis or rebuild
       window, workload knobs out of range) and unreachable degradation
-      rungs (stale_queue beyond queue_limit) *)
+      rungs (stale_queue beyond queue_limit)
+    - [L015] (error/warning) federation misconfiguration (more shards
+      than testbeds, lookahead below the smallest cross-testbed latency
+      — which would break the conservative-synchronization contract —
+      duplicate member ids, invalid perturbation ranges, coordination
+      cadences out of range) *)
 
 type severity = Error | Warning | Info
 
 type diagnostic = {
-  code : string;  (** ["L001"].."[L014]" *)
+  code : string;  (** ["L001"].."[L015]" *)
   severity : severity;
   path : string;  (** what the diagnostic is about, e.g. a config id *)
   message : string;
@@ -86,6 +91,11 @@ val check_triage : path:string -> Triage.config -> diagnostic list
 
 val check_serve : path:string -> Serve.config -> diagnostic list
 (** L014. *)
+
+val check_federation : path:string -> Federation.config -> diagnostic list
+(** L015.  Static mirror of the dynamic validation {!Federation.run}
+    performs, plus conservatism and coordination-cadence checks the
+    runtime does not enforce. *)
 
 val check_campaign : Campaign.config -> diagnostic list
 (** L011-L012, plus {!check_policy}, {!check_health}, {!check_triage}

@@ -54,6 +54,41 @@ let serve_metrics_of_string text =
   | Error e -> Error e
   | Ok json -> serve_metrics_of_json json
 
+type federation_metrics = {
+  speedup : float;
+  identical : bool;
+  sharded_events_per_s : float;
+  reference_events_per_s : float;
+}
+
+let federation_metrics_of_json json =
+  let num path value =
+    match value with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "missing numeric field %S" path)
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* speedup = num "speedup" (Simkit.Json.float_member "speedup" json) in
+  let* identical =
+    match Simkit.Json.member "identical_across_shards" json with
+    | Some (Simkit.Json.Bool b) -> Ok b
+    | Some _ -> Error "field \"identical_across_shards\" is not a boolean"
+    | None -> Error "missing boolean field \"identical_across_shards\""
+  in
+  let* sharded_events_per_s =
+    num "sharded_events_per_s" (Simkit.Json.float_member "sharded_events_per_s" json)
+  in
+  let* reference_events_per_s =
+    num "reference_events_per_s"
+      (Simkit.Json.float_member "reference_events_per_s" json)
+  in
+  Ok { speedup; identical; sharded_events_per_s; reference_events_per_s }
+
+let federation_metrics_of_string text =
+  match Simkit.Json.of_string text with
+  | Error e -> Error e
+  | Ok json -> federation_metrics_of_json json
+
 type verdict = {
   ok : bool;
   lines : string list;
@@ -104,5 +139,40 @@ let check_serve ?threshold_pct ~baseline ~current () =
         baseline.hit_ratio current.hit_ratio;
       (if ok then "perfgate(serve): PASS"
        else "perfgate(serve): FAIL (p99 staleness regressed beyond threshold)") ]
+  in
+  { ok; lines }
+
+let check_federation ?threshold_pct ~baseline ~current () =
+  let threshold_pct = Option.value threshold_pct ~default:default_threshold_pct in
+  let delta_pct base cur = if base = 0.0 then 0.0 else (cur -. base) /. base *. 100.0 in
+  (* Correctness first: sharding that is fast but no longer byte-identical
+     to the unsharded reference is a broken optimization, threshold or
+     not. *)
+  let floor = baseline.speedup *. (1.0 -. (threshold_pct /. 100.0)) in
+  let fast_enough = current.speedup >= floor in
+  let ok = current.identical && fast_enough in
+  let lines =
+    [ Printf.sprintf
+        "identical runs:   baseline %b, current %b (hard requirement)"
+        baseline.identical current.identical;
+      Printf.sprintf
+        "speedup:          baseline %.2fx, current %.2fx (%+.1f%%, floor %.2fx at -%.0f%%)"
+        baseline.speedup current.speedup
+        (delta_pct baseline.speedup current.speedup)
+        floor threshold_pct;
+      Printf.sprintf
+        "sharded events/s: baseline %.0f, current %.0f (%+.1f%%, informational)"
+        baseline.sharded_events_per_s current.sharded_events_per_s
+        (delta_pct baseline.sharded_events_per_s current.sharded_events_per_s);
+      Printf.sprintf
+        "reference ev/s:   baseline %.0f, current %.0f (informational)"
+        baseline.reference_events_per_s current.reference_events_per_s;
+      (if ok then "perfgate(federation): PASS"
+       else if not current.identical then
+         "perfgate(federation): FAIL (sharded runs are not byte-identical \
+          to the unsharded reference)"
+       else
+         "perfgate(federation): FAIL (sharding speedup regressed beyond \
+          threshold)") ]
   in
   { ok; lines }

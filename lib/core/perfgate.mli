@@ -16,7 +16,15 @@
     the same way on its p99 page staleness — which is
     simulation-deterministic, so a regression there is a behaviour
     change, not runner noise — with reads/s and the cache hit ratio
-    reported for context. *)
+    reported for context.
+
+    The federation scenario ([--scenario federation],
+    [BENCH_federation.json]) gates on two figures: the sharded-vs-
+    unsharded-reference speedup (baseline-relative, same allowance as
+    the other gates) and the cross-shard determinism bit
+    [identical_across_shards], which is a hard requirement — a fast
+    federation that no longer replays byte-identically across shard
+    counts and drivers fails regardless of threshold. *)
 
 type metrics = {
   events_per_s : float;
@@ -44,6 +52,24 @@ val serve_metrics_of_json : Simkit.Json.t -> (serve_metrics, string) result
 
 val serve_metrics_of_string : string -> (serve_metrics, string) result
 
+type federation_metrics = {
+  speedup : float;
+      (** sharded aggregate events/s over the unsharded reference's —
+          gating, baseline-relative *)
+  identical : bool;
+      (** all shard counts and drivers produced byte-identical reports —
+          gating, hard requirement *)
+  sharded_events_per_s : float;
+  reference_events_per_s : float;
+}
+
+val federation_metrics_of_json : Simkit.Json.t -> (federation_metrics, string) result
+(** Extract the federation gate's metrics from a [BENCH_federation.json]
+    document ([speedup], [identical_across_shards],
+    [sharded_events_per_s], [reference_events_per_s]). *)
+
+val federation_metrics_of_string : string -> (federation_metrics, string) result
+
 type verdict = {
   ok : bool;  (** [false] = regression beyond the threshold *)
   lines : string list;  (** human-readable comparison, one line each *)
@@ -66,3 +92,14 @@ val check_serve :
 (** Serve-scenario comparison: fails iff the p99 staleness regresses
     beyond the threshold (a zero baseline tolerates only zero); reads/s
     and hit ratio are informational. *)
+
+val check_federation :
+  ?threshold_pct:float ->
+  baseline:federation_metrics ->
+  current:federation_metrics ->
+  unit ->
+  verdict
+(** Federation-scenario comparison: fails iff the current run is not
+    byte-identical across shard counts/drivers, or its speedup fell
+    below [baseline.speedup * (1 - threshold_pct/100)].  Raw throughput
+    figures are informational. *)

@@ -25,6 +25,14 @@ type t = {
   job_cluster : (int, string) Hashtbl.t;
 }
 
+let scale prof factor =
+  if not (factor > 0.0) then invalid_arg "Workload.scale: factor must be positive";
+  {
+    prof with
+    base_rate_per_hour = prof.base_rate_per_hour *. factor;
+    users = max 1 (int_of_float (Float.round (float_of_int prof.users *. factor)));
+  }
+
 let profile t = t.prof
 let submitted t = t.count
 let stop t = t.running <- false

@@ -18,6 +18,13 @@ val default_profile : profile
 (** ~20 jobs/h off-peak, 3x during working hours, 550 users (the paper's
     user count), 2% whole-cluster jobs. *)
 
+val scale : profile -> float -> profile
+(** [scale p f] multiplies the submission rate and the user population
+    by [f] (at least one user survives), leaving the size mix untouched.
+    Federation members use it to model testbeds under lighter or heavier
+    contention than the reference.
+    @raise Invalid_argument when [f] is not positive. *)
+
 type t
 
 val start : ?profile:profile -> rng:Simkit.Prng.t -> Manager.t -> t

@@ -18,6 +18,13 @@ let next_int64 t =
 let split t = create (next_int64 t)
 let copy t = { state = t.state }
 
+let derive seed index =
+  if index < 0 then invalid_arg "Prng.derive: negative index";
+  (* One SplitMix64 step over (seed + (index+1) * gamma): stateless, so
+     shard i's stream is a pure function of (master seed, i) and never
+     depends on how many sibling streams were derived before it. *)
+  next_int64 (create (Int64.add seed (Int64.mul (Int64.of_int (index + 1)) golden_gamma)))
+
 let float t =
   (* Top 53 bits give a uniform dyadic rational in [0, 1). *)
   Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)

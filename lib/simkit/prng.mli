@@ -17,6 +17,14 @@ val copy : t -> t
 (** [copy t] duplicates the current state (both copies then evolve
     independently but identically if used identically). *)
 
+val derive : int64 -> int -> int64
+(** [derive seed index] is a stateless per-index stream seed: a pure
+    function of [(seed, index)], unlike {!split}, whose result depends
+    on how often the parent was consumed before.  Shard/testbed [i] of a
+    federation seeds its private stream with [derive master i], so the
+    stream layout is invariant under shard count and service order.
+    @raise Invalid_argument on a negative index. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

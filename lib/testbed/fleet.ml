@@ -1,0 +1,54 @@
+type spec = {
+  index : int;
+  id : string;
+  seed : int64;
+  fault_bias : float;
+  executors : int;
+  workload_scale : float;
+}
+
+type ranges = {
+  fault_bias : float * float;
+  executors : int * int;
+  workload_scale : float * float;
+}
+
+let default_ranges =
+  { fault_bias = (0.6, 1.6); executors = (6, 14); workload_scale = (0.5, 1.5) }
+
+let reference_ranges =
+  { fault_bias = (1.0, 1.0); executors = (10, 10); workload_scale = (1.0, 1.0) }
+
+let validate ranges =
+  let check_f what (lo, hi) =
+    if not (lo > 0.0) || hi < lo then
+      invalid_arg (Printf.sprintf "Fleet.synthesize: bad %s range" what)
+  in
+  check_f "fault_bias" ranges.fault_bias;
+  check_f "workload_scale" ranges.workload_scale;
+  let lo, hi = ranges.executors in
+  if lo < 1 || hi < lo then invalid_arg "Fleet.synthesize: bad executors range"
+
+let uniform rng (lo, hi) = lo +. (Simkit.Prng.float rng *. (hi -. lo))
+
+let synthesize ~seed ~count ?(names = []) ranges =
+  if count <= 0 then invalid_arg "Fleet.synthesize: count must be positive";
+  validate ranges;
+  List.init count (fun index ->
+      (* One stateless stream per member: spec i never depends on how
+         many members precede it or on who consumed the parent stream. *)
+      let rng = Simkit.Prng.create (Simkit.Prng.derive seed index) in
+      let id =
+        match List.nth_opt names index with
+        | Some name -> name
+        | None -> Printf.sprintf "tb%02d" index
+      in
+      let elo, ehi = ranges.executors in
+      {
+        index;
+        id;
+        seed = Simkit.Prng.next_int64 rng;
+        fault_bias = uniform rng ranges.fault_bias;
+        executors = Simkit.Prng.int_in rng elo ehi;
+        workload_scale = uniform rng ranges.workload_scale;
+      })

@@ -1,0 +1,43 @@
+(** Federation inventory synthesis: N testbeds cloned from the
+    reference Grid'5000-2017 instance and perturbed around it.
+
+    The paper validates one 894-node, 8-site testbed; a federation run
+    simulates many Grid'5000-class peers.  Each member keeps the
+    reference inventory (clusters, sites, catalog coverage all apply
+    unchanged) but gets its own PRNG universe plus perturbed operating
+    parameters: fault pressure, CI capacity and user contention.  The
+    perturbations are drawn from a dedicated stream derived statelessly
+    per member ({!Simkit.Prng.derive}), so member [i]'s identity is a
+    pure function of the federation seed and [i] — invariant under
+    shard count, service order and federation size. *)
+
+type spec = {
+  index : int;  (** 0-based position in the federation *)
+  id : string;  (** unique name, e.g. ["tb03"] *)
+  seed : int64;  (** master seed of the member's own simulation *)
+  fault_bias : float;  (** multiplier on the fault arrival rate *)
+  executors : int;  (** CI executor count of the member *)
+  workload_scale : float;  (** multiplier on user-workload rate/users *)
+}
+
+type ranges = {
+  fault_bias : float * float;  (** inclusive uniform range, must be > 0 *)
+  executors : int * int;  (** inclusive uniform range, must be >= 1 *)
+  workload_scale : float * float;  (** inclusive uniform range, must be > 0 *)
+}
+
+val default_ranges : ranges
+(** Fault pressure 0.6–1.6x, 6–14 executors, workload 0.5–1.5x: peers
+    of the same class as the reference, none identical to it. *)
+
+val reference_ranges : ranges
+(** Degenerate ranges that clone the reference exactly (bias 1, 10
+    executors, workload 1): every member differs only by seed. *)
+
+val synthesize : seed:int64 -> count:int -> ?names:string list -> ranges -> spec list
+(** [synthesize ~seed ~count ranges] builds [count] member specs.
+    [names] (default auto-generated ["tb00"], ["tb01"], ...) overrides
+    member ids; when shorter than [count] the remaining members get
+    auto names.  Ranges are validated.
+    @raise Invalid_argument on a non-positive count or inverted/empty
+    ranges. *)

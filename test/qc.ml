@@ -1,0 +1,45 @@
+(* Shared QCheck -> Alcotest adapter with replay ergonomics.
+
+   Every suite funnels its properties through [to_alcotest] so that:
+
+   - the generator seed is process-wide and printed once at startup, and
+     can be pinned with QCHECK_SEED=<n> (the same variable
+     qcheck-alcotest honors natively);
+   - a failing property additionally prints a one-line reproduction
+     command pinning that seed, so a counterexample found in a
+     randomized CI run can be replayed locally verbatim. *)
+
+let seed =
+  lazy
+    (let s =
+       match Sys.getenv_opt "QCHECK_SEED" with
+       | Some text -> (
+         match int_of_string_opt (String.trim text) with
+         | Some n -> n
+         | None ->
+           Printf.eprintf "qc: ignoring unparsable QCHECK_SEED=%S\n%!" text;
+           Random.self_init ();
+           Random.int 1_000_000_000)
+       | None ->
+         Random.self_init ();
+         Random.int 1_000_000_000
+     in
+     Printf.printf "qcheck random seed: %d (override with QCHECK_SEED=<n>)\n%!" s;
+     s)
+
+let to_alcotest ?speed_level test =
+  let seed = Lazy.force seed in
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ?speed_level
+      ~rand:(Random.State.make [| seed |])
+      test
+  in
+  let run () =
+    try run ()
+    with exn ->
+      Printf.eprintf "\nqcheck: property %S failed with seed %d\n" name seed;
+      Printf.eprintf "replay: QCHECK_SEED=%d dune exec -- test/%s\n%!" seed
+        (Filename.basename Sys.executable_name);
+      raise exn
+  in
+  (name, speed, run)

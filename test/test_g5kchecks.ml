@@ -123,7 +123,7 @@ let prop_detects_every_node_drift_kind =
       | Some _ -> not (G5kchecks.Check.conforms (G5kchecks.Check.run t node)))
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "g5kchecks"
     [
       ( "ohai",

@@ -477,7 +477,7 @@ let test_default_campaign_has_no_health_block () =
     (contains report.Framework.Campaign.statuspage "== Node health")
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "health"
     [
       ( "correlated-faults",

@@ -158,7 +158,7 @@ let prop_expected_duration_monotone =
          >= Kadeploy.Deploy.expected_duration ~nodes ~image_mb)
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "kadeploy"
     [
       ( "kameleon",

@@ -257,6 +257,75 @@ let test_l014_via_campaign_config () =
   in
   check_only_code "L014" diags
 
+(* ---- L015: federation configurations ---------------------------------------- *)
+
+let fed_default = Framework.Federation.default_config
+let fed_check fc = Framework.Lint.check_federation ~path:"fed" fc
+
+let check_l015_error fc =
+  let diags = fed_check fc in
+  check_only_code "L015" diags;
+  checkb "federation defect is an error" true (Framework.Lint.errors diags <> [])
+
+let test_l015_default_clean () =
+  checki "default federation config lints clean" 0
+    (List.length (fed_check fed_default))
+
+let test_l015_shards_exceed_testbeds () =
+  check_l015_error
+    { fed_default with Framework.Federation.testbeds = 3; shards = 5 }
+
+let test_l015_nonpositive_shape () =
+  List.iter check_l015_error
+    [ { fed_default with Framework.Federation.testbeds = 0 };
+      { fed_default with Framework.Federation.shards = 0 } ]
+
+let test_l015_short_lookahead () =
+  (* Positive but below the smallest cross-testbed latency: a barrier
+     decision could land inside the window it was computed for. *)
+  check_l015_error
+    { fed_default with
+      Framework.Federation.lookahead =
+        Framework.Federation.min_cross_latency /. 2.0;
+    }
+
+let test_l015_duplicate_names () =
+  check_l015_error
+    { fed_default with
+      Framework.Federation.testbeds = 2;
+      shards = 1;
+      names = [ "grid-a"; "grid-a" ];
+    }
+
+let test_l015_bad_ranges () =
+  let r = Testbed.Fleet.default_ranges in
+  List.iter check_l015_error
+    [ { fed_default with
+        Framework.Federation.ranges =
+          { r with Testbed.Fleet.fault_bias = (2.0, 1.0) };
+      };
+      { fed_default with
+        Framework.Federation.ranges =
+          { r with Testbed.Fleet.workload_scale = (0.0, 1.0) };
+      };
+      { fed_default with
+        Framework.Federation.ranges = { r with Testbed.Fleet.executors = (0, 4) };
+      } ]
+
+let test_l015_zero_vlans_warns () =
+  let diags = fed_check { fed_default with Framework.Federation.global_vlans = 0 } in
+  check_only_code "L015" diags;
+  checkb "a starved VLAN pool is a warning, not an error" true
+    (Framework.Lint.errors diags = [])
+
+let test_l015_bad_cadences () =
+  List.iter check_l015_error
+    [ { fed_default with Framework.Federation.global_vlans = -1 };
+      { fed_default with Framework.Federation.backbone_faults_per_year = -1.0 };
+      { fed_default with Framework.Federation.backbone_outage_hours = 0.0 };
+      { fed_default with Framework.Federation.vlan_request_period = 0.0 };
+      { fed_default with Framework.Federation.audit_period = -3600.0 } ]
+
 (* ---- qcheck mutation suite -------------------------------------------------- *)
 
 let catalog = Framework.Testdef.catalog ()
@@ -341,6 +410,42 @@ let prop_serve_mutations =
           }
       in
       codes (Framework.Lint.check_serve ~path:"q" mutated) = [ "L014" ])
+
+let prop_federation_mutations =
+  QCheck.Test.make ~count:50
+    ~name:"out-of-range federation knobs are flagged L015"
+    QCheck.(pair (int_bound 6) (int_range 1 100))
+    (fun (defect, magnitude_i) ->
+      let m = float_of_int magnitude_i in
+      let fc = Framework.Federation.default_config in
+      let mutated =
+        match defect with
+        | 0 ->
+          { fc with
+            Framework.Federation.shards =
+              fc.Framework.Federation.testbeds + magnitude_i;
+          }
+        | 1 -> { fc with Framework.Federation.testbeds = -magnitude_i }
+        | 2 ->
+          (* Anywhere in (0, min_cross_latency): positive, but breaks the
+             conservative-lookahead contract. *)
+          { fc with
+            Framework.Federation.lookahead =
+              Framework.Federation.min_cross_latency *. (1.0 -. (m /. 101.0));
+          }
+        | 3 -> { fc with Framework.Federation.vlan_request_period = -.m }
+        | 4 -> { fc with Framework.Federation.audit_period = -.m }
+        | 5 -> { fc with Framework.Federation.backbone_faults_per_year = -.m }
+        | _ ->
+          { fc with
+            Framework.Federation.ranges =
+              { fc.Framework.Federation.ranges with
+                Testbed.Fleet.executors = (-magnitude_i, 4);
+              };
+          }
+      in
+      let diags = Framework.Lint.check_federation ~path:"q" mutated in
+      codes diags = [ "L015" ] && Framework.Lint.errors diags <> [])
 
 (* ---- runtime auditor --------------------------------------------------------- *)
 
@@ -499,7 +604,7 @@ let test_render_and_json () =
   | _ -> Alcotest.fail "expected a json object"
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "lint"
     [
       ( "clean",
@@ -538,10 +643,26 @@ let () =
           Alcotest.test_case "L014 burst caps admission" `Quick
             test_l014_burst_caps_admission_warns;
           Alcotest.test_case "L014 via campaign config" `Quick
-            test_l014_via_campaign_config ] );
+            test_l014_via_campaign_config;
+          Alcotest.test_case "L015 default federation clean" `Quick
+            test_l015_default_clean;
+          Alcotest.test_case "L015 shards exceed testbeds" `Quick
+            test_l015_shards_exceed_testbeds;
+          Alcotest.test_case "L015 non-positive shape" `Quick
+            test_l015_nonpositive_shape;
+          Alcotest.test_case "L015 sub-latency lookahead" `Quick
+            test_l015_short_lookahead;
+          Alcotest.test_case "L015 duplicate member names" `Quick
+            test_l015_duplicate_names;
+          Alcotest.test_case "L015 bad fleet ranges" `Quick test_l015_bad_ranges;
+          Alcotest.test_case "L015 zero vlans warns" `Quick
+            test_l015_zero_vlans_warns;
+          Alcotest.test_case "L015 bad coordination cadences" `Quick
+            test_l015_bad_cadences ] );
       ( "mutation properties",
         [ qc prop_config_mutations; qc prop_generated_filters;
-          qc prop_policy_mutations; qc prop_serve_mutations ] );
+          qc prop_policy_mutations; qc prop_serve_mutations;
+          qc prop_federation_mutations ] );
       ( "runtime audit",
         [ Alcotest.test_case "registered check fires" `Quick
             test_audit_registered_check_fires;

@@ -401,7 +401,7 @@ let test_workload_stop () =
   checki "no submissions after stop" before (Oar.Workload.submitted w)
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "oar"
     [
       ( "expr",

@@ -1,7 +1,7 @@
 (* Cross-cutting property-based tests (qcheck): invariants that must hold
    for arbitrary inputs, complementing the per-module example tests. *)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Qc.to_alcotest
 
 (* ---- Cron: next_fire is sound and minimal-ish -------------------------------- *)
 

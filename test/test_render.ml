@@ -125,7 +125,7 @@ let () =
     [
       ( "webstatus",
         [ Alcotest.test_case "escape" `Quick test_html_escape;
-          QCheck_alcotest.to_alcotest prop_html_escape_no_unescaped_markup;
+          Qc.to_alcotest prop_html_escape_no_unescaped_markup;
           Alcotest.test_case "cell classes" `Quick test_cell_classes;
           Alcotest.test_case "document structure" `Quick test_html_document_structure ] );
       ( "oarstat",

@@ -371,7 +371,7 @@ let test_default_campaign_has_no_resilience_block () =
     (contains report.Framework.Campaign.statuspage "== Resilience")
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "resilience"
     [
       ( "retry",

@@ -225,7 +225,7 @@ let test_free_at_least_matches_free_matching_now () =
       "wattmeter='YES'" ]
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "scheduler"
     [
       ( "peak-hours accounting",

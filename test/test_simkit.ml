@@ -842,7 +842,7 @@ let test_table_fmt () =
   check Alcotest.string "pct" "85.0%" (Simkit.Table.fmt_pct 0.85)
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "simkit"
     [
       ( "prng",

@@ -195,7 +195,7 @@ let () =
       ( "placeholders",
         [ Alcotest.test_case "empty page shows -- not nan" `Quick
             test_empty_page_no_nan;
-          QCheck_alcotest.to_alcotest prop_monthly_success_order_independent ] );
+          Qc.to_alcotest prop_monthly_success_order_independent ] );
       ( "campaign",
         [ Alcotest.test_case "regression jobs nightly" `Slow
             test_campaign_with_regression_jobs ] );

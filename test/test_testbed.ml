@@ -447,7 +447,7 @@ let prop_random_injection_recorded =
       && List.length (Testbed.Faults.history faults) = List.length injected)
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "testbed"
     [
       ( "inventory",

@@ -161,7 +161,7 @@ let prop_path_endpoints =
         && Testbed.Topology.hops topo ~from:a ~to_:b = List.length devices - 1)
 
 let () =
-  let qc = QCheck_alcotest.to_alcotest in
+  let qc = Qc.to_alcotest in
   Alcotest.run "topology"
     [
       ( "topology",

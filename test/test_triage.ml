@@ -8,7 +8,7 @@ let checki = Alcotest.(check int)
 let checkf = Alcotest.(check (float 1e-9))
 let checks = Alcotest.(check string)
 
-let qc = QCheck_alcotest.to_alcotest
+let qc = Qc.to_alcotest
 let day = Simkit.Calendar.day
 let hour = Simkit.Calendar.hour
 
