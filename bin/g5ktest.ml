@@ -124,7 +124,82 @@ let campaign_cmd =
 (* ---- lint ------------------------------------------------------------------ *)
 
 let lint_cmd =
-  let run json =
+  (* GitHub workflow-command annotations (--github).  The linted objects
+     are OCaml values, not files, so the file/line mapping is best
+     effort: catalog diagnostics point at the family's definition in
+     testdef.ml, preset diagnostics at the preset table in lint.ml. *)
+  let github_escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '%' -> Buffer.add_string buf "%25"
+        | '\r' -> Buffer.add_string buf "%0D"
+        | '\n' -> Buffer.add_string buf "%0A"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let find_line file needle =
+    let contains line =
+      let nl = String.length needle and ll = String.length line in
+      nl > 0
+      && nl <= ll
+      && (let found = ref false in
+          for i = 0 to ll - nl do
+            if (not !found) && String.sub line i nl = needle then found := true
+          done;
+          !found)
+    in
+    try
+      let ic = open_in file in
+      let rec go n =
+        match input_line ic with
+        | line ->
+          if contains line then (
+            close_in ic;
+            Some n)
+          else go (n + 1)
+        | exception End_of_file ->
+          close_in ic;
+          None
+      in
+      go 1
+    with Sys_error _ -> None
+  in
+  let locate ~source d =
+    let quoted s = Printf.sprintf "%S" s in
+    match source with
+    | `Catalog ->
+      let family =
+        match String.index_opt d.Framework.Lint.path ':' with
+        | Some i -> String.sub d.Framework.Lint.path 0 i
+        | None -> d.Framework.Lint.path
+      in
+      let file = "lib/core/testdef.ml" in
+      Option.map (fun line -> (file, line)) (find_line file (quoted family))
+    | `Preset name ->
+      let file = "lib/core/lint.ml" in
+      Option.map (fun line -> (file, line)) (find_line file (quoted name))
+  in
+  let annotate ~source d =
+    let kind =
+      match d.Framework.Lint.severity with
+      | Framework.Lint.Error -> "error"
+      | Framework.Lint.Warning -> "warning"
+      | Framework.Lint.Info -> "notice"
+    in
+    let where =
+      match locate ~source d with
+      | Some (file, line) -> Printf.sprintf "file=%s,line=%d," file line
+      | None -> ""
+    in
+    Printf.printf "::%s %stitle=%s::%s\n" kind where d.Framework.Lint.code
+      (github_escape
+         (Printf.sprintf "%s: %s" d.Framework.Lint.path
+            d.Framework.Lint.message))
+  in
+  let run json explain github =
     let catalog = Framework.Lint.sort (Framework.Lint.check_catalog ()) in
     let per_preset =
       List.map
@@ -151,27 +226,48 @@ let lint_cmd =
     else begin
       Printf.printf "== catalog (%d configurations) ==\n"
         (List.length (Framework.Testdef.catalog ()));
-      print_string (Framework.Lint.render catalog);
+      print_string (Framework.Lint.render ~explain catalog);
       List.iter
         (fun (name, ds) ->
           Printf.printf "== preset %s ==\n" name;
-          print_string (Framework.Lint.render ds))
+          print_string (Framework.Lint.render ~explain ds))
+        per_preset
+    end;
+    if github then begin
+      List.iter (annotate ~source:`Catalog) catalog;
+      List.iter
+        (fun (name, ds) -> List.iter (annotate ~source:(`Preset name)) ds)
         per_preset
     end;
     if Framework.Lint.errors all <> [] then exit 1
+  in
+  let explain_arg =
+    let doc =
+      "Print the machine-applicable fix suggestion under each diagnostic \
+       that carries one."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let github_arg =
+    let doc =
+      "Also emit GitHub Actions workflow-command annotations \
+       (::error/::warning) so diagnostics surface inline on pull \
+       requests; file/line attribution is best effort."
+    in
+    Arg.(value & flag & info [ "github" ] ~doc)
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically check the test catalog and example campaign \
           configurations; exit non-zero on any error-severity diagnostic")
-    Term.(const run $ json_arg)
+    Term.(const run $ json_arg $ explain_arg $ github_arg)
 
 (* ---- perfgate ---------------------------------------------------------------- *)
 
 let perfgate_cmd =
   let run baseline current threshold serve_baseline serve_current
-      federation_baseline federation_current =
+      federation_baseline federation_current lint_baseline lint_current =
     let read_file path =
       try
         let ic = open_in_bin path in
@@ -230,15 +326,31 @@ let perfgate_cmd =
           (Framework.Perfgate.check_federation ~threshold_pct:threshold
              ~baseline ~current ())
     in
-    (match (engine_verdict, serve_verdict, federation_verdict) with
-     | None, None, None ->
+    let lint_verdict =
+      match lint_current with
+      | None -> None
+      | Some current ->
+        let baseline =
+          load Framework.Perfgate.lint_metrics_of_string "lint baseline"
+            lint_baseline
+        in
+        let current =
+          load Framework.Perfgate.lint_metrics_of_string "lint current" current
+        in
+        Some
+          (Framework.Perfgate.check_lint ~threshold_pct:threshold ~baseline
+             ~current ())
+    in
+    (match (engine_verdict, serve_verdict, federation_verdict, lint_verdict) with
+     | None, None, None, None ->
        Printf.eprintf
-         "perfgate: nothing to compare (pass --current, --serve-current \
-          and/or --federation-current)\n";
+         "perfgate: nothing to compare (pass --current, --serve-current, \
+          --federation-current and/or --lint-current)\n";
        exit 2
      | _ -> ());
     let verdicts =
-      List.filter_map Fun.id [ engine_verdict; serve_verdict; federation_verdict ]
+      List.filter_map Fun.id
+        [ engine_verdict; serve_verdict; federation_verdict; lint_verdict ]
     in
     List.iter
       (fun v -> List.iter print_endline v.Framework.Perfgate.lines)
@@ -277,18 +389,30 @@ let perfgate_cmd =
     Arg.(value & opt (some string) None
          & info [ "federation-current" ] ~docv:"FILE" ~doc)
   in
+  let lint_baseline_arg =
+    let doc = "Checked-in baseline BENCH_lint.json." in
+    Arg.(value & opt string "BENCH_lint.json"
+         & info [ "lint-baseline" ] ~docv:"FILE" ~doc)
+  in
+  let lint_current_arg =
+    let doc = "Freshly generated BENCH_lint.json to judge." in
+    Arg.(value & opt (some string) None
+         & info [ "lint-current" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "perfgate"
        ~doc:
          "Compare benchmark runs against the checked-in baselines; exit \
           non-zero when the engine's p95 step latency, the serve \
-          scenario's p99 staleness, or the federation scenario's \
-          sharding speedup regresses beyond the threshold (default 20%) \
-          — or when federated runs stop being byte-identical across \
-          shard counts")
+          scenario's p99 staleness, the federation scenario's sharding \
+          speedup, or the catalog-wide lint wall time regresses beyond \
+          the threshold (default 20%; the lint gate also has an \
+          absolute floor) — or when federated runs stop being \
+          byte-identical across shard counts")
     Term.(const run $ baseline_arg $ current_arg $ threshold_arg
           $ serve_baseline_arg $ serve_current_arg
-          $ federation_baseline_arg $ federation_current_arg)
+          $ federation_baseline_arg $ federation_current_arg
+          $ lint_baseline_arg $ lint_current_arg)
 
 (* ---- hunt ------------------------------------------------------------------- *)
 

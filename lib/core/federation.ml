@@ -325,7 +325,8 @@ let run cfg =
              menv = Campaign.sim_env sim;
              link_rng =
                Simkit.Prng.create
-                 (Simkit.Prng.derive cfg.seed (0x10000 + spec.Testbed.Fleet.index));
+                 (Simkit.Prng.derive cfg.seed
+                    (Simkit.Streams.federation_link_tag spec.Testbed.Fleet.index));
              requests = 0;
              grants = 0;
              denials = 0;
@@ -348,7 +349,8 @@ let run cfg =
       active_sum = 0.0;
       next_audit = cfg.audit_period;
       grant_expiries = [];
-      coord_rng = Simkit.Prng.create (Simkit.Prng.derive cfg.seed 0xC0);
+      coord_rng =
+        Simkit.Prng.create (Simkit.Prng.derive cfg.seed Simkit.Streams.coordinator_tag);
     }
   in
   let interleave =
@@ -356,7 +358,7 @@ let run cfg =
     | Interleaved seed ->
       Some
         ( Array.init cfg.testbeds (fun i -> i),
-          Simkit.Prng.create (Simkit.Prng.derive seed 0x1E) )
+          Simkit.Prng.create (Simkit.Prng.derive seed Simkit.Streams.interleave_tag) )
     | _ -> None
   in
   let t = ref 0.0 in

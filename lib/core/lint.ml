@@ -5,6 +5,7 @@ type diagnostic = {
   severity : severity;
   path : string;
   message : string;
+  fix : string option;
 }
 
 let severity_to_string = function
@@ -15,7 +16,16 @@ let severity_to_string = function
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
 let diag code severity path fmt =
-  Printf.ksprintf (fun message -> { code; severity; path; message }) fmt
+  Printf.ksprintf (fun message -> { code; severity; path; message; fix = None }) fmt
+
+let of_finding (f : Semlint.finding) =
+  {
+    code = f.Semlint.code;
+    severity = (match f.Semlint.severity with Semlint.Error -> Error | Semlint.Warning -> Warning);
+    path = f.Semlint.path;
+    message = f.Semlint.message;
+    fix = f.Semlint.fix;
+  }
 
 let errors diags = List.filter (fun d -> d.severity = Error) diags
 
@@ -30,38 +40,17 @@ let sort diags =
       | c -> c)
     diags
 
-(* {2 Static OAR property rows}
+(* {2 Filter checks: L004-L007 and L016-L017}
 
-   One row per inventory cluster, mirroring the property vocabulary the
-   live OAR database exposes (Oar.Property.expected_of_doc): a filter is
-   satisfiable iff it selects at least one such row.  The host column is
-   a representative first host of the cluster, which is enough for the
-   filters the framework generates (cluster/site equality). *)
+   Shape first (syntax, property vocabulary), then the semantic verdicts
+   come from Semlint's abstract interpreter: feasible-host-count bounds
+   proved over the full inventory instead of the old representative-row
+   heuristic (which reported host-literal filters as unsatisfiable —
+   only cluster-1 existed in its world). *)
 
 let known_properties =
   [ "host"; "cluster"; "site"; "cores"; "cpufreq"; "memnode"; "gpu";
     "eth10g"; "ib"; "wattmeter"; "deploy" ]
-
-let yes_no b = if b then "YES" else "NO"
-
-let row_of_spec (s : Testbed.Inventory.cluster_spec) =
-  [ ("host", Printf.sprintf "%s-1.%s" s.cluster s.site);
-    ("cluster", s.cluster);
-    ("site", s.site);
-    ("cores", string_of_int (s.cpus * s.cores_per_cpu));
-    ("cpufreq", Printf.sprintf "%.2f" s.freq_ghz);
-    ("memnode", string_of_int s.ram_gb);
-    ("gpu", yes_no s.has_gpu);
-    ("eth10g", if s.nic_rate_gbps >= 10.0 then "Y" else "N");
-    ("ib", yes_no s.has_ib);
-    ("wattmeter", yes_no (List.mem s.site Testbed.Inventory.wattmeter_sites));
-    ("deploy", "YES") ]
-
-let cluster_rows = lazy (List.map row_of_spec Testbed.Inventory.clusters)
-
-let matches expr row = Oar.Expr.eval expr ~props:(fun k -> List.assoc_opt k row)
-
-(* {2 Filter checks: L004-L007} *)
 
 let check_filter ~path filter =
   match Oar.Expr.parse filter with
@@ -80,19 +69,7 @@ let check_filter ~path filter =
             "unknown OAR property '%s' in filter %S (known: %s)" p filter
             (String.concat ", " known_properties))
         unknown
-    | [] ->
-      let rows = Lazy.force cluster_rows in
-      if not (List.exists (matches expr) rows) then
-        [ diag "L004" Error path
-            "unsatisfiable OAR filter %S: no cluster in the 2017 inventory \
-             matches"
-            filter ]
-      else if expr <> Oar.Expr.True && List.for_all (matches expr) rows then
-        [ diag "L005" Warning path
-            "vacuously true OAR filter %S: every cluster matches, the \
-             constraint selects nothing"
-            filter ]
-      else [])
+    | [] -> List.map of_finding (Semlint.check_expr ~path ~filter expr))
 
 (* {2 Configuration checks: L001-L003} *)
 
@@ -614,7 +591,15 @@ let check_federation ~path (fc : Federation.config) =
       [ e "audit_period must be positive (got %g)" fc.Federation.audit_period ]
     else []
   in
-  shape @ lookahead @ ranges @ ids @ coordination
+  let streams =
+    (* L020: prove the Prng.derive tag ranges disjoint for this fleet
+       size; shape errors above already explain nonsensical sizes. *)
+    if shape = [] then
+      List.map of_finding
+        (Semlint.check_streams ~path:(path ^ ".streams") ~members:fc.Federation.testbeds)
+    else []
+  in
+  shape @ lookahead @ ranges @ ids @ coordination @ streams
 
 (* {2 Campaign shape and staging checks: L011-L012} *)
 
@@ -731,6 +716,12 @@ let check_staging (cfg : Campaign.config) =
   in
   beyond @ duplicates @ nothing_staged @ anti_affinity
 
+let check_schedulability ~path ~(policy : Scheduler.policy) ~executors configs =
+  List.map of_finding
+    (Semlint.check_capacity ~path ~policy ~executors configs
+    @ Semlint.check_deadlock ~path
+        ~serialized:policy.Scheduler.one_job_per_site configs)
+
 let check_campaign (cfg : Campaign.config) =
   check_campaign_shape cfg
   @ check_staging cfg
@@ -747,6 +738,18 @@ let check_campaign (cfg : Campaign.config) =
   @
   let staged = List.sort_uniq compare (List.concat_map snd cfg.staged_families) in
   check_configs (List.concat_map Testdef.expand staged)
+  @
+  (* L018/L019 over the families actually reachable within the horizon
+     (L012 already warns about the others). *)
+  let reachable =
+    cfg.staged_families
+    |> List.filter (fun (m, _) -> m >= 0 && (cfg.months <= 0 || m < cfg.months))
+    |> List.concat_map snd
+    |> List.sort_uniq compare
+  in
+  check_schedulability ~path:"campaign" ~policy:cfg.policy
+    ~executors:cfg.executors
+    (List.concat_map Testdef.expand reachable)
 
 let run cfg = sort (check_campaign cfg)
 
@@ -789,10 +792,13 @@ let presets =
 
 let diagnostic_to_json d =
   Simkit.Json.Obj
-    [ ("code", Simkit.Json.String d.code);
-      ("severity", Simkit.Json.String (severity_to_string d.severity));
-      ("path", Simkit.Json.String d.path);
-      ("message", Simkit.Json.String d.message) ]
+    ([ ("code", Simkit.Json.String d.code);
+       ("severity", Simkit.Json.String (severity_to_string d.severity));
+       ("path", Simkit.Json.String d.path);
+       ("message", Simkit.Json.String d.message) ]
+    @ match d.fix with
+      | None -> []
+      | Some fix -> [ ("fix", Simkit.Json.String fix) ])
 
 let to_json diags =
   Simkit.Json.Obj
@@ -803,14 +809,18 @@ let to_json diags =
          (List.length (List.filter (fun d -> d.severity = Warning) diags)));
       ("total", Simkit.Json.Int (List.length diags)) ]
 
-let render diags =
+let render ?(explain = false) diags =
   let buf = Buffer.create 1024 in
   List.iter
     (fun d ->
       Buffer.add_string buf
         (Printf.sprintf "%s %-7s %-40s %s\n" d.code
            (severity_to_string d.severity)
-           d.path d.message))
+           d.path d.message);
+      match d.fix with
+      | Some fix when explain ->
+        Buffer.add_string buf (Printf.sprintf "     fix: %s\n" fix)
+      | _ -> ())
     diags;
   Buffer.add_string buf
     (Printf.sprintf "%d diagnostic%s: %d error%s, %d warning%s\n"

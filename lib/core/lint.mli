@@ -47,15 +47,40 @@
       than testbeds, lookahead below the smallest cross-testbed latency
       — which would break the conservative-synchronization contract —
       duplicate member ids, invalid perturbation ranges, coordination
-      cadences out of range) *)
+      cadences out of range)
+
+    Semantic codes, proved by {!Semlint} (L004/L005 are also proved
+    there now — feasible-host-count bounds over the whole inventory
+    replaced the old representative-row heuristic):
+
+    - [L016] (error/warning) filter simplifies to false (contradiction:
+      no property assignment can satisfy it) or to true (tautology)
+      under {!Oar.Expr.normalize}, independent of any inventory
+    - [L017] (warning) ordering on a numeric-valued property that OAR
+      compares non-numerically: an integer literal against decimal
+      values is silently false, a non-integer quoted value falls back
+      to lexicographic string order ('9' > '10')
+    - [L018] (error/warning) provable oversubscription / starvation:
+      the staged catalog's executor demand exceeds the global executor
+      pool, a site's one-job-per-site budget, or a cluster's
+      exclusive-test budget (peak-hours avoidance shrinks all three)
+    - [L019] (error) anti-affinity deadlock cycle: simultaneous
+      multi-pool acquisitions (site-spread configurations) overlap in a
+      way that admits a circular wait, and nothing serializes them
+    - [L020] (error) PRNG stream collision: two {!Simkit.Streams}
+      derivation-tag ranges overlap for the configured federation size,
+      aliasing streams that must be independent *)
 
 type severity = Error | Warning | Info
 
 type diagnostic = {
-  code : string;  (** ["L001"].."[L015]" *)
+  code : string;  (** ["L001"].."[L020]" *)
   severity : severity;
   path : string;  (** what the diagnostic is about, e.g. a config id *)
   message : string;
+  fix : string option;
+      (** machine-applicable repair suggestion (semantic codes),
+          rendered by [g5ktest lint --explain] *)
 }
 
 val severity_to_string : severity -> string
@@ -70,7 +95,9 @@ val known_properties : string list
 (** The OAR property vocabulary of the simulated instance. *)
 
 val check_filter : path:string -> string -> diagnostic list
-(** L004-L007 on one OAR filter string. *)
+(** L004-L007 and L016-L017 on one OAR filter string: syntax and
+    property vocabulary here, semantic verdicts from
+    {!Semlint.check_expr}. *)
 
 val check_configs : Testdef.config list -> diagnostic list
 (** L001-L003 plus filter checks on each configuration's generated OAR
@@ -93,14 +120,25 @@ val check_serve : path:string -> Serve.config -> diagnostic list
 (** L014. *)
 
 val check_federation : path:string -> Federation.config -> diagnostic list
-(** L015.  Static mirror of the dynamic validation {!Federation.run}
-    performs, plus conservatism and coordination-cadence checks the
-    runtime does not enforce. *)
+(** L015, plus L020 ({!Semlint.check_streams}) once the shape is sane.
+    Static mirror of the dynamic validation {!Federation.run} performs,
+    plus conservatism and coordination-cadence checks the runtime does
+    not enforce. *)
+
+val check_schedulability :
+  path:string ->
+  policy:Scheduler.policy ->
+  executors:int ->
+  Testdef.config list ->
+  diagnostic list
+(** L018-L019 ({!Semlint.check_capacity} / {!Semlint.check_deadlock})
+    over an explicit configuration list. *)
 
 val check_campaign : Campaign.config -> diagnostic list
 (** L011-L012, plus {!check_policy}, {!check_health}, {!check_triage}
-    and {!check_serve} (when attached) and {!check_configs} over every
-    staged family's configurations. *)
+    and {!check_serve} (when attached), {!check_configs} over every
+    staged family's configurations, and {!check_schedulability} over the
+    families reachable within the campaign horizon. *)
 
 val run : Campaign.config -> diagnostic list
 (** {!check_campaign}, sorted. *)
@@ -114,5 +152,7 @@ val presets : (string * Campaign.config) list
 val diagnostic_to_json : diagnostic -> Simkit.Json.t
 val to_json : diagnostic list -> Simkit.Json.t
 
-val render : diagnostic list -> string
-(** Plain-text table, one diagnostic per line, with a summary footer. *)
+val render : ?explain:bool -> diagnostic list -> string
+(** Plain-text table, one diagnostic per line, with a summary footer.
+    [~explain:true] adds an indented [fix:] line under every diagnostic
+    that carries a repair suggestion. *)

@@ -89,6 +89,41 @@ let federation_metrics_of_string text =
   | Error e -> Error e
   | Ok json -> federation_metrics_of_json json
 
+type lint_metrics = {
+  wall_s : float;
+  configurations : int;
+  diagnostics : int;
+}
+
+let lint_metrics_of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let* lint =
+    match Simkit.Json.member "lint" json with
+    | Some l -> Ok l
+    | None -> Error "missing object \"lint\""
+  in
+  let* wall_s =
+    match Simkit.Json.float_member "wall_s" lint with
+    | Some f -> Ok f
+    | None -> Error "missing numeric field \"lint.wall_s\""
+  in
+  let* configurations =
+    match Simkit.Json.int_member "configurations" lint with
+    | Some i -> Ok i
+    | None -> Error "missing integer field \"lint.configurations\""
+  in
+  let* diagnostics =
+    match Simkit.Json.int_member "diagnostics" lint with
+    | Some i -> Ok i
+    | None -> Error "missing integer field \"lint.diagnostics\""
+  in
+  Ok { wall_s; configurations; diagnostics }
+
+let lint_metrics_of_string text =
+  match Simkit.Json.of_string text with
+  | Error e -> Error e
+  | Ok json -> lint_metrics_of_json json
+
 type verdict = {
   ok : bool;
   lines : string list;
@@ -139,6 +174,35 @@ let check_serve ?threshold_pct ~baseline ~current () =
         baseline.hit_ratio current.hit_ratio;
       (if ok then "perfgate(serve): PASS"
        else "perfgate(serve): FAIL (p99 staleness regressed beyond threshold)") ]
+  in
+  { ok; lines }
+
+(* The deep analysis runs in milliseconds, far below runner noise, so
+   the relative threshold alone would flap; the gate only bites once the
+   catalog-wide lint wall clears an absolute floor worth caring about. *)
+let lint_floor_s = 0.25
+
+let check_lint ?threshold_pct ~baseline ~current () =
+  let threshold_pct = Option.value threshold_pct ~default:default_threshold_pct in
+  let delta_pct base cur = if base = 0.0 then 0.0 else (cur -. base) /. base *. 100.0 in
+  let limit =
+    Float.max lint_floor_s (baseline.wall_s *. (1.0 +. (threshold_pct /. 100.0)))
+  in
+  let ok = current.wall_s <= limit in
+  let lines =
+    [ Printf.sprintf
+        "lint wall:        baseline %.4f s, current %.4f s (%+.1f%%, limit %.2f s: max of +%.0f%% and the %.2f s floor)"
+        baseline.wall_s current.wall_s
+        (delta_pct baseline.wall_s current.wall_s)
+        limit threshold_pct lint_floor_s;
+      Printf.sprintf "configurations:   baseline %d, current %d (informational)"
+        baseline.configurations current.configurations;
+      Printf.sprintf "diagnostics:      baseline %d, current %d (informational)"
+        baseline.diagnostics current.diagnostics;
+      (if ok then "perfgate(lint): PASS"
+       else
+         "perfgate(lint): FAIL (catalog-wide lint wall regressed beyond \
+          threshold and floor)") ]
   in
   { ok; lines }
 

@@ -70,6 +70,20 @@ val federation_metrics_of_json : Simkit.Json.t -> (federation_metrics, string) r
 
 val federation_metrics_of_string : string -> (federation_metrics, string) result
 
+type lint_metrics = {
+  wall_s : float;
+      (** catalog + presets static-analysis wall time — gating, with an
+          absolute floor (see {!check_lint}) *)
+  configurations : int;
+  diagnostics : int;
+}
+
+val lint_metrics_of_json : Simkit.Json.t -> (lint_metrics, string) result
+(** Extract the lint gate's metrics from a [BENCH_lint.json] document
+    (the [lint] object's [wall_s], [configurations], [diagnostics]). *)
+
+val lint_metrics_of_string : string -> (lint_metrics, string) result
+
 type verdict = {
   ok : bool;  (** [false] = regression beyond the threshold *)
   lines : string list;  (** human-readable comparison, one line each *)
@@ -103,3 +117,19 @@ val check_federation :
     byte-identical across shard counts/drivers, or its speedup fell
     below [baseline.speedup * (1 - threshold_pct/100)].  Raw throughput
     figures are informational. *)
+
+val lint_floor_s : float
+(** [0.25] — the lint gate's absolute wall-time floor.  The deep
+    analysis finishes in milliseconds, far below runner noise, so a
+    purely relative threshold would flap. *)
+
+val check_lint :
+  ?threshold_pct:float ->
+  baseline:lint_metrics ->
+  current:lint_metrics ->
+  unit ->
+  verdict
+(** Lint-scenario comparison: fails iff the catalog-wide analysis wall
+    time exceeds [max lint_floor_s (baseline.wall_s * (1 +
+    threshold_pct/100))].  Configuration and diagnostic counts are
+    informational. *)

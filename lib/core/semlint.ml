@@ -1,0 +1,499 @@
+(* Semantic analysis passes behind Trustlint (L004/L005, L016-L020).
+
+   Three provers, one per hazard family the shallow shape checks cannot
+   reach: an abstract interpreter for OAR filters over the inventory
+   (feasible-host-count bounds, so unsat/vacuous verdicts are proofs
+   rather than representative-row heuristics), a static capacity /
+   schedulability analysis over the configured catalog and scheduler
+   policy, and a PRNG stream-collision checker over the Simkit.Streams
+   registry. *)
+
+type severity = Error | Warning
+
+type finding = {
+  code : string;
+  severity : severity;
+  path : string;
+  message : string;
+  fix : string option;
+}
+
+let finding code severity path ?fix fmt =
+  Printf.ksprintf (fun message -> { code; severity; path; message; fix }) fmt
+
+(* {2 Pass 1: abstract interpretation of OAR filters}
+
+   Domain: one element per inventory cluster.  Within a cluster every
+   property except [host] is constant across the [nodes] hosts (the same
+   rows the live OAR database exposes, Oar.Property.expected_of_doc), so
+   a comparison on a constant property holds for exactly 0 or [nodes]
+   hosts; [host] itself ranges over ["<cluster>-<i>.<site>"].  For each
+   cluster we compute an interval [lo, hi] bounding the number of hosts
+   the (normalized) filter selects. *)
+
+type bounds = { lo : int; hi : int }
+
+type cluster_dom = {
+  spec : Testbed.Inventory.cluster_spec;
+  props : (string * string) list;  (* constant properties; [host] excluded *)
+}
+
+type domain = cluster_dom list
+
+let yes_no b = if b then "YES" else "NO"
+
+let constant_props (s : Testbed.Inventory.cluster_spec) =
+  [ ("cluster", s.cluster);
+    ("site", s.site);
+    ("cores", string_of_int (s.cpus * s.cores_per_cpu));
+    ("cpufreq", Printf.sprintf "%.2f" s.freq_ghz);
+    ("memnode", string_of_int s.ram_gb);
+    ("gpu", yes_no s.has_gpu);
+    ("eth10g", if s.nic_rate_gbps >= 10.0 then "Y" else "N");
+    ("ib", yes_no s.has_ib);
+    ("wattmeter", yes_no (List.mem s.site Testbed.Inventory.wattmeter_sites));
+    ("deploy", "YES") ]
+
+let host_name (s : Testbed.Inventory.cluster_spec) i =
+  Printf.sprintf "%s-%d.%s" s.cluster i s.site
+
+let host_props (s : Testbed.Inventory.cluster_spec) i =
+  ("host", host_name s i) :: constant_props s
+
+let domain_of_clusters specs =
+  List.map (fun spec -> { spec; props = constant_props spec }) specs
+
+let inventory_domain = lazy (domain_of_clusters Testbed.Inventory.clusters)
+
+let inventory () = Lazy.force inventory_domain
+
+(* Is [s] the canonical name of a host of cluster [c]?  Canonical only:
+   synthesized names are ["%s-%d.%s"], so "graphene-01.nancy" is not a
+   real host even though it mentions a valid index. *)
+let host_index_of (c : cluster_dom) s =
+  let prefix = c.spec.cluster ^ "-" and suffix = "." ^ c.spec.site in
+  let lp = String.length prefix and ls = String.length suffix in
+  let n = String.length s in
+  if n <= lp + ls || not (String.sub s 0 lp = prefix) || not (String.sub s (n - ls) ls = suffix)
+  then None
+  else
+    let mid = String.sub s lp (n - lp - ls) in
+    match int_of_string_opt mid with
+    | Some i when i >= 1 && i <= c.spec.nodes && string_of_int i = mid -> Some i
+    | _ -> None
+
+let exact k = { lo = k; hi = k }
+
+let host_bounds (c : cluster_dom) op (v : Oar.Expr.value) =
+  let n = c.spec.nodes in
+  match (op, v) with
+  | (Oar.Expr.Eq | Oar.Expr.Neq), _ ->
+    let matching =
+      match v with
+      | Oar.Expr.I _ -> 0 (* host names never parse as integers *)
+      | Oar.Expr.S s -> ( match host_index_of c s with Some _ -> 1 | None -> 0)
+    in
+    if op = Oar.Expr.Eq then exact matching else exact (n - matching)
+  | (Oar.Expr.Ge | Oar.Expr.Le | Oar.Expr.Gt | Oar.Expr.Lt), Oar.Expr.I _ ->
+    exact 0 (* integer comparison never parses a host name: always false *)
+  | (Oar.Expr.Ge | Oar.Expr.Le | Oar.Expr.Gt | Oar.Expr.Lt), Oar.Expr.S _ ->
+    { lo = 0; hi = n } (* lexicographic order over host names: Top *)
+
+let rec bounds (c : cluster_dom) (e : Oar.Expr.t) =
+  let n = c.spec.nodes in
+  match e with
+  | Oar.Expr.True -> exact n
+  | Oar.Expr.False -> exact 0
+  | Oar.Expr.And (a, b) ->
+    let x = bounds c a and y = bounds c b in
+    { lo = max 0 (x.lo + y.lo - n); hi = min x.hi y.hi }
+  | Oar.Expr.Or (a, b) ->
+    let x = bounds c a and y = bounds c b in
+    { lo = max x.lo y.lo; hi = min n (x.hi + y.hi) }
+  | Oar.Expr.Not a ->
+    let x = bounds c a in
+    { lo = n - x.hi; hi = n - x.lo }
+  | Oar.Expr.Cmp ("host", op, v) -> host_bounds c op v
+  | Oar.Expr.Cmp (p, op, v) -> (
+    match List.assoc_opt p c.props with
+    | Some actual -> if Oar.Expr.holds op actual v then exact n else exact 0
+    | None -> if op = Oar.Expr.Neq then exact n else exact 0)
+
+let cluster_bounds domain e = List.map (fun c -> (c.spec, bounds c e)) domain
+
+let feasible_bounds domain e =
+  List.fold_left
+    (fun acc c ->
+      let b = bounds c e in
+      { lo = acc.lo + b.lo; hi = acc.hi + b.hi })
+    (exact 0) domain
+
+(* {3 L017: numeric properties compared non-numerically}
+
+   A property whose inventory values are all numeric is meant to be
+   ordered numerically, but OAR comparison semantics only do that when
+   both sides parse as integers: an integer literal against decimal
+   values ("cpufreq > 2" vs "2.27") is silently false, and a quoted
+   value that does not parse ("memnode >= '64G'", or decimals on either
+   side) falls back to lexicographic string order, where '9' > '10'. *)
+
+let leading_int s =
+  let n = String.length s in
+  let rec stop i = if i < n && s.[i] >= '0' && s.[i] <= '9' then stop (i + 1) else i in
+  let d = stop 0 in
+  if d = 0 then None else int_of_string_opt (String.sub s 0 d)
+
+let ordering_hazards domain (e : Oar.Expr.t) =
+  let prop_values p =
+    List.filter_map (fun c -> List.assoc_opt p c.props) domain
+    |> List.sort_uniq String.compare
+  in
+  let hazard p op v =
+    let vals = prop_values p in
+    if vals = [] then None
+    else if not (List.for_all (fun s -> float_of_string_opt s <> None) vals) then None
+    else
+      let all_int = List.for_all (fun s -> int_of_string_opt s <> None) vals in
+      let ops = Oar.Expr.op_to_string op in
+      match v with
+      | Oar.Expr.I k when not all_int ->
+        Some
+          ( Printf.sprintf
+              "'%s %s %d' compares integers, but %s values are decimal strings \
+               (e.g. '%s') that never parse as integers: the comparison is \
+               false for every host"
+              p ops k p (List.hd vals),
+            Printf.sprintf
+              "pin clusters explicitly instead of ordering %s, or compare a \
+               quoted decimal knowing the order is lexicographic"
+              p )
+      | Oar.Expr.S s when (not all_int) || int_of_string_opt s = None ->
+        let fix =
+          match leading_int s with
+          | Some k when all_int ->
+            Printf.sprintf "write the integer unquoted: %s%s%d" p ops k
+          | _ ->
+            Printf.sprintf
+              "pin clusters explicitly instead of ordering %s lexicographically" p
+        in
+        Some
+          ( Printf.sprintf
+              "'%s %s '%s'' falls back to lexicographic string order ('9' > \
+               '10'), which disagrees with the numeric order of %s values"
+              p ops s p,
+            fix )
+      | _ -> None
+  in
+  let rec walk acc e =
+    match e with
+    | Oar.Expr.True | Oar.Expr.False -> acc
+    | Oar.Expr.And (a, b) | Oar.Expr.Or (a, b) -> walk (walk acc a) b
+    | Oar.Expr.Not a -> walk acc a
+    | Oar.Expr.Cmp (p, ((Oar.Expr.Ge | Oar.Expr.Le | Oar.Expr.Gt | Oar.Expr.Lt) as op), v)
+      -> (
+      match hazard p op v with
+      | Some h when not (List.mem h acc) -> h :: acc
+      | _ -> acc)
+    | Oar.Expr.Cmp _ -> acc
+  in
+  List.rev (walk [] e)
+
+(* Targeted repair for the commonest unsat shape: a cluster pinned to the
+   wrong site. *)
+let cluster_site_fix (e : Oar.Expr.t) =
+  let rec find_eq p acc = function
+    | Oar.Expr.And (a, b) -> find_eq p (find_eq p acc a) b
+    | Oar.Expr.Cmp (q, Oar.Expr.Eq, Oar.Expr.S v) when String.equal p q -> v :: acc
+    | _ -> acc
+  in
+  match (find_eq "cluster" [] e, find_eq "site" [] e) with
+  | [ cl ], [ site ] -> (
+    match Testbed.Inventory.find_cluster cl with
+    | Some spec when not (String.equal spec.site site) ->
+      Some
+        (Printf.sprintf "cluster '%s' is in site '%s'; write site='%s' or drop the site term"
+           cl spec.site spec.site)
+    | _ -> None)
+  | _ -> None
+
+let check_expr ?domain ~path ~filter (expr : Oar.Expr.t) =
+  let d = match domain with Some d -> d | None -> inventory () in
+  match expr with
+  | Oar.Expr.True -> []
+  | _ -> (
+    let norm = Oar.Expr.normalize expr in
+    match norm with
+    | Oar.Expr.False ->
+      [ finding "L016" Error path
+          ~fix:"the filter simplifies to false; remove it or drop one of the conflicting comparisons"
+          "contradictory OAR filter %S: it simplifies to false on every \
+           property assignment, no inventory could ever satisfy it"
+          filter ]
+    | Oar.Expr.True ->
+      [ finding "L016" Warning path
+          ~fix:"drop the filter: an empty filter selects every host"
+          "tautological OAR filter %S: it simplifies to true, the constraint \
+           selects nothing"
+          filter ]
+    | _ ->
+      let total = feasible_bounds d norm in
+      let population = List.fold_left (fun acc c -> acc + c.spec.nodes) 0 d in
+      let hazards = ordering_hazards d expr in
+      if total.hi = 0 then
+        let fix =
+          match cluster_site_fix norm with
+          | Some f -> f
+          | None -> (
+            match hazards with
+            | (_, f) :: _ -> f
+            | [] ->
+              "no inventory host can satisfy the filter; check the property \
+               values against the Reference API rows")
+        in
+        [ finding "L004" Error path ~fix
+            "unsatisfiable OAR filter %S: proved infeasible against the 2017 \
+             inventory (feasible hosts = 0 of %d)"
+            filter population ]
+      else
+        (if total.lo = population then
+           [ finding "L005" Warning path
+               ~fix:"the constraint selects nothing; drop it or tighten it"
+               "vacuously true OAR filter %S: every host of every cluster \
+                matches (proved: %d of %d)"
+               filter total.lo population ]
+         else [])
+        @ List.map
+            (fun (msg, fix) ->
+              finding "L017" Warning path ~fix "numeric-comparison hazard: %s" msg)
+            hazards)
+
+(* {2 Pass 2: static capacity / schedulability analysis}
+
+   Each configuration demands [nominal_duration / base_period] executor
+   utilization.  Node-consuming work additionally fits only into the
+   off-peak fraction of the calendar when the policy avoids peak hours
+   (Simkit.Calendar: weekday 8-19h is peak, so 55 of 168 weekly hours
+   are lost), and one-job-per-site anti-affinity caps per-site
+   node-consuming concurrency at 1.  Demands exceeding those envelopes
+   are provable starvation: no schedule fits the work. *)
+
+let offpeak_fraction = (168.0 -. 55.0) /. 168.0
+
+let utilization configs =
+  List.fold_left
+    (fun acc (c : Testdef.config) ->
+      acc +. (Testdef.nominal_duration c.family /. Testdef.base_period c.family))
+    0.0 configs
+
+let is_node_consuming (c : Testdef.config) = Testdef.need c.family <> Testdef.No_nodes
+
+(* warn when demand exceeds this fraction of the proved envelope *)
+let capacity_warn_fraction = 0.75
+
+let check_capacity ~path ~(policy : Scheduler.policy) ~executors configs =
+  if executors <= 0 || configs = [] then []
+  else begin
+    let avail = if policy.avoid_peak_hours then offpeak_fraction else 1.0 in
+    let node_configs = List.filter is_node_consuming configs in
+    let total_u = utilization configs in
+    let node_u = utilization node_configs in
+    (* any schedule needs >= total_u executors overall, and node work must
+       fit into the off-peak fraction of the timeline *)
+    let demand = Float.max total_u (node_u /. avail) in
+    let cap = float_of_int executors in
+    let global =
+      if demand > cap then
+        [ finding "L018" Error (path ^ ".capacity")
+            ~fix:
+              (Printf.sprintf
+                 "raise executors to at least %d, disable avoid_peak_hours, or \
+                  stage fewer families"
+                 (int_of_float (Float.ceil demand)))
+            "provable oversubscription: the staged catalog demands %.2f \
+             executor-equivalents (%.2f node-consuming, off-peak fraction \
+             %.2f) but only %d executor%s configured"
+            demand node_u avail executors
+            (if executors = 1 then " is" else "s are") ]
+      else if demand > capacity_warn_fraction *. cap then
+        [ finding "L018" Warning (path ^ ".capacity")
+            ~fix:"add executor headroom or extend family base periods"
+            "capacity headroom below %d%%: the staged catalog demands %.2f of \
+             %d executors"
+            (int_of_float ((1.0 -. capacity_warn_fraction) *. 100.0))
+            demand executors ]
+      else []
+    in
+    let per_site =
+      if not policy.one_job_per_site then []
+      else begin
+        let by_site = Hashtbl.create 16 in
+        List.iter
+          (fun (c : Testdef.config) ->
+            match Testdef.effective_site c with
+            | Some s ->
+              let u = Testdef.nominal_duration c.family /. Testdef.base_period c.family in
+              Hashtbl.replace by_site s
+                (u +. (try Hashtbl.find by_site s with Not_found -> 0.0))
+            | None -> ())
+          node_configs;
+        Hashtbl.fold (fun site u acc -> (site, u) :: acc) by_site []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.concat_map (fun (site, u) ->
+               if u > avail then
+                 [ finding "L018" Error (path ^ ".site:" ^ site)
+                     ~fix:
+                       "disable one_job_per_site, stage fewer families on this \
+                        site, or extend their base periods"
+                     "provable per-site starvation: one_job_per_site caps site \
+                      '%s' at one node-consuming build, but its staged \
+                      configurations demand %.2f of the %.2f available"
+                     site u avail ]
+               else if u > capacity_warn_fraction *. avail then
+                 [ finding "L018" Warning (path ^ ".site:" ^ site)
+                     ~fix:"stage fewer families on this site or extend their base periods"
+                     "site '%s' nears its anti-affinity envelope: %.2f of %.2f \
+                      single-build utilization"
+                     site u avail ]
+               else [])
+      end
+    in
+    let per_cluster =
+      (* whole-cluster tests of one cluster serialize against each other *)
+      let by_cluster = Hashtbl.create 32 in
+      List.iter
+        (fun (c : Testdef.config) ->
+          match (Testdef.need c.family, c.cluster) with
+          | Testdef.Whole_cluster, Some cl ->
+            let u = Testdef.nominal_duration c.family /. Testdef.base_period c.family in
+            Hashtbl.replace by_cluster cl
+              (u +. (try Hashtbl.find by_cluster cl with Not_found -> 0.0))
+          | _ -> ())
+        configs;
+      Hashtbl.fold (fun cl u acc -> (cl, u) :: acc) by_cluster []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.concat_map (fun (cl, u) ->
+             if u > avail then
+               [ finding "L018" Error (path ^ ".cluster:" ^ cl)
+                   ~fix:"extend the whole-cluster families' base periods"
+                   "provable whole-cluster oversubscription on '%s': its \
+                    exclusive tests demand %.2f of the %.2f available"
+                   cl u avail ]
+             else [])
+    in
+    global @ per_site @ per_cluster
+  end
+
+(* {3 L019: anti-affinity deadlock cycles}
+
+   Only Site_spread configurations hold-and-wait: their precheck is a
+   list of per-cluster requests acquired simultaneously
+   (Scheduler.precheck_of -> All_free).  Two of them contending for >= 2
+   shared cluster pools — or >= 3 forming a cycle of pairwise overlaps —
+   can each hold a pool the other needs.  one_job_per_site serializes
+   same-site acquisition, which is why the default policy is safe. *)
+
+let tarjan n succs =
+  let index = Array.make n (-1) and low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and comps = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strong w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      (succs v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: tl ->
+          stack := tl;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      comps := pop [] :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strong v
+  done;
+  List.rev !comps
+
+let check_deadlock ~path ~serialized configs =
+  if serialized then []
+  else begin
+    let multi =
+      List.filter_map
+        (fun (c : Testdef.config) ->
+          match Testdef.need c.family with
+          | Testdef.Site_spread -> (
+            match Testdef.effective_site c with
+            | Some site ->
+              let pools =
+                List.map
+                  (fun (sp : Testbed.Inventory.cluster_spec) -> sp.cluster)
+                  (Testbed.Inventory.clusters_of_site site)
+              in
+              if List.length pools >= 2 then Some (c, pools) else None
+            | None -> None)
+          | _ -> None)
+        configs
+      |> Array.of_list
+    in
+    let n = Array.length multi in
+    let shared i j =
+      let _, pi = multi.(i) and _, pj = multi.(j) in
+      List.length (List.filter (fun p -> List.mem p pj) pi)
+    in
+    let succs v = List.filter (fun w -> w <> v && shared v w >= 1) (List.init n Fun.id) in
+    let deadlocky comp =
+      match comp with
+      | [] | [ _ ] -> false
+      | [ i; j ] -> shared i j >= 2
+      | _ -> true (* >= 3 mutually-overlapping holders always admit a cycle *)
+    in
+    tarjan n succs
+    |> List.filter deadlocky
+    |> List.map (fun comp ->
+           let ids =
+             List.map (fun i -> (fst multi.(i) : Testdef.config).config_id) comp
+           in
+           finding "L019" Error path
+             ~fix:
+               "set one_job_per_site=true (serializes same-site acquisition) or \
+                keep at most one site-spread configuration per site"
+             "anti-affinity deadlock cycle: configurations %s acquire \
+              overlapping cluster pools simultaneously (hold-and-wait); a \
+              circular wait can block them all forever"
+             (String.concat ", " ids))
+  end
+
+(* {2 Pass 3: PRNG stream-collision detection (L020)} *)
+
+let check_streams ~path ~members =
+  let ranges = Simkit.Streams.registry ~members in
+  Simkit.Streams.overlaps ranges
+  |> List.map (fun ((a : Simkit.Streams.range), (b : Simkit.Streams.range)) ->
+         let next_free =
+           List.fold_left (fun acc (r : Simkit.Streams.range) ->
+               max acc (r.base + max r.count 0)) 0 ranges
+         in
+         finding "L020" Error path
+           ~fix:
+             (Printf.sprintf "move %s to a disjoint tag base (first free tag: 0x%X)"
+                b.name next_free)
+           "PRNG stream collision: derivation ranges %s and %s overlap for %d \
+            member%s — the aliased streams correlate randomness across \
+            subsystems and break the federation determinism contract"
+           (Simkit.Streams.range_to_string a)
+           (Simkit.Streams.range_to_string b)
+           members
+           (if members = 1 then "" else "s"))

@@ -1,0 +1,111 @@
+(** Semantic analysis passes behind Trustlint: proofs, not heuristics.
+
+    Three provers over the static model, surfaced through {!Lint} as
+    diagnostics L004/L005 and L016-L020:
+
+    {b Pass 1 — abstract interpretation of OAR filters.}  The domain has
+    one element per inventory cluster; within a cluster every property
+    except [host] is constant across its [nodes] hosts, so a comparison
+    on a constant property selects exactly 0 or [nodes] of them, and
+    [host] itself is handled exactly for (in)equality against canonical
+    host names (Top for lexicographic orderings).  Compound filters get
+    interval arithmetic: for selections [a] and [b] over an [n]-host
+    cluster, [a and b] selects between [max 0 (lo_a + lo_b - n)] and
+    [min hi_a hi_b] hosts, [a or b] between [max lo_a lo_b] and
+    [min n (hi_a + hi_b)], [not a] between [n - hi_a] and [n - lo_a].
+    Soundness: the concrete host count always lies inside the computed
+    interval (qcheck oracle in [test/test_lint.ml] enumerates randomized
+    inventories against {!Oar.Expr.eval}), so [hi = 0] proves
+    unsatisfiability (L004/L016) and [lo = population] proves vacuity
+    (L005/L016).  Filters are first rewritten by {!Oar.Expr.normalize};
+    a {!Oar.Expr.False}/[True] result is reported as L016 (inventory-
+    independent contradiction/tautology).  L017 flags orderings on
+    numeric-valued properties that OAR would compare non-numerically.
+
+    {b Pass 2 — static capacity / schedulability.}  Each configuration
+    demands [nominal_duration / base_period] executor-utilization; node-
+    consuming work only runs off-peak under [avoid_peak_hours] (113 of
+    168 weekly hours) and at most one build per site under
+    [one_job_per_site].  Demand provably exceeding an envelope — global
+    executors, a site's single-build budget, or a cluster's exclusive-
+    test budget — is L018.  L019 runs Tarjan SCC over the constraint
+    graph of simultaneous multi-pool acquisitions (Site_spread
+    configurations): components that admit a circular wait are reported
+    as deadlock cycles.
+
+    {b Pass 3 — PRNG stream registry.}  L020 proves the
+    {!Simkit.Streams} derivation-tag ranges disjoint for the configured
+    federation size; overlapping ranges alias streams and break the
+    determinism contract the differential harness relies on. *)
+
+type severity = Error | Warning
+
+type finding = {
+  code : string;  (** ["L004"], ["L005"], ["L016"].."[L020]" *)
+  severity : severity;
+  path : string;
+  message : string;
+  fix : string option;  (** machine-applicable repair suggestion *)
+}
+
+(** {2 Pass 1: filters} *)
+
+type bounds = { lo : int; hi : int }
+(** Inclusive interval on a feasible-host count. *)
+
+type domain
+
+val domain_of_clusters : Testbed.Inventory.cluster_spec list -> domain
+
+val inventory : unit -> domain
+(** The full 2017 inventory (32 clusters, 894 hosts), built once. *)
+
+val constant_props : Testbed.Inventory.cluster_spec -> (string * string) list
+(** The per-cluster OAR property row, [host] excluded (it varies). *)
+
+val host_props : Testbed.Inventory.cluster_spec -> int -> (string * string) list
+(** Concrete property row of host [i] (1-based) — the enumeration the
+    soundness oracle evaluates filters against. *)
+
+val cluster_bounds :
+  domain -> Oar.Expr.t -> (Testbed.Inventory.cluster_spec * bounds) list
+(** Per-cluster proved bounds on the number of hosts the filter
+    selects. *)
+
+val feasible_bounds : domain -> Oar.Expr.t -> bounds
+(** Sum of {!cluster_bounds} over the domain. *)
+
+val check_expr :
+  ?domain:domain -> path:string -> filter:string -> Oar.Expr.t -> finding list
+(** L016 (normalize-level contradiction/tautology), L004 (proved
+    unsatisfiable), L005 (proved vacuous) and L017 (non-numeric ordering
+    hazards) on one parsed filter.  [filter] is the source text used in
+    messages.  Root-cause ordered: an L016/L004 verdict suppresses the
+    downstream findings it explains. *)
+
+(** {2 Pass 2: capacity / schedulability} *)
+
+val offpeak_fraction : float
+(** Fraction of the week outside peak hours (weekday 8-19h): 113/168. *)
+
+val utilization : Testdef.config list -> float
+(** Sum of [nominal_duration / base_period] over the configurations. *)
+
+val check_capacity :
+  path:string ->
+  policy:Scheduler.policy ->
+  executors:int ->
+  Testdef.config list ->
+  finding list
+(** L018.  Non-positive [executors] and empty catalogs are skipped (the
+    former is already L011's root cause). *)
+
+val check_deadlock :
+  path:string -> serialized:bool -> Testdef.config list -> finding list
+(** L019.  [serialized] is the policy's [one_job_per_site]: serialized
+    same-site acquisition cannot deadlock, so the check is a no-op. *)
+
+(** {2 Pass 3: PRNG streams} *)
+
+val check_streams : path:string -> members:int -> finding list
+(** L020 over [Simkit.Streams.registry ~members]. *)

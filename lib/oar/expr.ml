@@ -6,6 +6,7 @@ type t =
   | Or of t * t
   | Not of t
   | True
+  | False
 
 and op = Eq | Neq | Ge | Le | Gt | Lt
 
@@ -21,6 +22,8 @@ type token =
   | AND
   | OR
   | NOT
+  | TRUE
+  | FALSE
 
 exception Syntax of string
 
@@ -98,6 +101,8 @@ let lex input =
        | "and" -> push AND
        | "or" -> push OR
        | "not" -> push NOT
+       | "true" -> push TRUE
+       | "false" -> push FALSE
        | _ -> push (IDENT word))
     | c -> raise (Syntax (Printf.sprintf "unexpected character %c" c))
   done;
@@ -139,6 +144,12 @@ let parse_tokens tokens =
          advance ();
          inner
        | _ -> raise (Syntax "expected ')'"))
+    | Some TRUE ->
+      advance ();
+      True
+    | Some FALSE ->
+      advance ();
+      False
     | Some (IDENT prop) -> (
       advance ();
       match peek () with
@@ -192,14 +203,26 @@ let compare_values op (actual : string) (expected : value) =
     match op with
     | Eq -> String.equal actual s
     | Neq -> not (String.equal actual s)
-    | Ge -> String.compare actual s >= 0
-    | Le -> String.compare actual s <= 0
-    | Gt -> String.compare actual s > 0
-    | Lt -> String.compare actual s < 0)
+    | Ge | Le | Gt | Lt -> (
+      (* Orderings on quoted values compare integers whenever both sides
+         parse — otherwise '9' > '10' holds lexicographically. *)
+      match (int_of_string_opt actual, int_of_string_opt s) with
+      | Some a, Some b -> numeric a b
+      | _ ->
+        let c = String.compare actual s in
+        (match op with
+         | Ge -> c >= 0
+         | Le -> c <= 0
+         | Gt -> c > 0
+         | Lt -> c < 0
+         | Eq | Neq -> assert false)))
+
+let holds = compare_values
 
 let rec eval t ~props =
   match t with
   | True -> true
+  | False -> false
   | And (a, b) -> eval a ~props && eval b ~props
   | Or (a, b) -> eval a ~props || eval b ~props
   | Not a -> not (eval a ~props)
@@ -216,19 +239,19 @@ let value_equal a b =
 
 let rec equal a b =
   match (a, b) with
-  | True, True -> true
+  | True, True | False, False -> true
   | Cmp (pa, oa, va), Cmp (pb, ob, vb) ->
     String.equal pa pb && oa = ob && value_equal va vb
   | And (a1, a2), And (b1, b2) | Or (a1, a2), Or (b1, b2) ->
     equal a1 b1 && equal a2 b2
   | Not a, Not b -> equal a b
-  | (True | Cmp _ | And _ | Or _ | Not _), _ -> false
+  | (True | False | Cmp _ | And _ | Or _ | Not _), _ -> false
 
 let hash t = Hashtbl.hash t
 
 let properties_used t =
   let rec collect acc = function
-    | True -> acc
+    | True | False -> acc
     | Cmp (prop, _, _) -> prop :: acc
     | And (a, b) | Or (a, b) -> collect (collect acc a) b
     | Not a -> collect acc a
@@ -245,8 +268,265 @@ let op_to_string = function
 
 let rec to_string = function
   | True -> ""
+  | False -> "false"
   | Cmp (prop, op, S s) -> Printf.sprintf "%s%s'%s'" prop (op_to_string op) s
   | Cmp (prop, op, I i) -> Printf.sprintf "%s%s%d" prop (op_to_string op) i
   | And (a, b) -> Printf.sprintf "(%s and %s)" (to_string a) (to_string b)
   | Or (a, b) -> Printf.sprintf "(%s or %s)" (to_string a) (to_string b)
   | Not a -> Printf.sprintf "not %s" (to_string a)
+
+(* ---- normalisation ------------------------------------------------------ *)
+
+(* Negation-normal form, with one deliberate restriction: [Not] is kept on
+   ordering comparisons.  [not (p > v)] is NOT equivalent to [p <= v] under
+   OAR evaluation semantics — a missing property (or a non-integer value
+   against an integer literal) makes *both* [p > v] and [p <= v] false, so
+   the classical dual would be unsound.  [Not] does push through [And]/[Or]
+   (De Morgan), double negation, and [Eq]/[Neq] (which are exact duals even
+   for missing properties). *)
+let rec push_not t =
+  match t with
+  | True | False | Cmp _ -> t
+  | And (a, b) -> And (push_not a, push_not b)
+  | Or (a, b) -> Or (push_not a, push_not b)
+  | Not a -> negate a
+
+and negate t =
+  match t with
+  | True -> False
+  | False -> True
+  | Not a -> push_not a
+  | And (a, b) -> Or (negate a, negate b)
+  | Or (a, b) -> And (negate a, negate b)
+  | Cmp (p, Eq, v) -> Cmp (p, Neq, v)
+  | Cmp (p, Neq, v) -> Cmp (p, Eq, v)
+  | Cmp (_, (Ge | Le | Gt | Lt), _) as c -> Not c
+
+let lit_prop = function
+  | Cmp (p, _, _) | Not (Cmp (p, _, _)) -> Some p
+  | _ -> None
+
+(* [Eq va] and [Eq vb] on the same property can both hold only when a
+   single concrete value satisfies both. *)
+let eq_eq_compatible va vb =
+  match (va, vb) with
+  | S a, S b -> String.equal a b
+  | I a, I b -> a = b
+  | I a, S b | S b, I a -> (
+    match int_of_string_opt b with Some x -> x = a | None -> false)
+
+(* Integer interval implied by positive integer-literal comparisons.
+   Every such literal forces the concrete value to parse as an integer,
+   which is what makes folding negated orderings into the interval sound
+   once at least one positive constraint is present. *)
+type interval = { empty : bool; lo : int option; hi : int option }
+
+let itv_top = { empty = false; lo = None; hi = None }
+
+let itv_lo itv k =
+  let lo = match itv.lo with None -> Some k | Some l -> Some (max l k) in
+  { itv with lo }
+
+let itv_hi itv k =
+  let hi = match itv.hi with None -> Some k | Some h -> Some (min h k) in
+  { itv with hi }
+
+let itv_normalise itv =
+  match (itv.lo, itv.hi) with
+  | Some l, Some h when l > h -> { itv with empty = true }
+  | _ -> itv
+
+let itv_add itv op k =
+  let itv =
+    match op with
+    | Eq -> itv_hi (itv_lo itv k) k
+    | Ge -> itv_lo itv k
+    | Gt -> if k = max_int then { itv with empty = true } else itv_lo itv (k + 1)
+    | Le -> itv_hi itv k
+    | Lt -> if k = min_int then { itv with empty = true } else itv_hi itv (k - 1)
+    | Neq -> itv
+  in
+  itv_normalise itv
+
+let itv_add_negated itv op k =
+  match op with
+  | Ge -> itv_add itv Lt k
+  | Gt -> itv_add itv Le k
+  | Le -> itv_add itv Gt k
+  | Lt -> itv_add itv Ge k
+  | Eq | Neq -> itv
+
+(* Conjunction of all integer-literal constraints on one property is
+   unsatisfiable?  Only positive literals force the value to parse, so
+   negated orderings and [Neq] refine the interval only when at least one
+   positive constraint exists. *)
+let int_literals_unsat lits =
+  let positives =
+    List.filter_map
+      (function Cmp (_, ((Eq | Ge | Gt | Le | Lt) as op), I k) -> Some (op, k) | _ -> None)
+      lits
+  in
+  if positives = [] then false
+  else begin
+    let itv = List.fold_left (fun itv (op, k) -> itv_add itv op k) itv_top positives in
+    let itv =
+      List.fold_left
+        (fun itv l ->
+          match l with
+          | Not (Cmp (_, op, I k)) -> itv_add_negated itv op k
+          | _ -> itv)
+        itv lits
+    in
+    let excluded k = List.exists (function Cmp (_, Neq, I x) -> x = k | _ -> false) lits in
+    itv.empty
+    || (match (itv.lo, itv.hi) with Some l, Some h -> l = h && excluded l | _ -> false)
+  end
+
+(* Lexicographic emptiness for a pair of ordering constraints on strings:
+   conservative (strings are not densely ordered, so strict bounds with
+   [lower >= upper] are the only pairs we call empty). *)
+let str_pair_empty (op1, a) (op2, b) =
+  let bound op s =
+    match op with
+    | Ge -> `Lo (s, false)
+    | Gt -> `Lo (s, true)
+    | Le -> `Hi (s, false)
+    | Lt -> `Hi (s, true)
+    | Eq | Neq -> `None
+  in
+  match (bound op1 a, bound op2 b) with
+  | `Lo (l, sl), `Hi (h, sh) | `Hi (h, sh), `Lo (l, sl) ->
+    let c = String.compare l h in
+    if sl || sh then c >= 0 else c > 0
+  | _ -> false
+
+(* Can literals [l1] and [l2] (same property, both in restricted NNF) both
+   hold for some concrete property state?  Conservative: [false] means
+   "could not prove a contradiction". *)
+let pair_contradicts l1 l2 =
+  let structural_neg a b =
+    match (a, b) with Not x, y | y, Not x -> equal x y | _ -> false
+  in
+  let eq_vs_other a b =
+    (* [Cmp (p, Eq, S s)] pins the concrete string: evaluate the partner. *)
+    match (a, b) with
+    | Cmp (_, Eq, S s), Cmp (_, op, v) -> not (compare_values op s v)
+    | Cmp (_, Eq, S s), Not (Cmp (_, op, v)) -> compare_values op s v
+    | _ -> false
+  in
+  let eq_eq a b =
+    match (a, b) with
+    | Cmp (_, Eq, va), Cmp (_, Eq, vb) -> not (eq_eq_compatible va vb)
+    | _ -> false
+  in
+  let eq_neq a b =
+    match (a, b) with
+    | Cmp (_, Eq, va), Cmp (_, Neq, vb) -> value_equal va vb
+    | _ -> false
+  in
+  let str_ord l =
+    (* Ordering whose payload does not parse as an integer compares
+       lexicographically whatever the concrete value is. *)
+    match l with
+    | Cmp (_, ((Ge | Gt | Le | Lt) as op), S s) when int_of_string_opt s = None ->
+      Some (op, s)
+    | _ -> None
+  in
+  let str_str a b =
+    match (str_ord a, str_ord b) with
+    | Some ca, Some cb -> str_pair_empty ca cb
+    | _ -> false
+  in
+  structural_neg l1 l2
+  || eq_vs_other l1 l2 || eq_vs_other l2 l1
+  || eq_eq l1 l2
+  || eq_neq l1 l2 || eq_neq l2 l1
+  || int_literals_unsat [ l1; l2 ]
+  || str_str l1 l2
+
+(* Is [l1 or l2] (same property) true for every concrete property state,
+   including the missing-property one?  Conservative default: [false]. *)
+let pair_tautology l1 l2 =
+  let structural_neg a b =
+    match (a, b) with Not x, y | y, Not x -> equal x y | _ -> false
+  in
+  let eq_neq a b =
+    match (a, b) with
+    | Cmp (_, Eq, va), Cmp (_, Neq, vb) | Cmp (_, Neq, vb), Cmp (_, Eq, va) ->
+      value_equal va vb
+    | _ -> false
+  in
+  let neq_neq a b =
+    match (a, b) with
+    | Cmp (_, Neq, va), Cmp (_, Neq, vb) -> not (eq_eq_compatible va vb)
+    | _ -> false
+  in
+  structural_neg l1 l2 || eq_neq l1 l2 || neq_neq l1 l2
+
+let same_prop l1 l2 =
+  match (lit_prop l1, lit_prop l2) with
+  | Some p, Some q -> String.equal p q
+  | _ -> false
+
+let rec exists_pair f = function
+  | [] -> false
+  | x :: tl -> List.exists (f x) tl || exists_pair f tl
+
+let rec conjuncts t acc =
+  match t with And (a, b) -> conjuncts a (conjuncts b acc) | x -> x :: acc
+
+let rec disjuncts t acc =
+  match t with Or (a, b) -> disjuncts a (disjuncts b acc) | x -> x :: acc
+
+let dedup parts =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | x :: tl -> if List.exists (equal x) seen then go seen tl else go (x :: seen) tl
+  in
+  go [] parts
+
+let rec rebuild_and = function
+  | [] -> True
+  | [ x ] -> x
+  | x :: tl -> And (x, rebuild_and tl)
+
+let rec rebuild_or = function
+  | [] -> False
+  | [ x ] -> x
+  | x :: tl -> Or (x, rebuild_or tl)
+
+let rec simplify t =
+  match t with
+  | True | False -> t
+  | Cmp (_, Lt, S "") -> False (* no string sorts below the empty string *)
+  | Cmp _ -> t
+  | Not a -> (
+    match simplify a with
+    | True -> False
+    | False -> True
+    | Not b -> b
+    | b -> Not b)
+  | And _ ->
+    let parts =
+      conjuncts t [] |> List.map simplify
+      |> List.concat_map (fun p -> conjuncts p [])
+    in
+    if List.exists (equal False) parts then False
+    else begin
+      let parts = List.filter (fun p -> not (equal True p)) parts |> dedup in
+      if exists_pair (fun a b -> same_prop a b && pair_contradicts a b) parts then False
+      else rebuild_and parts
+    end
+  | Or _ ->
+    let parts =
+      disjuncts t [] |> List.map simplify
+      |> List.concat_map (fun p -> disjuncts p [])
+    in
+    if List.exists (equal True) parts then True
+    else begin
+      let parts = List.filter (fun p -> not (equal False p)) parts |> dedup in
+      if exists_pair (fun a b -> same_prop a b && pair_tautology a b) parts then True
+      else rebuild_or parts
+    end
+
+let normalize t = simplify (push_not t)

@@ -19,12 +19,14 @@ type t =
   | Or of t * t
   | Not of t
   | True  (** empty filter: every node matches *)
+  | False  (** provably-contradictory filter: no node matches *)
 
 and op = Eq | Neq | Ge | Le | Gt | Lt
 
 val parse : string -> (t, string) result
 (** Parse a filter such as ["cluster='a' and gpu='YES'"].  The empty (or
-    blank) string parses to {!True}. *)
+    blank) string parses to {!True}; the bare keywords [true] and [false]
+    parse to {!True} and {!False}. *)
 
 val parse_exn : string -> t
 (** @raise Invalid_argument on syntax errors. *)
@@ -43,8 +45,28 @@ val eval : t -> props:(string -> string option) -> bool
     parse as integers, strings otherwise.  A missing property makes any
     comparison false (and its [Neq] true). *)
 
+val holds : op -> string -> value -> bool
+(** [holds op actual expected] is the single-comparison kernel of {!eval}:
+    does the concrete property string [actual] satisfy [op expected]?
+    Exposed so static analyses (Semlint's abstract domain) share exactly
+    the runtime comparison semantics. *)
+
 val properties_used : t -> string list
 (** Sorted, deduplicated property names appearing in the filter. *)
 
+val op_to_string : op -> string
+
 val to_string : t -> string
 (** Re-render in OAR syntax (canonical parenthesisation). *)
+
+val normalize : t -> t
+(** Semantics-preserving normalisation: restricted negation-normal form
+    ([Not] pushes through [And]/[Or]/double negation and flips [Eq]/[Neq],
+    but stays on ordering comparisons, whose classical duals are unsound
+    when a property is missing or fails to parse as an integer), constant
+    folding of {!True}/{!False}, flattening + deduplication of [And]/[Or]
+    chains, and conservative contradiction/tautology detection between
+    same-property literals (equality pinning, integer-interval emptiness,
+    lexicographic bound crossing).  [normalize e] evaluates identically to
+    [e] on every property assignment; a {!False} result is a proof that no
+    assignment satisfies the filter. *)

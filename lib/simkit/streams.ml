@@ -1,0 +1,63 @@
+(* Registry of every Prng.derive tag family in the codebase.
+
+   [Prng.derive seed tag] gives a stateless per-tag stream, but nothing
+   stops two call sites from deriving at the same tag — the streams then
+   alias, and consumers that believe they hold independent randomness are
+   in fact correlated (or, worse for the federation drivers, order-
+   dependent).  Each derivation site therefore registers its tag range
+   here, and Semlint's L020 pass proves the ranges disjoint for the
+   fleet/federation sizes actually configured. *)
+
+type range = { name : string; base : int; count : int }
+
+let coordinator_tag = 0xC0
+let interleave_tag = 0x1E
+let federation_link_base = 0x10000
+let fleet_member_base = 0x20000
+
+let fleet_member_tag i =
+  if i < 0 then invalid_arg "Streams.fleet_member_tag: negative index";
+  fleet_member_base + i
+
+let federation_link_tag i =
+  if i < 0 then invalid_arg "Streams.federation_link_tag: negative index";
+  federation_link_base + i
+
+let coordinator = { name = "federation.coordinator"; base = coordinator_tag; count = 1 }
+let interleave = { name = "federation.interleave"; base = interleave_tag; count = 1 }
+
+let federation_links ~count =
+  { name = "federation.link"; base = federation_link_base; count }
+
+let fleet_members ~count =
+  { name = "fleet.member"; base = fleet_member_base; count }
+
+let registry ~members =
+  [ coordinator; interleave; federation_links ~count:members;
+    fleet_members ~count:members ]
+
+let range_to_string r =
+  if r.count = 1 then Printf.sprintf "%s [0x%X]" r.name r.base
+  else Printf.sprintf "%s [0x%X..0x%X]" r.name r.base (r.base + r.count - 1)
+
+let overlaps ranges =
+  let live = List.filter (fun r -> r.count > 0) ranges in
+  let sorted =
+    List.stable_sort (fun a b -> compare (a.base, a.name) (b.base, b.name)) live
+  in
+  let pair a b =
+    (* intersection of [base, base+count) intervals *)
+    let lo = max a.base b.base and hi = min (a.base + a.count) (b.base + b.count) in
+    if lo < hi then Some (a, b) else None
+  in
+  let rec all acc = function
+    | [] -> List.rev acc
+    | a :: tl ->
+      let acc =
+        List.fold_left
+          (fun acc b -> match pair a b with Some p -> p :: acc | None -> acc)
+          acc tl
+      in
+      all acc tl
+  in
+  all [] sorted

@@ -1,0 +1,55 @@
+(** Registry of {!Prng.derive} tag families.
+
+    [Prng.derive seed tag] yields a stateless stream per [tag], but two
+    call sites deriving at the same tag silently share (alias) a stream —
+    a determinism hazard the federation differential harness can only
+    catch after the fact.  Every derivation family in the codebase claims
+    a named half-open tag range [[base, base + count)] here, and Semlint's
+    L020 pass statically proves the ranges disjoint for the configured
+    fleet size.
+
+    Current layout (master campaign seed):
+    - [0x1E]       federation interleave shuffle
+    - [0xC0]       federation coordinator
+    - [0x10000+i]  federation link stream of member [i]
+    - [0x20000+i]  fleet member-synthesis stream of member [i]
+
+    Fleet members historically derived at bare index [i], which collides
+    with the interleave tag from 31 testbeds and the coordinator tag from
+    193 — below the 50-testbed scale ROADMAP targets.  The registry made
+    that overlap provable; members now start at {!fleet_member_base}. *)
+
+type range = { name : string; base : int; count : int }
+(** Half-open tag interval [[base, base + count)].  [count <= 0] ranges
+    are inert (claim nothing). *)
+
+val coordinator_tag : int
+val interleave_tag : int
+val federation_link_base : int
+val fleet_member_base : int
+
+val fleet_member_tag : int -> int
+(** Derivation tag of fleet member [i] ([fleet_member_base + i]).
+    @raise Invalid_argument on negative [i]. *)
+
+val federation_link_tag : int -> int
+(** Derivation tag of federation link [i] ([federation_link_base + i]).
+    @raise Invalid_argument on negative [i]. *)
+
+val coordinator : range
+
+val interleave : range
+
+val federation_links : count:int -> range
+
+val fleet_members : count:int -> range
+
+val registry : members:int -> range list
+(** All stream families a federation of [members] testbeds derives from
+    the master seed. *)
+
+val range_to_string : range -> string
+
+val overlaps : range list -> (range * range) list
+(** All pairs of ranges with a non-empty tag intersection, ordered by
+    base.  Empty result = the layout is proved collision-free. *)

@@ -36,8 +36,15 @@ let synthesize ~seed ~count ?(names = []) ranges =
   validate ranges;
   List.init count (fun index ->
       (* One stateless stream per member: spec i never depends on how
-         many members precede it or on who consumed the parent stream. *)
-      let rng = Simkit.Prng.create (Simkit.Prng.derive seed index) in
+         many members precede it or on who consumed the parent stream.
+         Derived at the registered fleet tag range — bare [index] would
+         alias the federation interleave (0x1E) and coordinator (0xC0)
+         streams once fleets grow past 30/192 members (Simkit.Streams,
+         lint L020). *)
+      let rng =
+        Simkit.Prng.create
+          (Simkit.Prng.derive seed (Simkit.Streams.fleet_member_tag index))
+      in
       let id =
         match List.nth_opt names index with
         | Some name -> name

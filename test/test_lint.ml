@@ -326,9 +326,295 @@ let test_l015_bad_cadences () =
       { fed_default with Framework.Federation.vlan_request_period = 0.0 };
       { fed_default with Framework.Federation.audit_period = -3600.0 } ]
 
-(* ---- qcheck mutation suite -------------------------------------------------- *)
+(* ---- semantic passes (Semlint) ---------------------------------------------- *)
 
 let catalog = Framework.Testdef.catalog ()
+
+let test_l016_contradiction () =
+  let diags =
+    Framework.Lint.check_filter ~path:"t" "site='nancy' and site='lyon'"
+  in
+  check_only_code "L016" diags;
+  checkb "an inventory-independent contradiction is an error" true
+    (Framework.Lint.errors diags <> [])
+
+let test_l016_tautology () =
+  let diags =
+    Framework.Lint.check_filter ~path:"t" "gpu='YES' or gpu!='YES'"
+  in
+  check_only_code "L016" diags;
+  checkb "a tautology is a warning, not an error" true
+    (Framework.Lint.errors diags = [])
+
+let test_l017_lexicographic_hazard () =
+  (* memnode values are plain integers; '64G' does not parse, so OAR
+     would order the pair lexicographically ('8' >= '64G' is true). *)
+  let diags = Framework.Lint.check_filter ~path:"t" "memnode>='64G'" in
+  checkb
+    (Printf.sprintf "flags the lexicographic hazard (got: %s)"
+       (String.concat "," (codes diags)))
+    true
+    (List.mem "L017" (codes diags));
+  checkb "hazards are warnings" true (Framework.Lint.errors diags = [])
+
+let test_l017_integer_vs_decimal_unsat () =
+  (* cpufreq values are decimals ("2.27"): an integer literal never
+     compares numerically, the ordering is false on every host, and the
+     root cause surfaces as L004 with the hazard as its explanation. *)
+  let diags = Framework.Lint.check_filter ~path:"t" "cpufreq>2" in
+  check_only_code "L004" diags;
+  checkb "the unsat verdict carries a fix suggestion" true
+    (List.exists (fun d -> d.Framework.Lint.fix <> None) diags)
+
+let test_host_literal_filter_clean () =
+  (* The old representative-row heuristic called any host='...' filter
+     unsatisfiable; the abstract domain resolves canonical host names. *)
+  checkb "host equality on a real host lints clean" true
+    (Framework.Lint.check_filter ~path:"t" "host='graphene-2.nancy'" = []);
+  check_only_code "L004"
+    (Framework.Lint.check_filter ~path:"t" "host='graphene-2.lyon'")
+
+let test_l018_executor_starvation () =
+  let diags =
+    Framework.Lint.check_schedulability ~path:"q"
+      ~policy:Framework.Scheduler.smart_policy ~executors:1 catalog
+  in
+  check_only_code "L018" diags;
+  checkb "provable oversubscription is an error" true
+    (Framework.Lint.errors diags <> [])
+
+let test_l018_near_capacity_warns () =
+  let diags =
+    Framework.Lint.check_schedulability ~path:"q"
+      ~policy:Framework.Scheduler.smart_policy ~executors:3 catalog
+  in
+  check_only_code "L018" diags;
+  checkb "demand within capacity but above the watermark warns" true
+    (Framework.Lint.errors diags = [])
+
+let prop_l018_monotone_in_executors =
+  QCheck.Test.make ~count:30
+    ~name:"capacity findings only improve as executors grow"
+    QCheck.(int_range 1 12)
+    (fun executors ->
+      let at n =
+        Framework.Lint.check_schedulability ~path:"q"
+          ~policy:Framework.Scheduler.smart_policy ~executors:n catalog
+      in
+      let errs ds = Framework.Lint.errors ds <> [] in
+      let any ds = ds <> [] in
+      ((not (errs (at (executors + 1)))) || errs (at executors))
+      && ((not (any (at (executors + 1)))) || any (at executors)))
+
+let site_spread_pair () =
+  (* Two simultaneous multi-pool acquisitions over the same >=2-cluster
+     site admit a circular wait unless something serializes them. *)
+  let multi_cluster_site =
+    List.find
+      (fun s -> List.length (Testbed.Inventory.clusters_of_site s) >= 2)
+      Testbed.Inventory.sites
+  in
+  let c =
+    List.find
+      (fun c ->
+        Framework.Testdef.need c.Framework.Testdef.family
+        = Framework.Testdef.Site_spread
+        && c.Framework.Testdef.site = Some multi_cluster_site)
+      catalog
+  in
+  [ c; { c with Framework.Testdef.config_id = c.Framework.Testdef.config_id ^ ":b" } ]
+
+let test_l019_site_spread_deadlock () =
+  let configs = site_spread_pair () in
+  let diags =
+    Framework.Lint.check_schedulability ~path:"q"
+      ~policy:Framework.Scheduler.naive_policy ~executors:64 configs
+  in
+  check_only_code "L019" diags;
+  checkb "a deadlock cycle is an error" true
+    (Framework.Lint.errors diags <> [])
+
+let test_l019_serialized_cannot_deadlock () =
+  let configs = site_spread_pair () in
+  checkb "one-job-per-site serializes the acquisitions" true
+    (Framework.Lint.check_schedulability ~path:"q"
+       ~policy:Framework.Scheduler.smart_policy ~executors:64 configs
+    = [])
+
+let test_l020_oversized_federation () =
+  (* From 65537 members the fleet range [0x20000, ...) runs into itself
+     colliding with the link range [0x10000, 0x10000 + members). *)
+  let diags =
+    Framework.Lint.check_federation ~path:"fed"
+      { Framework.Federation.default_config with
+        Framework.Federation.testbeds = 65537;
+      }
+  in
+  checkb
+    (Printf.sprintf "oversized fleet trips the stream registry (got: %s)"
+       (String.concat "," (codes diags)))
+    true
+    (List.mem "L020" (codes diags))
+
+let test_l020_legacy_layout_collides () =
+  (* The pre-registry layout derived fleet members at bare index i; the
+     registry proves it collides with the interleave tag (0x1E) from 31
+     testbeds — the latent defect this pass exists to catch. *)
+  let legacy = { Simkit.Streams.name = "fleet members (legacy)"; base = 0; count = 50 } in
+  let collisions =
+    Simkit.Streams.overlaps
+      [ legacy; Simkit.Streams.interleave; Simkit.Streams.coordinator ]
+  in
+  checki "interleave aliased" 1 (List.length collisions)
+
+let test_l020_registry_clean_at_roadmap_scales () =
+  List.iter
+    (fun members ->
+      checkb
+        (Printf.sprintf "registry collision-free at %d members" members)
+        true
+        (Simkit.Streams.overlaps (Simkit.Streams.registry ~members) = []))
+    [ 1; 31; 50; 193; 65536 ]
+
+let prop_stream_overlaps_oracle =
+  QCheck.Test.make ~count:200
+    ~name:"overlap detection agrees with brute-force tag enumeration"
+    QCheck.(
+      list_of_size (Gen.int_range 0 5)
+        (pair (int_bound 40) (int_range (-2) 12)))
+    (fun raw ->
+      let ranges =
+        List.mapi
+          (fun i (base, count) ->
+            { Simkit.Streams.name = Printf.sprintf "r%d" i; base; count })
+          raw
+      in
+      let brute a b =
+        a.Simkit.Streams.count > 0 && b.Simkit.Streams.count > 0
+        && List.exists
+             (fun t ->
+               t >= b.Simkit.Streams.base
+               && t < b.Simkit.Streams.base + b.Simkit.Streams.count)
+             (List.init a.Simkit.Streams.count (fun i -> a.Simkit.Streams.base + i))
+      in
+      let expected = ref 0 in
+      List.iteri
+        (fun i a ->
+          List.iteri (fun j b -> if j > i && brute a b then incr expected) ranges)
+        ranges;
+      List.length (Simkit.Streams.overlaps ranges) = !expected)
+
+(* ---- abstract-interpretation soundness oracle ------------------------------- *)
+
+(* Random synthetic inventories + random filters: the concrete
+   feasible-host count (enumerating Semlint.host_props rows through the
+   runtime Oar.Expr.eval) must lie inside the proved interval. *)
+
+let base_spec = List.hd Testbed.Inventory.clusters
+
+let gen_specs =
+  let open QCheck.Gen in
+  let site = oneofl [ "nancy"; "lyon"; "grenoble" ] in
+  let spec i =
+    map
+      (fun (site, (nodes, freq, ram), (gpu, ib, rate)) ->
+        { base_spec with
+          Testbed.Inventory.cluster = Printf.sprintf "q%c" (Char.chr (97 + i));
+          site;
+          nodes;
+          freq_ghz = freq;
+          ram_gb = ram;
+          has_gpu = gpu;
+          has_ib = ib;
+          nic_rate_gbps = rate;
+        })
+      (triple site
+         (triple (int_range 1 6) (oneofl [ 1.7; 2.27; 3.0 ]) (oneofl [ 16; 64; 128 ]))
+         (triple bool bool (oneofl [ 1.0; 10.0 ])))
+  in
+  int_range 1 3 >>= fun n -> flatten_l (List.init n spec)
+
+let gen_filter_expr =
+  let open QCheck.Gen in
+  let prop =
+    oneofl
+      [ "cluster"; "site"; "cores"; "cpufreq"; "memnode"; "gpu"; "ib";
+        "eth10g"; "deploy"; "host" ]
+  in
+  let value =
+    oneof
+      [ map (fun i -> Oar.Expr.I i) (int_range 0 130);
+        map
+          (fun s -> Oar.Expr.S s)
+          (oneofl
+             [ "qa"; "qb"; "nancy"; "lyon"; "YES"; "NO"; "2.27"; "64";
+               "qa-2.nancy"; "qb-1.lyon"; "64G" ]) ]
+  in
+  let op =
+    oneofl [ Oar.Expr.Eq; Oar.Expr.Neq; Oar.Expr.Ge; Oar.Expr.Le; Oar.Expr.Gt; Oar.Expr.Lt ]
+  in
+  let cmp = map3 (fun p o v -> Oar.Expr.Cmp (p, o, v)) prop op value in
+  sized_size (int_bound 4)
+    (fix (fun self n ->
+         if n <= 0 then
+           frequency
+             [ (6, cmp); (1, return Oar.Expr.True); (1, return Oar.Expr.False) ]
+         else
+           frequency
+             [ (3, cmp);
+               (2, map2 (fun a b -> Oar.Expr.And (a, b)) (self (n - 1)) (self (n - 1)));
+               (2, map2 (fun a b -> Oar.Expr.Or (a, b)) (self (n - 1)) (self (n - 1)));
+               (1, map (fun a -> Oar.Expr.Not a) (self (n - 1))) ]))
+
+let arb_soundness_case =
+  QCheck.make
+    ~print:(fun (specs, e) ->
+      Printf.sprintf "%s over [%s]"
+        (Oar.Expr.to_string e)
+        (String.concat "; "
+           (List.map
+              (fun s ->
+                Printf.sprintf "%s.%s x%d" s.Testbed.Inventory.cluster
+                  s.Testbed.Inventory.site s.Testbed.Inventory.nodes)
+              specs)))
+    QCheck.Gen.(pair gen_specs gen_filter_expr)
+
+let prop_bounds_sound =
+  QCheck.Test.make ~count:1000
+    ~name:"proved per-cluster bounds always contain the concrete count"
+    arb_soundness_case
+    (fun (specs, e) ->
+      let dom = Framework.Semlint.domain_of_clusters specs in
+      List.for_all
+        (fun (spec, { Framework.Semlint.lo; hi }) ->
+          let concrete = ref 0 in
+          for i = 1 to spec.Testbed.Inventory.nodes do
+            let row = Framework.Semlint.host_props spec i in
+            if Oar.Expr.eval e ~props:(fun p -> List.assoc_opt p row) then
+              incr concrete
+          done;
+          lo <= !concrete && !concrete <= hi)
+        (Framework.Semlint.cluster_bounds dom e))
+
+let prop_bounds_sound_after_normalize =
+  QCheck.Test.make ~count:500
+    ~name:"normalize + abstraction agree with the runtime evaluator"
+    arb_soundness_case
+    (fun (specs, e) ->
+      let dom = Framework.Semlint.domain_of_clusters specs in
+      let n = Oar.Expr.normalize e in
+      List.for_all
+        (fun (spec, { Framework.Semlint.lo; hi }) ->
+          let concrete = ref 0 in
+          for i = 1 to spec.Testbed.Inventory.nodes do
+            let row = Framework.Semlint.host_props spec i in
+            if Oar.Expr.eval e ~props:(fun p -> List.assoc_opt p row) then
+              incr concrete
+          done;
+          lo <= !concrete && !concrete <= hi)
+        (Framework.Semlint.cluster_bounds dom n))
+
+(* ---- qcheck mutation suite -------------------------------------------------- *)
 
 let prop_config_mutations =
   QCheck.Test.make ~count:100
@@ -659,6 +945,33 @@ let () =
             test_l015_zero_vlans_warns;
           Alcotest.test_case "L015 bad coordination cadences" `Quick
             test_l015_bad_cadences ] );
+      ( "semantic passes",
+        [ Alcotest.test_case "L016 contradiction" `Quick test_l016_contradiction;
+          Alcotest.test_case "L016 tautology" `Quick test_l016_tautology;
+          Alcotest.test_case "L017 lexicographic hazard" `Quick
+            test_l017_lexicographic_hazard;
+          Alcotest.test_case "L017 integer vs decimal is unsat" `Quick
+            test_l017_integer_vs_decimal_unsat;
+          Alcotest.test_case "host literal filters resolve" `Quick
+            test_host_literal_filter_clean;
+          Alcotest.test_case "L018 executor starvation" `Quick
+            test_l018_executor_starvation;
+          Alcotest.test_case "L018 near capacity warns" `Quick
+            test_l018_near_capacity_warns;
+          Alcotest.test_case "L019 site-spread deadlock" `Quick
+            test_l019_site_spread_deadlock;
+          Alcotest.test_case "L019 serialized cannot deadlock" `Quick
+            test_l019_serialized_cannot_deadlock;
+          Alcotest.test_case "L020 oversized federation" `Quick
+            test_l020_oversized_federation;
+          Alcotest.test_case "L020 legacy layout collides" `Quick
+            test_l020_legacy_layout_collides;
+          Alcotest.test_case "L020 registry clean at roadmap scales" `Quick
+            test_l020_registry_clean_at_roadmap_scales;
+          qc prop_l018_monotone_in_executors;
+          qc prop_stream_overlaps_oracle ] );
+      ( "soundness oracle",
+        [ qc prop_bounds_sound; qc prop_bounds_sound_after_normalize ] );
       ( "mutation properties",
         [ qc prop_config_mutations; qc prop_generated_filters;
           qc prop_policy_mutations; qc prop_serve_mutations;

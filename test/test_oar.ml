@@ -81,6 +81,122 @@ let prop_expr_roundtrip =
       let props = props_of [ ("cluster", "m"); ("site", "m"); ("gpu", "x") ] in
       Oar.Expr.eval e1 ~props = Oar.Expr.eval e2 ~props)
 
+(* ---- mixed-type comparison semantics ---------------------------------------- *)
+
+let test_expr_quoted_numeric_literal () =
+  (* Both sides parse as integers, so the ordering is numeric even when
+     the literal is quoted: before the fix, '10' > '9' was decided
+     lexicographically and came out false. *)
+  let expr = Oar.Expr.parse_exn "cores>'9'" in
+  checkb "128 > '9' numerically" true
+    (Oar.Expr.eval expr ~props:(props_of [ ("cores", "128") ]));
+  checkb "10 > '9' numerically" true
+    (Oar.Expr.eval expr ~props:(props_of [ ("cores", "10") ]));
+  checkb "9 is not > '9'" false
+    (Oar.Expr.eval expr ~props:(props_of [ ("cores", "9") ]));
+  (* A non-integer actual still falls back to string order. *)
+  checkb "'64G' > '9' lexicographically is false" false
+    (Oar.Expr.holds Oar.Expr.Gt "64G" (Oar.Expr.S "9"))
+
+let prop_holds_numeric_agreement =
+  QCheck.Test.make ~name:"orderings on two integers are numeric, quoted or not"
+    ~count:300
+    QCheck.(triple (int_range 0 999) (int_range 0 999) (int_bound 3))
+    (fun (a, b, opi) ->
+      let op, expect =
+        match opi with
+        | 0 -> (Oar.Expr.Ge, a >= b)
+        | 1 -> (Oar.Expr.Le, a <= b)
+        | 2 -> (Oar.Expr.Gt, a > b)
+        | _ -> (Oar.Expr.Lt, a < b)
+      in
+      let actual = string_of_int a in
+      Oar.Expr.holds op actual (Oar.Expr.I b) = expect
+      && Oar.Expr.holds op actual (Oar.Expr.S (string_of_int b)) = expect)
+
+(* ---- normalize --------------------------------------------------------------- *)
+
+let test_normalize_verdicts () =
+  let n s = Oar.Expr.normalize (Oar.Expr.parse_exn s) in
+  checkb "equality pinning proves contradiction" true
+    (n "site='nancy' and site='lyon'" = Oar.Expr.False);
+  checkb "empty integer interval proves contradiction" true
+    (n "cores>16 and cores<10" = Oar.Expr.False);
+  checkb "structural complement proves contradiction" true
+    (n "gpu='YES' and not gpu='YES'" = Oar.Expr.False);
+  checkb "eq/neq complement proves tautology" true
+    (n "gpu='YES' or gpu!='YES'" = Oar.Expr.True);
+  checkb "satisfiable conjunction survives" true
+    (n "cluster='a' and gpu='YES'" <> Oar.Expr.False)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let prop = oneofl [ "cluster"; "site"; "cores"; "cpufreq"; "gpu"; "memnode" ] in
+  let value =
+    oneof
+      [ map (fun i -> Oar.Expr.I i) (int_range 0 20);
+        map
+          (fun s -> Oar.Expr.S s)
+          (oneofl [ "a"; "b"; "YES"; "NO"; "2.27"; "64G"; "7"; "12" ]) ]
+  in
+  let op =
+    oneofl [ Oar.Expr.Eq; Oar.Expr.Neq; Oar.Expr.Ge; Oar.Expr.Le; Oar.Expr.Gt; Oar.Expr.Lt ]
+  in
+  let cmp = map3 (fun p o v -> Oar.Expr.Cmp (p, o, v)) prop op value in
+  let leaf =
+    frequency
+      [ (6, cmp); (1, return Oar.Expr.True); (1, return Oar.Expr.False) ]
+  in
+  sized_size (int_bound 5)
+    (fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           frequency
+             [ (3, cmp);
+               (2, map2 (fun a b -> Oar.Expr.And (a, b)) (self (n - 1)) (self (n - 1)));
+               (2, map2 (fun a b -> Oar.Expr.Or (a, b)) (self (n - 1)) (self (n - 1)));
+               (1, map (fun a -> Oar.Expr.Not a) (self (n - 1))) ]))
+
+let gen_assignment =
+  let open QCheck.Gen in
+  let v = oneofl [ "a"; "b"; "YES"; "NO"; "2.27"; "64G"; "7"; "12"; "16" ] in
+  let bind p = map (fun (present, v) -> if present then Some (p, v) else None) (pair bool v) in
+  map
+    (fun cells -> List.filter_map Fun.id cells)
+    (flatten_l
+       (List.map bind [ "cluster"; "site"; "cores"; "cpufreq"; "gpu"; "memnode" ]))
+
+let arb_expr_and_assignment =
+  QCheck.make
+    ~print:(fun (e, assignment) ->
+      Printf.sprintf "%s under [%s]"
+        (Oar.Expr.to_string e)
+        (String.concat "; "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) assignment)))
+    QCheck.Gen.(pair gen_expr gen_assignment)
+
+let prop_normalize_preserves_eval =
+  QCheck.Test.make ~name:"normalize preserves eval on every assignment"
+    ~count:1000 arb_expr_and_assignment
+    (fun (e, assignment) ->
+      let props = props_of assignment in
+      Oar.Expr.eval (Oar.Expr.normalize e) ~props = Oar.Expr.eval e ~props)
+
+let arb_expr = QCheck.make ~print:Oar.Expr.to_string gen_expr
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~name:"normalize is idempotent" ~count:500 arb_expr
+    (fun e ->
+      let n = Oar.Expr.normalize e in
+      Oar.Expr.equal (Oar.Expr.normalize n) n)
+
+let prop_normalize_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string (normalize e)) = normalize e"
+    ~count:500 arb_expr
+    (fun e ->
+      let n = Oar.Expr.normalize e in
+      Oar.Expr.equal (Oar.Expr.parse_exn (Oar.Expr.to_string n)) n)
+
 (* ---- Request ---------------------------------------------------------------- *)
 
 let test_request_paper_example () =
@@ -413,7 +529,15 @@ let () =
           Alcotest.test_case "empty is true" `Quick test_expr_empty_is_true;
           Alcotest.test_case "errors" `Quick test_expr_errors;
           Alcotest.test_case "properties used" `Quick test_expr_properties_used;
-          qc prop_expr_roundtrip ] );
+          Alcotest.test_case "quoted numeric literal" `Quick
+            test_expr_quoted_numeric_literal;
+          qc prop_expr_roundtrip;
+          qc prop_holds_numeric_agreement ] );
+      ( "normalize",
+        [ Alcotest.test_case "verdicts" `Quick test_normalize_verdicts;
+          qc prop_normalize_preserves_eval;
+          qc prop_normalize_idempotent;
+          qc prop_normalize_roundtrip ] );
       ( "request",
         [ Alcotest.test_case "paper example" `Quick test_request_paper_example;
           Alcotest.test_case "nodes=ALL" `Quick test_request_nodes_all;

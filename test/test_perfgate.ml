@@ -78,6 +78,69 @@ let test_parse_rejects_garbage () =
   checkb "missing events/s rejected" true
     (Result.is_error (Framework.Perfgate.metrics_of_string {|{"step_latency_us": {"p95": 1.0}}|}))
 
+(* ---- lint gate --------------------------------------------------------------- *)
+
+let lint ?(wall_s = 0.05) ?(diagnostics = 0) () =
+  { Framework.Perfgate.wall_s; configurations = 751; diagnostics }
+
+let test_lint_floor_absorbs_ms_noise () =
+  (* A 4x regression on a millisecond-scale wall stays under the
+     absolute floor and must not flap the gate. *)
+  let v =
+    Framework.Perfgate.check_lint ~baseline:(lint ())
+      ~current:(lint ~wall_s:0.2 ()) ()
+  in
+  checkb "under the floor passes" true v.Framework.Perfgate.ok
+
+let test_lint_fails_beyond_floor_and_threshold () =
+  let v =
+    Framework.Perfgate.check_lint ~baseline:(lint ())
+      ~current:(lint ~wall_s:(Framework.Perfgate.lint_floor_s +. 0.01) ()) ()
+  in
+  checkb "beyond floor and threshold fails" false v.Framework.Perfgate.ok
+
+let test_lint_relative_threshold_above_floor () =
+  (* Once the baseline itself clears the floor, the relative allowance
+     takes over: +15% passes, +25% fails at the default 20%. *)
+  let v_ok =
+    Framework.Perfgate.check_lint ~baseline:(lint ~wall_s:1.0 ())
+      ~current:(lint ~wall_s:1.15 ()) ()
+  in
+  let v_bad =
+    Framework.Perfgate.check_lint ~baseline:(lint ~wall_s:1.0 ())
+      ~current:(lint ~wall_s:1.25 ()) ()
+  in
+  checkb "+15%% passes" true v_ok.Framework.Perfgate.ok;
+  checkb "+25%% fails" false v_bad.Framework.Perfgate.ok
+
+let test_lint_diagnostics_do_not_gate () =
+  let v =
+    Framework.Perfgate.check_lint ~baseline:(lint ())
+      ~current:(lint ~diagnostics:7 ()) ()
+  in
+  checkb "diagnostic count is informational" true v.Framework.Perfgate.ok
+
+let test_lint_parse_bench_document () =
+  let doc =
+    {|{"scenario": "lint",
+       "lint": {"configurations": 751, "presets": 7, "wall_s": 0.042, "diagnostics": 0},
+       "audit": {"campaigns": 2}}|}
+  in
+  match Framework.Perfgate.lint_metrics_of_string doc with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok m ->
+    checkf "wall_s" 0.042 m.Framework.Perfgate.wall_s;
+    Alcotest.(check int) "configurations" 751 m.Framework.Perfgate.configurations;
+    Alcotest.(check int) "diagnostics" 0 m.Framework.Perfgate.diagnostics
+
+let test_lint_parse_rejects_garbage () =
+  checkb "missing lint object rejected" true
+    (Result.is_error (Framework.Perfgate.lint_metrics_of_string {|{"wall_s": 1.0}|}));
+  checkb "missing wall rejected" true
+    (Result.is_error
+       (Framework.Perfgate.lint_metrics_of_string
+          {|{"lint": {"configurations": 1, "diagnostics": 0}}|}))
+
 let () =
   Alcotest.run "perfgate"
     [
@@ -91,4 +154,16 @@ let () =
       ( "parse",
         [ Alcotest.test_case "bench document" `Quick test_parse_bench_document;
           Alcotest.test_case "rejects garbage" `Quick test_parse_rejects_garbage ] );
+      ( "lint gate",
+        [ Alcotest.test_case "floor absorbs ms noise" `Quick
+            test_lint_floor_absorbs_ms_noise;
+          Alcotest.test_case "fails beyond floor and threshold" `Quick
+            test_lint_fails_beyond_floor_and_threshold;
+          Alcotest.test_case "relative threshold above floor" `Quick
+            test_lint_relative_threshold_above_floor;
+          Alcotest.test_case "diagnostics informational" `Quick
+            test_lint_diagnostics_do_not_gate;
+          Alcotest.test_case "bench document" `Quick test_lint_parse_bench_document;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_lint_parse_rejects_garbage ] );
     ]
